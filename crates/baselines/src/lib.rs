@@ -1,0 +1,26 @@
+//! # baselines — the rate-based controllers the paper argues against
+//!
+//! The paper's introduction surveys 1997-era rate-based multicast
+//! congestion control and explains why threshold-based schemes cannot be
+//! fair to window-based TCP through drop-tail gateways. Two representatives
+//! are implemented here for the comparison experiment (E12 in DESIGN.md):
+//!
+//! * [`Ltrc`] — the loss-tolerant rate controller: halve when *any*
+//!   receiver's EWMA loss rate crosses a threshold, hold-off between cuts.
+//! * [`Mbfc`] — monitor-based flow control: halve when the *fraction* of
+//!   congested receivers crosses a population threshold.
+//!
+//! Both ride on the shared [`RateSender`]/[`RateReceiver`] machinery:
+//! paced transmission, periodic per-receiver loss reports, additive
+//! increase between cuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ltrc;
+pub mod mbfc;
+pub mod rate_sender;
+
+pub use ltrc::{Ltrc, LtrcConfig};
+pub use mbfc::{Mbfc, MbfcConfig};
+pub use rate_sender::{RateConfig, RateController, RateReceiver, RateSender, ReceiverReport};

@@ -1,0 +1,160 @@
+//! The loss-tolerant rate controller (LTRC), after Montgomery 1997 as the
+//! paper describes it (§1):
+//!
+//! > "The algorithm identifies congestion and reduces the sender rate if
+//! > the reported loss rate (an exponentially-weighted moving average)
+//! > from some receiver is larger than a certain threshold. The rate is
+//! > not reduced further within a certain period of time after the last
+//! > reduction."
+//!
+//! The paper's criticism — that no universal loss threshold exists, so the
+//! controller is systematically unfair to TCP — is what experiment E12
+//! demonstrates.
+
+use netsim::time::{SimDuration, SimTime};
+
+use crate::rate_sender::{RateController, ReceiverReport};
+
+/// LTRC parameters.
+#[derive(Debug, Clone)]
+pub struct LtrcConfig {
+    /// A receiver whose EWMA loss rate exceeds this is congested.
+    pub loss_threshold: f64,
+    /// Multiplier applied on congestion (the paper's schemes halve).
+    pub decrease_factor: f64,
+    /// Minimum spacing between consecutive reductions.
+    pub hold_time: SimDuration,
+    /// Additive increase per update interval, pkt/s (≈ one packet per RTT
+    /// per RTT, scaled by the update period).
+    pub increase_pps: f64,
+    /// Ignore reports older than this (stale receivers).
+    pub report_timeout: SimDuration,
+}
+
+impl Default for LtrcConfig {
+    fn default() -> Self {
+        LtrcConfig {
+            loss_threshold: 0.02,
+            decrease_factor: 0.5,
+            hold_time: SimDuration::from_secs(1),
+            increase_pps: 2.0,
+            report_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// The LTRC policy.
+#[derive(Debug)]
+pub struct Ltrc {
+    cfg: LtrcConfig,
+    last_cut: Option<SimTime>,
+    reductions: u64,
+}
+
+impl Ltrc {
+    /// A controller with the given parameters.
+    pub fn new(cfg: LtrcConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&cfg.loss_threshold),
+            "loss threshold must be a probability"
+        );
+        assert!(
+            cfg.decrease_factor > 0.0 && cfg.decrease_factor < 1.0,
+            "decrease factor must shrink the rate"
+        );
+        Ltrc {
+            cfg,
+            last_cut: None,
+            reductions: 0,
+        }
+    }
+}
+
+impl RateController for Ltrc {
+    fn update(&mut self, now: SimTime, rate: f64, reports: &[ReceiverReport]) -> f64 {
+        let worst = reports
+            .iter()
+            .filter(|r| now.saturating_since(r.updated_at) <= self.cfg.report_timeout)
+            .map(|r| r.avg_loss_rate)
+            .fold(0.0, f64::max);
+        let in_hold = self
+            .last_cut
+            .is_some_and(|t| now.saturating_since(t) < self.cfg.hold_time);
+        if worst > self.cfg.loss_threshold && !in_hold {
+            self.last_cut = Some(now);
+            self.reductions += 1;
+            rate * self.cfg.decrease_factor
+        } else {
+            rate + self.cfg.increase_pps
+        }
+    }
+
+    fn reductions(&self) -> u64 {
+        self.reductions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::id::AgentId;
+
+    fn report(loss: f64, at: SimTime) -> ReceiverReport {
+        ReceiverReport {
+            receiver: AgentId(0),
+            avg_loss_rate: loss,
+            interval_loss_rate: loss,
+            updated_at: at,
+        }
+    }
+
+    #[test]
+    fn increases_without_congestion() {
+        let mut c = Ltrc::new(LtrcConfig::default());
+        let r = c.update(SimTime::from_secs(1), 10.0, &[report(0.001, SimTime::from_secs(1))]);
+        assert_eq!(r, 12.0);
+        assert_eq!(c.reductions(), 0);
+    }
+
+    #[test]
+    fn halves_on_threshold_crossing() {
+        let mut c = Ltrc::new(LtrcConfig::default());
+        let r = c.update(SimTime::from_secs(1), 10.0, &[report(0.05, SimTime::from_secs(1))]);
+        assert_eq!(r, 5.0);
+        assert_eq!(c.reductions(), 1);
+    }
+
+    #[test]
+    fn hold_time_prevents_consecutive_cuts() {
+        let mut c = Ltrc::new(LtrcConfig::default());
+        let r1 = c.update(SimTime::from_secs(1), 10.0, &[report(0.05, SimTime::from_secs(1))]);
+        // 500 ms later: still inside the 1 s hold — must increase instead.
+        let r2 = c.update(
+            SimTime::from_secs_f64(1.5),
+            r1,
+            &[report(0.05, SimTime::from_secs_f64(1.5))],
+        );
+        assert!(r2 > r1);
+        // After the hold expires the cut happens.
+        let r3 = c.update(SimTime::from_secs(3), r2, &[report(0.05, SimTime::from_secs(3))]);
+        assert_eq!(r3, r2 * 0.5);
+        assert_eq!(c.reductions(), 2);
+    }
+
+    #[test]
+    fn stale_reports_ignored() {
+        let mut c = Ltrc::new(LtrcConfig::default());
+        // A very old congested report must not trigger a cut.
+        let r = c.update(SimTime::from_secs(100), 10.0, &[report(0.5, SimTime::from_secs(1))]);
+        assert!(r > 10.0);
+    }
+
+    #[test]
+    fn reacts_to_the_worst_receiver_only() {
+        let mut c = Ltrc::new(LtrcConfig::default());
+        let now = SimTime::from_secs(1);
+        let reports = [report(0.001, now), report(0.05, now), report(0.0, now)];
+        let r = c.update(now, 10.0, &reports);
+        assert_eq!(r, 5.0, "one bad receiver is enough for LTRC");
+    }
+}

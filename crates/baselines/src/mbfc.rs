@@ -1,0 +1,183 @@
+//! Monitor-based flow control (MBFC), after Sano et al. 1997 as the paper
+//! describes it (§1):
+//!
+//! > "A receiver is considered congested if its average loss rate during a
+//! > monitor period is larger than a certain threshold (loss-rate
+//! > threshold), and the sender recognizes congestion only if the fraction
+//! > of the receiver population considered congested is larger than a
+//! > certain threshold (loss-population threshold)."
+//!
+//! With the population threshold at its minimum the scheme degenerates to
+//! tracing the slowest receiver — the paper's point is that no meaningful
+//! universal threshold pair exists.
+
+use netsim::time::{SimDuration, SimTime};
+
+use crate::rate_sender::{RateController, ReceiverReport};
+
+/// MBFC parameters.
+#[derive(Debug, Clone)]
+pub struct MbfcConfig {
+    /// Per-receiver loss-rate threshold over the monitor period.
+    pub loss_threshold: f64,
+    /// Fraction of the population that must be congested to cut the rate.
+    pub population_threshold: f64,
+    /// Multiplier applied on congestion.
+    pub decrease_factor: f64,
+    /// Minimum spacing between consecutive reductions.
+    pub hold_time: SimDuration,
+    /// Additive increase per update interval, pkt/s.
+    pub increase_pps: f64,
+    /// Ignore reports older than this.
+    pub report_timeout: SimDuration,
+    /// Total receiver population (denominator of the congested fraction).
+    pub population: usize,
+}
+
+impl Default for MbfcConfig {
+    fn default() -> Self {
+        MbfcConfig {
+            loss_threshold: 0.02,
+            population_threshold: 0.25,
+            decrease_factor: 0.5,
+            hold_time: SimDuration::from_secs(1),
+            increase_pps: 2.0,
+            report_timeout: SimDuration::from_secs(5),
+            population: 1,
+        }
+    }
+}
+
+/// The MBFC policy.
+#[derive(Debug)]
+pub struct Mbfc {
+    cfg: MbfcConfig,
+    last_cut: Option<SimTime>,
+    reductions: u64,
+}
+
+impl Mbfc {
+    /// A controller with the given parameters.
+    pub fn new(cfg: MbfcConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&cfg.loss_threshold),
+            "loss threshold must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.population_threshold),
+            "population threshold must be a fraction"
+        );
+        assert!(cfg.population >= 1, "population must be positive");
+        Mbfc {
+            cfg,
+            last_cut: None,
+            reductions: 0,
+        }
+    }
+}
+
+impl RateController for Mbfc {
+    fn update(&mut self, now: SimTime, rate: f64, reports: &[ReceiverReport]) -> f64 {
+        let congested = reports
+            .iter()
+            .filter(|r| now.saturating_since(r.updated_at) <= self.cfg.report_timeout)
+            .filter(|r| r.interval_loss_rate > self.cfg.loss_threshold)
+            .count();
+        let fraction = congested as f64 / self.cfg.population.max(1) as f64;
+        let in_hold = self
+            .last_cut
+            .is_some_and(|t| now.saturating_since(t) < self.cfg.hold_time);
+        if fraction > self.cfg.population_threshold && !in_hold {
+            self.last_cut = Some(now);
+            self.reductions += 1;
+            rate * self.cfg.decrease_factor
+        } else {
+            rate + self.cfg.increase_pps
+        }
+    }
+
+    fn reductions(&self) -> u64 {
+        self.reductions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::id::AgentId;
+
+    fn report(id: u32, loss: f64, at: SimTime) -> ReceiverReport {
+        ReceiverReport {
+            receiver: AgentId(id),
+            avg_loss_rate: loss,
+            interval_loss_rate: loss,
+            updated_at: at,
+        }
+    }
+
+    #[test]
+    fn minority_congestion_is_ignored() {
+        let mut c = Mbfc::new(MbfcConfig {
+            population: 4,
+            ..Default::default()
+        });
+        let now = SimTime::from_secs(1);
+        // 1 of 4 congested = 25%, not above the 25% threshold.
+        let reports = [
+            report(0, 0.10, now),
+            report(1, 0.0, now),
+            report(2, 0.0, now),
+            report(3, 0.0, now),
+        ];
+        let r = c.update(now, 10.0, &reports);
+        assert!(r > 10.0, "QoS averaging: a single congested receiver ignored");
+    }
+
+    #[test]
+    fn majority_congestion_cuts() {
+        let mut c = Mbfc::new(MbfcConfig {
+            population: 4,
+            ..Default::default()
+        });
+        let now = SimTime::from_secs(1);
+        let reports = [
+            report(0, 0.10, now),
+            report(1, 0.08, now),
+            report(2, 0.0, now),
+            report(3, 0.0, now),
+        ];
+        let r = c.update(now, 10.0, &reports);
+        assert_eq!(r, 5.0);
+        assert_eq!(c.reductions(), 1);
+    }
+
+    #[test]
+    fn zero_population_threshold_traces_the_slowest() {
+        // The special case the paper calls out: population threshold at the
+        // minimum reduces MBFC to reacting to any single receiver.
+        let mut c = Mbfc::new(MbfcConfig {
+            population: 10,
+            population_threshold: 0.0,
+            ..Default::default()
+        });
+        let now = SimTime::from_secs(1);
+        let r = c.update(now, 10.0, &[report(0, 0.5, now)]);
+        assert_eq!(r, 5.0);
+    }
+
+    #[test]
+    fn hold_time_spaces_cuts() {
+        let mut c = Mbfc::new(MbfcConfig {
+            population: 1,
+            population_threshold: 0.0,
+            ..Default::default()
+        });
+        let r1 = c.update(SimTime::from_secs(1), 16.0, &[report(0, 0.5, SimTime::from_secs(1))]);
+        let r2 = c.update(
+            SimTime::from_secs_f64(1.2),
+            r1,
+            &[report(0, 0.5, SimTime::from_secs_f64(1.2))],
+        );
+        assert!(r2 > r1, "inside hold time the rate must not drop again");
+    }
+}

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the simulation substrate: the event calendar, the
+//! two queue disciplines, and raw end-to-end packet throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netsim::agent::Sink;
+use netsim::event::{Calendar, EventKind};
+use netsim::id::AgentId;
+use netsim::packet::Dest;
+use netsim::prelude::*;
+use netsim::queue::{DropTail, QueueDiscipline, Red, RedConfig};
+use netsim::wire::Segment;
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random firing times without Instant/rand overhead.
+                let t = (i * 2654435761) % 1_000_000;
+                cal.schedule(
+                    SimTime::from_nanos(t),
+                    EventKind::Timer {
+                        agent: AgentId(0),
+                        token: i,
+                    },
+                );
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(e) = cal.pop() {
+                assert!(e.at >= last);
+                last = e.at;
+            }
+            black_box(last)
+        })
+    });
+    g.finish();
+}
+
+fn packet(uid: u64) -> Packet {
+    Packet {
+        uid,
+        src: AgentId(0),
+        dest: Dest::Agent(AgentId(1)),
+        size_bytes: 1000,
+        segment: Segment::Raw,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("droptail_enq_deq_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut q = DropTail::new(64);
+            for i in 0..1000u64 {
+                let _ = q.enqueue(packet(i), SimTime::from_nanos(i), &mut rng);
+                if i % 2 == 0 {
+                    black_box(q.dequeue(SimTime::from_nanos(i)));
+                }
+            }
+        })
+    });
+    g.bench_function("red_enq_deq_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut q = Red::new(RedConfig::paper());
+            for i in 0..1000u64 {
+                let _ = q.enqueue(packet(i), SimTime::from_nanos(i * 1000), &mut rng);
+                if i % 2 == 0 {
+                    black_box(q.dequeue(SimTime::from_nanos(i * 1000)));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Raw engine throughput: saturated 2-hop forwarding path, measured in
+/// simulated packets per wall-clock second.
+fn bench_forwarding(c: &mut Criterion) {
+    struct Blaster {
+        dest: Dest,
+        count: u32,
+    }
+    impl netsim::agent::Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(self.dest, 1000, Segment::Raw);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("two_hop_forward_10k_packets", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(1);
+            let a = e.add_node("a");
+            let m = e.add_node("m");
+            let z = e.add_node("z");
+            let q = QueueConfig::DropTail { limit: 20_000 };
+            e.add_link(a, m, 1_000_000_000, SimDuration::from_millis(1), &q);
+            e.add_link(m, z, 1_000_000_000, SimDuration::from_millis(1), &q);
+            let sink = e.add_agent(z, Box::new(Sink::default()));
+            let tx = e.add_agent(
+                a,
+                Box::new(Blaster {
+                    dest: Dest::Agent(sink),
+                    count: 10_000,
+                }),
+            );
+            e.compute_routes();
+            e.start_agent_at(tx, SimTime::ZERO);
+            e.run_until(SimTime::from_secs(10));
+            let s: &Sink = e.agent_as(sink).expect("sink");
+            assert_eq!(s.received, 10_000);
+            black_box(s.received)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_calendar, bench_queues, bench_forwarding);
+criterion_main!(benches);

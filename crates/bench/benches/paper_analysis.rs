@@ -1,0 +1,53 @@
+//! Benchmarks of the analytic artifacts: figure 4's drift field, figure
+//! 5's particle density, the equation (1)/(3) Monte-Carlo processes, and
+//! the theorem bound checks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use analysis::{
+    drift_field, pa_window, proposition_bounds, rla_window_independent, simulate_particle,
+    simulate_rla_window, simulate_tcp_window, FairnessBounds,
+};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_analysis");
+
+    g.bench_function("fig4_drift_field", |b| {
+        b.iter(|| black_box(drift_field(3, 10.0, 16.0, 1.0)))
+    });
+
+    g.bench_function("fig5_particle_100k_steps", |b| {
+        b.iter(|| black_box(simulate_particle(27, 40.0, 100_000, 5, 60)))
+    });
+
+    g.bench_function("eq1_monte_carlo_1m_steps", |b| {
+        b.iter(|| black_box(simulate_tcp_window(0.01, 1_000_000, 10_000, 42)))
+    });
+
+    g.bench_function("eq3_monte_carlo_1m_steps", |b| {
+        b.iter(|| black_box(simulate_rla_window(&[0.02, 0.01], false, 1_000_000, 10_000, 7)))
+    });
+
+    g.bench_function("eq3_closed_forms_27_receivers", |b| {
+        let p = vec![0.02; 27];
+        b.iter(|| black_box(rla_window_independent(&p)))
+    });
+
+    g.bench_function("theorem_bound_checks", |b| {
+        b.iter(|| {
+            let mut ok = true;
+            for n in 1..=27 {
+                let t1 = FairnessBounds::theorem1_red(n);
+                let t2 = FairnessBounds::theorem2_droptail(n);
+                ok &= t1.contains(100.0, 90.0) && t2.contains(100.0, 90.0);
+                ok &= proposition_bounds(0.02, n).lower <= pa_window(0.02);
+            }
+            black_box(ok)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

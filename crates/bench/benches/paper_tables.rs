@@ -1,0 +1,67 @@
+//! One benchmark per simulation table/figure of the paper: scaled-down
+//! (30 simulated seconds) versions of each regenerator, so `cargo bench`
+//! exercises every experiment path and tracks its cost. The full-length
+//! tables come from the `experiments` binaries (`cargo run --release -p
+//! experiments --bin fig7`, etc.).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use experiments::{CongestionCase, GatewayKind, TreeScenario};
+use netsim::time::SimDuration;
+
+fn quick(case: CongestionCase, gateway: GatewayKind, sessions: usize) -> f64 {
+    let mut s = TreeScenario::paper(case, gateway).with_duration(SimDuration::from_secs(30));
+    s.warmup = SimDuration::from_secs(10);
+    s.rla_sessions = sessions;
+    let r = s.run();
+    r.rla[0].throughput_pps
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+
+    // Figure 7 (drop-tail): one representative column per correlation
+    // regime — fully correlated, independent, unbalanced.
+    g.bench_function("fig7_case1_droptail", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Case1RootLink, GatewayKind::DropTail, 1)))
+    });
+    g.bench_function("fig7_case3_droptail", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Case3AllLeaves, GatewayKind::DropTail, 1)))
+    });
+    g.bench_function("fig7_case5_droptail", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Case5OneLevel2, GatewayKind::DropTail, 1)))
+    });
+
+    // Figure 8 shares figure 7's runs; bench the per-branch aggregation
+    // on top of a case-2 run.
+    g.bench_function("fig8_signal_stats_case2", |b| {
+        b.iter(|| {
+            let mut s = TreeScenario::paper(CongestionCase::Case2AllLevel3, GatewayKind::DropTail)
+                .with_duration(SimDuration::from_secs(30));
+            s.warmup = SimDuration::from_secs(10);
+            let r = s.run();
+            black_box(experiments::tables::render_signal_table(std::slice::from_ref(&r)))
+        })
+    });
+
+    // Figure 9 (RED).
+    g.bench_function("fig9_case1_red", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Case1RootLink, GatewayKind::Red, 1)))
+    });
+
+    // Figure 10 (unequal RTTs, generalized RLA).
+    g.bench_function("fig10_level3", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Fig10AllLevel3, GatewayKind::DropTail, 1)))
+    });
+
+    // §5.2 (two overlapping sessions).
+    g.bench_function("sec52_two_sessions", |b| {
+        b.iter(|| black_box(quick(CongestionCase::Case3AllLeaves, GatewayKind::DropTail, 2)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

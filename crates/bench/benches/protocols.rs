@@ -1,0 +1,100 @@
+//! Protocol-level benchmarks: how much wall-clock time one simulated
+//! second of each transport costs (TCP, RLA, and the rate baselines).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use baselines::{Ltrc, LtrcConfig, RateConfig, RateReceiver, RateSender};
+use netsim::prelude::*;
+use rla::{McastReceiver, RlaConfig, RlaSender};
+use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
+
+/// One TCP over a 100 pkt/s bottleneck for `secs` simulated seconds.
+fn tcp_flow(secs: u64) -> u64 {
+    let mut e = Engine::new(1);
+    let a = e.add_node("a");
+    let b = e.add_node("b");
+    e.add_link(
+        a,
+        b,
+        800_000,
+        SimDuration::from_millis(50),
+        &QueueConfig::paper_droptail(),
+    );
+    let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+    let tx = e.add_agent(a, Box::new(TcpSender::new(rx, TcpConfig::default())));
+    e.compute_routes();
+    e.start_agent_at(tx, SimTime::ZERO);
+    e.run_until(SimTime::from_secs(secs));
+    e.agent_as::<TcpReceiver>(rx).expect("rx").stats.delivered
+}
+
+/// A 9-receiver RLA session over congested branches.
+fn rla_session(secs: u64) -> u64 {
+    let mut e = Engine::new(1);
+    let q = QueueConfig::paper_droptail();
+    let root = e.add_node("S");
+    let group = e.new_group();
+    for i in 0..9 {
+        let leaf = e.add_node(format!("R{i}"));
+        e.add_link(root, leaf, 1_600_000, SimDuration::from_millis(40), &q);
+        let rx = e.add_agent(leaf, Box::new(McastReceiver::new(40)));
+        e.set_send_overhead(rx, SimDuration::from_millis(2));
+        e.join_group(group, rx);
+    }
+    let tx = e.add_agent(root, Box::new(RlaSender::new(group, RlaConfig::default())));
+    e.compute_routes();
+    e.build_group_tree(group, root);
+    e.start_agent_at(tx, SimTime::ZERO);
+    e.run_until(SimTime::from_secs(secs));
+    e.agent_as::<RlaSender>(tx).expect("tx").stats.delivered
+}
+
+/// An LTRC rate-controlled session over the same star.
+fn ltrc_session(secs: u64) -> u64 {
+    let mut e = Engine::new(1);
+    let q = QueueConfig::paper_droptail();
+    let root = e.add_node("S");
+    let group = e.new_group();
+    let mut rx0 = None;
+    for i in 0..9 {
+        let leaf = e.add_node(format!("R{i}"));
+        e.add_link(root, leaf, 1_600_000, SimDuration::from_millis(40), &q);
+        let rx = e.add_agent(
+            leaf,
+            Box::new(RateReceiver::new(SimDuration::from_millis(500), 0.25)),
+        );
+        e.join_group(group, rx);
+        rx0.get_or_insert(rx);
+    }
+    let tx = e.add_agent(
+        root,
+        Box::new(RateSender::new(
+            group,
+            RateConfig::default(),
+            Ltrc::new(LtrcConfig::default()),
+        )),
+    );
+    e.compute_routes();
+    e.build_group_tree(group, root);
+    e.start_agent_at(tx, SimTime::ZERO);
+    e.run_until(SimTime::from_secs(secs));
+    e.agent_as::<RateReceiver>(rx0.expect("rx")).expect("rx").stats.received
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols");
+    g.sample_size(10);
+    g.bench_function("tcp_30_sim_seconds", |b| {
+        b.iter(|| black_box(tcp_flow(30)))
+    });
+    g.bench_function("rla_9rcvr_30_sim_seconds", |b| {
+        b.iter(|| black_box(rla_session(30)))
+    });
+    g.bench_function("ltrc_9rcvr_30_sim_seconds", |b| {
+        b.iter(|| black_box(ltrc_session(30)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark suite; see the `benches/` directory.

@@ -1,0 +1,101 @@
+//! Diagnostic probe: periodic dump of RLA sender internals in a scenario.
+//! Not part of the paper's artifact set; kept for development triage.
+
+use experiments::{CongestionCase, GatewayKind, TreeScenario};
+use netsim::time::{SimDuration, SimTime};
+use rla::RlaSender;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let case = match args.get(1).map(|s| s.as_str()) {
+        Some("1") => CongestionCase::Case1RootLink,
+        Some("3") => CongestionCase::Case3AllLeaves,
+        Some("5") => CongestionCase::Case5OneLevel2,
+        _ => CongestionCase::Case3AllLeaves,
+    };
+    let gw = match args.get(2).map(|s| s.as_str()) {
+        Some("red") => GatewayKind::Red,
+        _ => GatewayKind::DropTail,
+    };
+    let scenario = TreeScenario::paper(case, gw).with_duration(SimDuration::from_secs(120));
+    let mut world = scenario.build();
+    let sender = world.rla_senders[0];
+    for step in 1..=24 {
+        world.engine.run_until(SimTime::from_secs(step * 5));
+        let now = world.engine.now();
+        let s: &RlaSender = world.engine.agent_as(sender).unwrap();
+        println!(
+            "t={:>4}s cwnd={:>7.2} awnd={:>7.2} n_troubled={:>2} reach_all={:>7} high_seq={:>7} min_last_ack={:>7} delivered={:>7} signals={:>6} rcuts={:>5} fcuts={:>4} tmo={:>4} skip={:>5} rexmc={:>5} rexuc={:>5}",
+            step * 5,
+            s.cwnd(),
+            s.awnd(),
+            s.num_trouble_rcvr(now),
+            s.max_reach_all(),
+            s.stats.data_sent,
+            s.min_last_ack(),
+            s.stats.delivered,
+            s.stats.cong_signals,
+            s.stats.randomized_cuts,
+            s.stats.forced_cuts,
+            s.stats.timeouts,
+            s.stats.skipped_rare,
+            s.stats.retransmits_multicast,
+            s.stats.retransmits_unicast,
+        );
+    }
+    // Receiver-side view.
+    for (i, &rx) in world.rla_receivers[0].iter().enumerate() {
+        let r: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
+        println!(
+            "rcvr {i}: cum_ack={} arrivals={} delivered={} dups={}",
+            r.cum_ack(),
+            r.stats.arrivals,
+            r.stats.delivered,
+            r.stats.duplicates
+        );
+    }
+    {
+        let s: &RlaSender = world.engine.agent_as(sender).unwrap();
+        println!("unknown_acks={}", s.stats.unknown_acks);
+        for (id, cum, last) in s.receiver_states() {
+            println!("  sender view {id}: cum={cum} last_ack_at={last}");
+        }
+    }
+    {
+        let s: &RlaSender = world.engine.agent_as(sender).unwrap();
+        println!("early_rexmt={} rexmc={} data={}", s.stats.early_retransmits, s.stats.retransmits_multicast, s.stats.data_sent);
+        let mut dups = 0u64; let mut arrivals = 0u64;
+        for &rx in &world.rla_receivers[0] {
+            let r: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
+            dups += r.stats.duplicates; arrivals += r.stats.arrivals;
+        }
+        println!("receiver dups={} arrivals={} dups/rexmc={:.1}", dups, arrivals, dups as f64 / s.stats.retransmits_multicast.max(1) as f64);
+        let mut leaf_drops = 0u64;
+        for &ch in &world.tree.l4_down { leaf_drops += world.engine.world().channel(ch).stats.queue_drops(); }
+        println!("total leaf-channel drops (tcp+rla) = {leaf_drops}");
+    }
+    // Any channel that dropped packets.
+    for i in 0..world.engine.world().channel_count() {
+        let ch = netsim::id::ChannelId::from(i);
+        let c = world.engine.world().channel(ch);
+        if c.stats.queue_drops() > 0 {
+            println!(
+                "{ch:?} {}->{}: offered={} tx={} drops={} maxq={}",
+                c.from,
+                c.to,
+                c.stats.offered,
+                c.stats.transmitted,
+                c.stats.queue_drops(),
+                c.stats.max_qlen
+            );
+        }
+    }
+    let r = world.collect(&scenario);
+    println!(
+        "RLA {:.1} pkt/s | WTCP {:.1} | BTCP {:.1} | avgTCP {:.1}",
+        r.rla[0].throughput_pps,
+        r.worst_tcp().unwrap().throughput_pps,
+        r.best_tcp().unwrap().throughput_pps,
+        r.avg_tcp_throughput()
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 4: the average drift diagram of two competing RLA windows.
+//!
+//! Analytic Markov model of §4.4 with the paper's parameters `n = 3`,
+//! `pipe = 10`: below the pipe both windows drift up the 45° line; above
+//! it the drift turns back toward the fair operating point. Printed as an
+//! ASCII vector field plus the raw values as CSV.
+
+use analysis::particle::drift_field;
+use experiments::plots::render_drift_field;
+
+fn main() {
+    let n = 3;
+    let pipe = 10.0;
+    let w_max = 16.0;
+    let step = 1.0;
+    let field = drift_field(n, pipe, w_max, step);
+
+    println!("Figure 4 — average drift of (cwnd1, cwnd2), n = {n}, pipe = {pipe}");
+    println!("(7 = both grow; L = both shrink; direction of steepest drift per cell)");
+    println!("{}", render_drift_field(&field, w_max, step));
+
+    println!("raw field (CSV): w1,w2,dx,dy");
+    for v in &field {
+        println!("{},{},{:.4},{:.4}", v.w1, v.w2, v.dx, v.dy);
+    }
+
+    // The headline property: drift points toward the fair point.
+    let below = field
+        .iter()
+        .find(|v| v.w1 + v.w2 < pipe)
+        .expect("points below the pipe exist");
+    let above = field
+        .iter()
+        .find(|v| v.w1 > 12.0 && v.w2 > 12.0)
+        .expect("points above the pipe exist");
+    println!("\ncheck: below pipe drift = (+{:.2}, +{:.2})", below.dx, below.dy);
+    println!(
+        "check: far above pipe drift = ({:.2}, {:.2}) (must be negative)",
+        above.dx, above.dy
+    );
+}

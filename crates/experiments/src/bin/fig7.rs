@@ -1,0 +1,37 @@
+//! Figure 7: RLA sharing with TCP through **drop-tail** gateways.
+//!
+//! Five congestion placements on the four-level tertiary tree, soft
+//! bottleneck share normalized to 100 pkt/s. Prints the paper's table:
+//! RLA throughput/cwnd/RTT/signals/cuts plus the worst and best competing
+//! TCP. Honours `RLA_DURATION_SECS` (default 3000 s, the paper's length).
+
+use experiments::tables::render_throughput_table;
+use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+
+fn main() {
+    let duration = run_duration();
+    let scenarios: Vec<TreeScenario> = CongestionCase::FIGURE7_CASES
+        .iter()
+        .map(|&case| {
+            TreeScenario::paper(case, GatewayKind::DropTail)
+                .with_duration(duration)
+                .with_seed(base_seed())
+        })
+        .collect();
+    eprintln!(
+        "figure 7: 5 drop-tail cases, {:.0} s each (RLA_DURATION_SECS to change)...",
+        duration.as_secs_f64()
+    );
+    let results = run_parallel(scenarios);
+    println!(
+        "{}",
+        render_throughput_table(
+            "Figure 7 — simulation results with drop-tail gateways",
+            &results
+        )
+    );
+    println!("paper reference (3000 s runs):");
+    println!("  RLA  thrput: 144.1 / 105.1 /  94.6 / 153.0 / 224.6");
+    println!("  WTCP thrput:  81.8 /  83.0 /  79.2 /  68.2 /  74.5");
+    println!("  BTCP thrput:  89.6 /  87.8 /  80.3 / 170.7 / 570.7");
+}

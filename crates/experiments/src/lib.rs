@@ -1,0 +1,42 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! Scenario builders, metric collection and renderers for every table and
+//! figure in *Achieving Bounded Fairness for Multicast and TCP Traffic in
+//! the Internet* (§5), plus the analytic figures of §4. Each artifact has
+//! a binary (see `src/bin/`):
+//!
+//! | binary          | paper artifact | content |
+//! |-----------------|----------------|---------|
+//! | `fig4`          | figure 4       | drift field of two competing RLA windows |
+//! | `fig5`          | figure 5       | stationary density of `(cwnd₁, cwnd₂)` |
+//! | `fig7`          | figure 7       | drop-tail table, 5 congestion cases |
+//! | `fig8`          | figure 8       | per-branch congestion-signal statistics |
+//! | `fig9`          | figure 9       | RED table, same 5 cases |
+//! | `fig10`         | figure 10      | generalized RLA, unequal RTTs |
+//! | `sec52`         | §5.2           | two overlapping multicast sessions |
+//! | `eq1`           | equation (1)   | PA window vs Monte Carlo |
+//! | `eq3`           | equation (3)   | two-receiver fixed point + Lemma |
+//! | `theorem_check` | Theorems I/II  | measured ratios vs proved bounds |
+//! | `buffer_period` | §3.1           | drop-tail buffer oscillation trace |
+//! | `phase_effect`  | §3.1           | drop pattern with/without random overhead |
+//! | `baseline_cmp`  | §1             | LTRC/MBFC vs RLA fairness to TCP |
+//!
+//! Run lengths follow the paper (3000 s) unless `RLA_DURATION_SECS` says
+//! otherwise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod plots;
+pub mod runner;
+pub mod scenario;
+pub mod star;
+pub mod tables;
+pub mod tree;
+
+pub use metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
+pub use runner::{base_seed, run_duration, run_parallel};
+pub use scenario::{GatewayKind, ScenarioWorld, TreeScenario};
+pub use star::{build_star, BranchSpec, Star};
+pub use tree::{build_tree, CongestionCase, TertiaryTree};

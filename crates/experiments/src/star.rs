@@ -1,0 +1,126 @@
+//! The paper's figure-1 "restricted topology" as a flat star.
+//!
+//! One sender node S and `n` receiver nodes, each reached over an
+//! independent virtual link `L_i` with its own capacity, delay and
+//! (optionally) Bernoulli loss. This is the shape of the §4 analysis —
+//! equal RTTs, per-branch bottlenecks — and the setup of figure 5's full
+//! simulation (footnote 11: every path a delay-bandwidth product of 60).
+
+use netsim::engine::Engine;
+use netsim::fault::FaultInjector;
+use netsim::id::{ChannelId, NodeId};
+use netsim::queue::QueueConfig;
+use netsim::time::SimDuration;
+
+/// One branch of the star.
+#[derive(Debug, Clone)]
+pub struct BranchSpec {
+    /// Link capacity, bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Optional Bernoulli data loss on the downstream direction (the §4
+    /// "independent loss path" model).
+    pub drop_prob: f64,
+}
+
+impl BranchSpec {
+    /// A clean branch.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration) -> Self {
+        BranchSpec {
+            bandwidth_bps,
+            delay,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// The same branch with Bernoulli data loss.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Figure 5's branch: delay-bandwidth product of 60 packets
+    /// (600 pkt/s at 50 ms one-way → RTT 0.1 s).
+    pub fn fig5() -> Self {
+        BranchSpec::new(4_800_000, SimDuration::from_millis(50))
+    }
+}
+
+/// The built star.
+#[derive(Debug)]
+pub struct Star {
+    /// The sender-side hub node.
+    pub root: NodeId,
+    /// Receiver nodes, in branch order.
+    pub leaves: Vec<NodeId>,
+    /// Downstream channels (root → leaf), in branch order.
+    pub down: Vec<ChannelId>,
+    /// Upstream channels (leaf → root), in branch order.
+    pub up: Vec<ChannelId>,
+}
+
+/// Build a star from per-branch specs, with `queue` on every buffer.
+pub fn build_star(engine: &mut Engine, branches: &[BranchSpec], queue: &QueueConfig) -> Star {
+    assert!(!branches.is_empty(), "a star needs at least one branch");
+    let root = engine.add_node("S");
+    let mut leaves = Vec::new();
+    let mut down = Vec::new();
+    let mut up = Vec::new();
+    for (i, b) in branches.iter().enumerate() {
+        let leaf = engine.add_node(format!("R{}", i + 1));
+        let (d, u) = engine.add_link(root, leaf, b.bandwidth_bps, b.delay, queue);
+        if b.drop_prob > 0.0 {
+            engine.set_fault(d, FaultInjector::new(b.drop_prob).data_only());
+        }
+        leaves.push(leaf);
+        down.push(d);
+        up.push(u);
+    }
+    Star {
+        root,
+        leaves,
+        down,
+        up,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let mut e = Engine::new(0);
+        let branches = vec![BranchSpec::fig5(); 27];
+        let s = build_star(&mut e, &branches, &QueueConfig::paper_droptail());
+        assert_eq!(s.leaves.len(), 27);
+        assert_eq!(e.world().channel_count(), 54);
+        e.compute_routes();
+        for &leaf in &s.leaves {
+            assert!(e.world().node(s.root).route_to(leaf).is_some());
+            assert!(e.world().node(leaf).route_to(s.root).is_some());
+        }
+    }
+
+    #[test]
+    fn lossy_branch_gets_fault_injector() {
+        let mut e = Engine::new(0);
+        let branches = vec![
+            BranchSpec::fig5(),
+            BranchSpec::fig5().with_loss(0.05),
+        ];
+        let s = build_star(&mut e, &branches, &QueueConfig::paper_droptail());
+        assert!(e.world().channel(s.down[0]).fault.is_none());
+        assert!(e.world().channel(s.down[1]).fault.is_some());
+    }
+
+    #[test]
+    fn fig5_branch_has_bdp_60() {
+        let b = BranchSpec::fig5();
+        // 600 pkt/s * 0.1 s RTT = 60 packets.
+        let pps = b.bandwidth_bps as f64 / 8000.0;
+        let rtt = 2.0 * b.delay.as_secs_f64();
+        assert!((pps * rtt - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text table rendering in the layout of the paper's figures.
+
+use crate::metrics::{BranchSignalStats, ScenarioResult};
+
+/// Render a figure-7/9-style table from one result per case (columns) —
+/// the RLA block, then the worst-TCP block, then the best-TCP block.
+pub fn render_throughput_table(title: &str, results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let header: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| format!("case {}: {}", i + 1, r.case_label))
+        .collect();
+    out.push_str(&format!("{:<26}", "most congested links"));
+    for h in &header {
+        out.push_str(&format!("{h:>22}"));
+    }
+    out.push('\n');
+
+    let mut row = |label: &str, values: Vec<String>| {
+        out.push_str(&format!("{label:<26}"));
+        for v in values {
+            out.push_str(&format!("{v:>22}"));
+        }
+        out.push('\n');
+    };
+
+    row(
+        "RLA thrput (pkt/sec)",
+        results
+            .iter()
+            .map(|r| format!("{:.1}", r.rla[0].throughput_pps))
+            .collect(),
+    );
+    row(
+        "RLA cwnd",
+        results
+            .iter()
+            .map(|r| format!("{:.1}", r.rla[0].cwnd_avg))
+            .collect(),
+    );
+    row(
+        "RLA RTT (sec)",
+        results
+            .iter()
+            .map(|r| format!("{:.3}", r.rla[0].rtt_avg))
+            .collect(),
+    );
+    row(
+        "RLA # cong signals",
+        results
+            .iter()
+            .map(|r| format!("{}", r.rla[0].cong_signals))
+            .collect(),
+    );
+    row(
+        "RLA # wnd cut",
+        results
+            .iter()
+            .map(|r| format!("{}", r.rla[0].window_cuts))
+            .collect(),
+    );
+    row(
+        "RLA # forced cut",
+        results
+            .iter()
+            .map(|r| format!("{}", r.rla[0].forced_cuts))
+            .collect(),
+    );
+
+    for (label, pick) in [
+        ("WTCP", true),
+        ("BTCP", false),
+    ] {
+        let rows: Vec<&crate::metrics::TcpRow> = results
+            .iter()
+            .map(|r| {
+                if pick {
+                    r.worst_tcp().expect("tcp rows")
+                } else {
+                    r.best_tcp().expect("tcp rows")
+                }
+            })
+            .collect();
+        row(
+            &format!("{label} thrput (pkt/sec)"),
+            rows.iter().map(|t| format!("{:.1}", t.throughput_pps)).collect(),
+        );
+        row(
+            &format!("{label} cwnd"),
+            rows.iter().map(|t| format!("{:.1}", t.cwnd_avg)).collect(),
+        );
+        row(
+            &format!("{label} RTT (sec)"),
+            rows.iter().map(|t| format!("{:.3}", t.rtt_avg)).collect(),
+        );
+        row(
+            &format!("{label} # wnd cut"),
+            rows.iter().map(|t| format!("{}", t.window_cuts)).collect(),
+        );
+    }
+    out
+}
+
+/// Render the figure-8 table: per-branch congestion-signal statistics for
+/// the RLA and the competing TCP flows, split into more/less congested
+/// groups when the case is unbalanced.
+pub fn render_signal_table(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10}{:<18}{:>8}{:>8}{:>10}  |{:>8}{:>8}{:>10}\n",
+        "case", "branches", "RLA wrst", "best", "avg", "TCP wrst", "best", "avg"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        let rla = &r.rla[0];
+        let groups: Vec<(&str, Vec<usize>)> = if r.congested_leaves.is_empty() {
+            vec![("all links", (0..r.tcp.len()).collect())]
+        } else {
+            let less: Vec<usize> = (0..r.tcp.len())
+                .filter(|i| !r.congested_leaves.contains(i))
+                .collect();
+            vec![
+                ("more congested", r.congested_leaves.clone()),
+                ("less congested", less),
+            ]
+        };
+        for (name, idxs) in groups {
+            let rla_counts: Vec<u64> = idxs
+                .iter()
+                .map(|&j| rla.cong_signals_per_receiver[j])
+                .collect();
+            let tcp_counts: Vec<u64> = idxs.iter().map(|&j| r.tcp[j].window_cuts).collect();
+            let rs = BranchSignalStats::from_counts(&rla_counts).expect("branches");
+            let ts = BranchSignalStats::from_counts(&tcp_counts).expect("branches");
+            out.push_str(&format!(
+                "{:<10}{:<18}{:>8}{:>8}{:>10.1}  |{:>8}{:>8}{:>10.1}\n",
+                i + 1,
+                name,
+                rs.worst,
+                rs.best,
+                rs.average,
+                ts.worst,
+                ts.best,
+                ts.average
+            ));
+        }
+    }
+    out
+}
+
+/// Render the figure-10 table (generalized RLA, unequal RTTs).
+pub fn render_fig10_table(results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6}{:<16}{:>10}{:>8}{:>8}{:>10}{:>8}{:>8} |{:>10}{:>8}{:>8}{:>8} |{:>10}{:>8}{:>8}{:>8}\n",
+        "case", "links", "RLAthr", "cwnd", "RTT", "#cong", "#cut", "#forc", "WTCPthr", "cwnd",
+        "RTT", "#cut", "BTCPthr", "cwnd", "RTT", "#cut"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        let a = &r.rla[0];
+        let w = r.worst_tcp().expect("tcp rows");
+        let b = r.best_tcp().expect("tcp rows");
+        out.push_str(&format!(
+            "{:<6}{:<16}{:>10.1}{:>8.1}{:>8.3}{:>10}{:>8}{:>8} |{:>10.1}{:>8.1}{:>8.3}{:>8} |{:>10.1}{:>8.1}{:>8.3}{:>8}\n",
+            i + 1,
+            r.case_label,
+            a.throughput_pps,
+            a.cwnd_avg,
+            a.rtt_avg,
+            a.cong_signals,
+            a.window_cuts,
+            a.forced_cuts,
+            w.throughput_pps,
+            w.cwnd_avg,
+            w.rtt_avg,
+            w.window_cuts,
+            b.throughput_pps,
+            b.cwnd_avg,
+            b.rtt_avg,
+            b.window_cuts
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{RlaRow, TcpRow};
+    use crate::scenario::GatewayKind;
+
+    fn fake_result() -> ScenarioResult {
+        ScenarioResult {
+            case_label: "L1".into(),
+            gateway: GatewayKind::DropTail,
+            congested_leaves: vec![],
+            measured_secs: 2900.0,
+            rla: vec![RlaRow {
+                throughput_pps: 144.1,
+                cwnd_avg: 33.9,
+                rtt_avg: 0.234,
+                cong_signals: 23247,
+                cong_signals_per_receiver: vec![861; 27],
+                window_cuts: 840,
+                forced_cuts: 0,
+                timeouts: 0,
+                retransmits: 100,
+            }],
+            tcp: (0..27)
+                .map(|i| TcpRow {
+                    receiver_index: i,
+                    throughput_pps: 80.0 + i as f64,
+                    cwnd_avg: 20.0,
+                    rtt_avg: 0.233,
+                    window_cuts: 850,
+                    timeouts: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn throughput_table_contains_all_blocks() {
+        let t = render_throughput_table("figure 7", &[fake_result()]);
+        assert!(t.contains("RLA thrput"));
+        assert!(t.contains("144.1"));
+        assert!(t.contains("WTCP thrput"));
+        assert!(t.contains("80.0"));
+        assert!(t.contains("BTCP thrput"));
+        assert!(t.contains("106.0"));
+    }
+
+    #[test]
+    fn signal_table_groups_branches() {
+        let mut r = fake_result();
+        r.congested_leaves = vec![0, 1, 2];
+        let t = render_signal_table(&[r]);
+        assert!(t.contains("more congested"));
+        assert!(t.contains("less congested"));
+    }
+
+    #[test]
+    fn fig10_table_renders() {
+        let t = render_fig10_table(&[fake_result()]);
+        assert!(t.contains("144.1"));
+        assert!(t.contains("WTCP"));
+    }
+}

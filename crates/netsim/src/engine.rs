@@ -1,0 +1,927 @@
+//! The simulation engine: world state, event dispatch, agent context.
+//!
+//! Ownership layout: the [`Engine`] owns a [`World`] (nodes, channels,
+//! calendar, RNG) and, in a *separate field*, the boxed [`Agent`]s. Agent
+//! callbacks receive a [`Context`] borrowing only the world, so an agent
+//! can schedule sends and timers while the engine still holds `&mut` to the
+//! agent itself — no `RefCell`, no unsafe.
+//!
+//! Determinism: a single seeded RNG, integer time, and FIFO tie-breaking in
+//! the calendar make runs bit-reproducible for a given seed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::agent::Agent;
+use crate::event::{Calendar, EventKind};
+use crate::fault::FaultInjector;
+use crate::id::{AgentId, ChannelId, GroupId, NodeId};
+use crate::link::Channel;
+use crate::node::{Group, Node};
+use crate::packet::{Dest, Packet};
+use crate::queue::{Enqueue, QueueConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
+use crate::wire::Segment;
+
+/// Per-agent engine-side metadata.
+#[derive(Debug)]
+struct AgentMeta {
+    /// The node the agent is attached to.
+    node: NodeId,
+    /// Maximum of the uniform random per-packet processing delay added at
+    /// send time (the paper's phase-effect eliminator, §3.1). Zero disables
+    /// it.
+    send_overhead: SimDuration,
+    /// Injection time of this agent's most recent packet. Random overhead
+    /// must not reorder an agent's own packets (host processing is a
+    /// queue, not a scatter), so later sends enter the network no earlier
+    /// than this.
+    last_injection: SimTime,
+}
+
+/// Everything in the simulated world except the agents' protocol state.
+pub struct World {
+    now: SimTime,
+    calendar: Calendar,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+    groups: Vec<Group>,
+    agent_meta: Vec<AgentMeta>,
+    next_uid: u64,
+    tracer: Option<Rc<RefCell<dyn Tracer>>>,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            calendar: Calendar::new(),
+            rng: StdRng::seed_from_u64(seed),
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            groups: Vec::new(),
+            agent_meta: Vec::new(),
+            next_uid: 0,
+            tracer: None,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable channel access.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Mutable channel access (configure faults, inspect queues).
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut Channel {
+        &mut self.channels[id.index()]
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The node an agent is attached to.
+    pub fn agent_node(&self, agent: AgentId) -> NodeId {
+        self.agent_meta[agent.index()].node
+    }
+
+    /// The members of a group.
+    pub fn group_members(&self, group: GroupId) -> &[AgentId] {
+        &self.groups[group.index()].members
+    }
+
+    /// The simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn alloc_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    fn trace(&self, event: &TraceEvent<'_>) {
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().trace(self.now, event);
+        }
+    }
+
+    /// Inject `packet` at `channel`: fault-check, then transmit immediately
+    /// if the transmitter is idle, otherwise enqueue.
+    fn offer(&mut self, channel: ChannelId, packet: Packet) {
+        let now = self.now;
+        let is_data = packet.segment.is_data();
+        let ch = &mut self.channels[channel.index()];
+        ch.stats.offered += 1;
+
+        if let Some(fault) = ch.fault.as_mut() {
+            if fault.should_drop(is_data, &mut self.rng) {
+                ch.stats.record_drop(crate::queue::DropReason::Fault);
+                let qlen = ch.queue.len();
+                self.trace(&TraceEvent::Drop {
+                    channel,
+                    packet: &packet,
+                    reason: crate::queue::DropReason::Fault,
+                    qlen,
+                });
+                return;
+            }
+        }
+
+        let ch = &mut self.channels[channel.index()];
+        if !ch.busy {
+            debug_assert!(ch.queue.is_empty(), "idle transmitter with queued packets");
+            ch.stats.accepted += 1;
+            self.start_tx(channel, packet);
+        } else {
+            // Keep a copy for the trace when a tracer is installed; the
+            // queue takes ownership on acceptance.
+            let snapshot = self.tracer.as_ref().map(|_| packet.clone());
+            match ch.queue.enqueue(packet, now, &mut self.rng) {
+                Enqueue::Accepted => {
+                    ch.stats.accepted += 1;
+                    let qlen = ch.queue.len();
+                    ch.stats.record_qlen(now, qlen);
+                    if let Some(p) = &snapshot {
+                        self.trace(&TraceEvent::Enqueue {
+                            channel,
+                            packet: p,
+                            qlen,
+                        });
+                    }
+                }
+                Enqueue::Dropped(packet, reason) => {
+                    ch.stats.record_drop(reason);
+                    let qlen = ch.queue.len();
+                    self.trace(&TraceEvent::Drop {
+                        channel,
+                        packet: &packet,
+                        reason,
+                        qlen,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Begin transmitting `packet` on `channel`.
+    fn start_tx(&mut self, channel: ChannelId, packet: Packet) {
+        let now = self.now;
+        let ch = &mut self.channels[channel.index()];
+        debug_assert!(!ch.busy, "transmitter already busy");
+        ch.busy = true;
+        let service = ch.service_time(packet.size_bytes);
+        ch.stats.record_busy(service);
+        let qlen = ch.queue.len();
+        self.trace(&TraceEvent::TxStart {
+            channel,
+            packet: &packet,
+            qlen,
+        });
+        self.calendar
+            .schedule(now + service, EventKind::TxComplete { channel, packet });
+    }
+
+    /// The transmitter on `channel` finished serializing `packet`.
+    fn complete_tx(&mut self, channel: ChannelId, packet: Packet) {
+        let now = self.now;
+        let ch = &mut self.channels[channel.index()];
+        ch.stats.transmitted += 1;
+        ch.stats.bytes_transmitted += packet.size_bytes as u64;
+        let to = ch.to;
+        let delay = ch.prop_delay;
+        self.calendar
+            .schedule(now + delay, EventKind::Arrive { node: to, packet });
+
+        // Pull the next packet out of the buffer, if any.
+        let ch = &mut self.channels[channel.index()];
+        ch.busy = false;
+        if let Some(next) = ch.queue.dequeue(now) {
+            let qlen = ch.queue.len();
+            ch.stats.record_qlen(now, qlen);
+            self.start_tx(channel, next);
+        }
+    }
+}
+
+/// The handle an agent uses to act on the world from inside a callback.
+pub struct Context<'w> {
+    world: &'w mut World,
+    /// The agent being called.
+    pub agent: AgentId,
+}
+
+impl<'w> Context<'w> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The simulation RNG (the *only* randomness source agents may use).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
+    /// Send a packet. It enters the network at this agent's node, after the
+    /// agent's configured random processing overhead (if any). Returns the
+    /// packet uid.
+    pub fn send(&mut self, dest: Dest, size_bytes: u32, segment: Segment) -> u64 {
+        let uid = self.world.alloc_uid();
+        let meta = &self.world.agent_meta[self.agent.index()];
+        let node = meta.node;
+        let overhead = meta.send_overhead;
+        let delay = if overhead.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.world.rng.gen_range(0..=overhead.as_nanos()))
+        };
+        // Order-preserving jitter: never inject before a previously sent
+        // packet of the same agent.
+        let at = (self.world.now + delay).max(meta.last_injection);
+        self.world.agent_meta[self.agent.index()].last_injection = at;
+        let packet = Packet {
+            uid,
+            src: self.agent,
+            dest,
+            size_bytes,
+            segment,
+            sent_at: self.world.now,
+        };
+        self.world
+            .calendar
+            .schedule(at, EventKind::Arrive { node, packet });
+        uid
+    }
+
+    /// Arm a timer to fire after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.world.now + delay;
+        self.world.calendar.schedule(
+            at,
+            EventKind::Timer {
+                agent: self.agent,
+                token,
+            },
+        );
+    }
+
+    /// Arm a timer at an absolute instant.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        debug_assert!(at >= self.world.now, "timer set in the past");
+        self.world.calendar.schedule(
+            at.max(self.world.now),
+            EventKind::Timer {
+                agent: self.agent,
+                token,
+            },
+        );
+    }
+
+    /// Number of members in a multicast group (the RLA sender sizes its
+    /// receiver set with this at startup).
+    pub fn group_size(&self, group: GroupId) -> usize {
+        self.world.groups[group.index()].members.len()
+    }
+
+    /// The members of a multicast group.
+    pub fn group_members(&self, group: GroupId) -> &[AgentId] {
+        self.world.group_members(group)
+    }
+}
+
+/// The simulator: a world plus the transport agents living in it.
+pub struct Engine {
+    world: World,
+    agents: Vec<Box<dyn Agent>>,
+}
+
+impl Engine {
+    /// A fresh, empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            world: World::new(seed),
+            agents: Vec::new(),
+        }
+    }
+
+    /// Read-only world access.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access (topology construction, fault configuration).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Install a tracer. The caller keeps its own `Rc` handle to read the
+    /// trace back after the run.
+    pub fn set_tracer(&mut self, tracer: Rc<RefCell<dyn Tracer>>) {
+        self.world.tracer = Some(tracer);
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId::from(self.world.nodes.len());
+        self.world.nodes.push(Node::new(id, name));
+        id
+    }
+
+    /// Add a full-duplex link between `a` and `b`: two independent
+    /// channels, each with its own buffer built from `queue_cfg`. Returns
+    /// `(a→b, b→a)`.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        queue_cfg: &QueueConfig,
+    ) -> (ChannelId, ChannelId) {
+        let ab = self.add_channel(a, b, bandwidth_bps, prop_delay, queue_cfg);
+        let ba = self.add_channel(b, a, bandwidth_bps, prop_delay, queue_cfg);
+        (ab, ba)
+    }
+
+    /// Add a single directed channel (for asymmetric links).
+    pub fn add_channel(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        queue_cfg: &QueueConfig,
+    ) -> ChannelId {
+        assert!(from != to, "self-loop channels are not allowed");
+        let id = ChannelId::from(self.world.channels.len());
+        self.world
+            .channels
+            .push(Channel::new(id, from, to, bandwidth_bps, prop_delay, queue_cfg));
+        self.world.nodes[from.index()].out_channels.push(id);
+        id
+    }
+
+    /// Attach a fault injector to a channel.
+    pub fn set_fault(&mut self, channel: ChannelId, fault: FaultInjector) {
+        self.world.channels[channel.index()].fault = Some(fault);
+    }
+
+    /// Attach an agent to `node`. The agent does nothing until
+    /// [`Engine::start_agent_at`] schedules its start event.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        assert!(node.index() < self.world.nodes.len(), "unknown node");
+        let id = AgentId::from(self.agents.len());
+        self.agents.push(agent);
+        self.world.agent_meta.push(AgentMeta {
+            node,
+            send_overhead: SimDuration::ZERO,
+            last_injection: SimTime::ZERO,
+        });
+        id
+    }
+
+    /// Configure the agent's uniform random per-packet send overhead
+    /// (phase-effect elimination; see §3.1 of the paper). `max` should be
+    /// the bottleneck service time of the agent's data packets.
+    pub fn set_send_overhead(&mut self, agent: AgentId, max: SimDuration) {
+        self.world.agent_meta[agent.index()].send_overhead = max;
+    }
+
+    /// Create a multicast group.
+    pub fn new_group(&mut self) -> GroupId {
+        let id = GroupId::from(self.world.groups.len());
+        self.world.groups.push(Group::default());
+        id
+    }
+
+    /// Add `agent` to `group`'s receiver set.
+    pub fn join_group(&mut self, group: GroupId, agent: AgentId) {
+        let g = &mut self.world.groups[group.index()];
+        if !g.members.contains(&agent) {
+            g.members.push(agent);
+        }
+    }
+
+    /// Compute all-pairs unicast next-hop routes with BFS (all links are
+    /// one hop). Call after the topology is final and before running.
+    pub fn compute_routes(&mut self) {
+        let n = self.world.nodes.len();
+        // Adjacency: (neighbor, channel) per node.
+        let adj: Vec<Vec<(NodeId, ChannelId)>> = self
+            .world
+            .nodes
+            .iter()
+            .map(|node| {
+                node.out_channels
+                    .iter()
+                    .map(|&ch| (self.world.channels[ch.index()].to, ch))
+                    .collect()
+            })
+            .collect();
+
+        for src in 0..n {
+            let mut first_hop: Vec<Option<ChannelId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            visited[src] = true;
+            // Seed the BFS with src's direct neighbours, remembering which
+            // channel reached them; descendants inherit that first hop.
+            for &(nb, ch) in &adj[src] {
+                if !visited[nb.index()] {
+                    visited[nb.index()] = true;
+                    first_hop[nb.index()] = Some(ch);
+                    queue.push_back(nb);
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                let via = first_hop[u.index()];
+                for &(nb, _) in &adj[u.index()] {
+                    if !visited[nb.index()] {
+                        visited[nb.index()] = true;
+                        first_hop[nb.index()] = via;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            self.world.nodes[src].routes = first_hop;
+        }
+    }
+
+    /// Build the source-based distribution tree for `group`, rooted at the
+    /// node of `root_agent`. Requires routes (call [`Engine::compute_routes`]
+    /// first) and the full member list.
+    pub fn build_group_tree(&mut self, group: GroupId, root: NodeId) {
+        let n = self.world.nodes.len();
+        let members = self.world.groups[group.index()].members.clone();
+        let mut forward: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut members_at: Vec<Vec<AgentId>> = vec![Vec::new(); n];
+
+        for &member in &members {
+            let target = self.world.agent_meta[member.index()].node;
+            members_at[target.index()].push(member);
+            let mut cur = root;
+            let mut hops = 0;
+            while cur != target {
+                let ch = self.world.nodes[cur.index()]
+                    .route_to(target)
+                    .unwrap_or_else(|| {
+                        panic!("group member at {target} unreachable from tree root {root}")
+                    });
+                if !forward[cur.index()].contains(&ch) {
+                    forward[cur.index()].push(ch);
+                }
+                cur = self.world.channels[ch.index()].to;
+                hops += 1;
+                assert!(hops <= n, "routing loop while building multicast tree");
+            }
+        }
+
+        let g = &mut self.world.groups[group.index()];
+        g.root = Some(root);
+        g.forward = forward;
+        g.members_at = members_at;
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Schedule `agent`'s `on_start` at time `at`.
+    pub fn start_agent_at(&mut self, agent: AgentId, at: SimTime) {
+        self.world
+            .calendar
+            .schedule(at, EventKind::Start { agent });
+    }
+
+    /// Run until the calendar is exhausted or `deadline` is reached; the
+    /// clock ends at exactly `deadline` if the calendar outlives it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.world.calendar.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let event = self.world.calendar.pop().expect("peeked event vanished");
+            debug_assert!(event.at >= self.world.now, "time ran backwards");
+            self.world.now = event.at;
+            self.dispatch(event.kind);
+        }
+        if deadline > self.world.now {
+            self.world.now = deadline;
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.world.now + d;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TxComplete { channel, packet } => self.world.complete_tx(channel, packet),
+            EventKind::Arrive { node, packet } => self.arrive(node, packet),
+            EventKind::Timer { agent, token } => {
+                let mut ctx = Context {
+                    world: &mut self.world,
+                    agent,
+                };
+                self.agents[agent.index()].on_timer(token, &mut ctx);
+            }
+            EventKind::Start { agent } => {
+                let mut ctx = Context {
+                    world: &mut self.world,
+                    agent,
+                };
+                self.agents[agent.index()].on_start(&mut ctx);
+            }
+        }
+    }
+
+    fn arrive(&mut self, node: NodeId, packet: Packet) {
+        self.world.trace(&TraceEvent::Arrive {
+            node,
+            packet: &packet,
+        });
+        match packet.dest {
+            Dest::Agent(agent) => {
+                let target_node = self.world.agent_meta[agent.index()].node;
+                if target_node == node {
+                    self.deliver(agent, packet);
+                } else {
+                    let ch = self.world.nodes[node.index()]
+                        .route_to(target_node)
+                        .unwrap_or_else(|| {
+                            panic!("no route from {node} toward {target_node} for {agent}")
+                        });
+                    self.world.offer(ch, packet);
+                }
+            }
+            Dest::Group(group) => {
+                let g = &self.world.groups[group.index()];
+                debug_assert!(
+                    g.root.is_some(),
+                    "group packet before build_group_tree was called"
+                );
+                let forwards: Vec<ChannelId> = g
+                    .forward
+                    .get(node.index())
+                    .map(|v| v.clone())
+                    .unwrap_or_default();
+                let locals: Vec<AgentId> = g
+                    .members_at
+                    .get(node.index())
+                    .map(|v| v.clone())
+                    .unwrap_or_default();
+                for ch in forwards {
+                    self.world.offer(ch, packet.clone());
+                }
+                for agent in locals {
+                    self.deliver(agent, packet.clone());
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, agent: AgentId, packet: Packet) {
+        self.world.trace(&TraceEvent::Deliver {
+            agent,
+            packet: &packet,
+        });
+        let mut ctx = Context {
+            world: &mut self.world,
+            agent,
+        };
+        self.agents[agent.index()].on_packet(packet, &mut ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Downcast an agent to its concrete type for post-run inspection.
+    pub fn agent_as<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents[id.index()].as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast.
+    pub fn agent_as_mut<T: 'static>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.agents[id.index()].as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Sink;
+    use crate::queue::QueueConfig;
+
+    /// An agent that fires `count` fixed-size packets at a destination as
+    /// fast as the engine lets it (all injected at start).
+    struct Blaster {
+        dest: Dest,
+        count: u32,
+        size: u32,
+    }
+
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(self.dest, self.size, Segment::Raw);
+            }
+        }
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_node_world(qcfg: &QueueConfig) -> (Engine, AgentId, AgentId, ChannelId) {
+        let mut e = Engine::new(1);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        let (ab, _) = e.add_link(a, b, 8_000_000, SimDuration::from_millis(10), qcfg);
+        let sink = e.add_agent(b, Box::new(Sink::default()));
+        let blaster = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink),
+                count: 5,
+                size: 1000,
+            }),
+        );
+        e.compute_routes();
+        (e, blaster, sink, ab)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let (mut e, blaster, sink, ab) = two_node_world(&QueueConfig::paper_droptail());
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 5);
+        assert_eq!(s.bytes, 5000);
+        assert_eq!(e.world().channel(ab).stats.transmitted, 5);
+    }
+
+    #[test]
+    fn serialization_and_propagation_delays_add_up() {
+        // 1000 B at 8 Mbps = 1 ms serialization; 10 ms propagation.
+        // 5 back-to-back packets: the last arrives at 5*1ms + 10ms = 15 ms.
+        let (mut e, blaster, sink, _) = two_node_world(&QueueConfig::paper_droptail());
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_millis(14));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 4, "only four packets can have arrived by 14ms");
+        e.run_until(SimTime::from_millis(15));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 5);
+    }
+
+    #[test]
+    fn droptail_overflow_loses_excess() {
+        let mut e = Engine::new(1);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        let (ab, _) = e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(1),
+            &QueueConfig::DropTail { limit: 3 },
+        );
+        let sink = e.add_agent(b, Box::new(Sink::default()));
+        let blaster = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink),
+                count: 10,
+                size: 1000,
+            }),
+        );
+        e.compute_routes();
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        // 10 injected simultaneously: 1 in service + 3 buffered survive.
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 4);
+        assert_eq!(e.world().channel(ab).stats.overflow_drops, 6);
+    }
+
+    #[test]
+    fn multihop_routing_works() {
+        let mut e = Engine::new(1);
+        let a = e.add_node("a");
+        let m = e.add_node("m");
+        let b = e.add_node("b");
+        e.add_link(a, m, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        e.add_link(m, b, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        let sink = e.add_agent(b, Box::new(Sink::default()));
+        let blaster = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink),
+                count: 3,
+                size: 500,
+            }),
+        );
+        e.compute_routes();
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 3);
+    }
+
+    #[test]
+    fn multicast_replicates_to_all_members() {
+        // Star: root -> g -> {l1, l2, l3}; one packet must reach all three.
+        let mut e = Engine::new(1);
+        let root = e.add_node("root");
+        let g = e.add_node("g");
+        let leaves: Vec<NodeId> = (0..3).map(|i| e.add_node(format!("l{i}"))).collect();
+        e.add_link(root, g, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        for &l in &leaves {
+            e.add_link(g, l, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        }
+        let group = e.new_group();
+        let sinks: Vec<AgentId> = leaves
+            .iter()
+            .map(|&l| {
+                let s = e.add_agent(l, Box::new(Sink::default()));
+                e.join_group(group, s);
+                s
+            })
+            .collect();
+        let blaster = e.add_agent(
+            root,
+            Box::new(Blaster {
+                dest: Dest::Group(group),
+                count: 7,
+                size: 1000,
+            }),
+        );
+        e.compute_routes();
+        e.build_group_tree(group, root);
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        for &s in &sinks {
+            let sink: &Sink = e.agent_as(s).unwrap();
+            assert_eq!(sink.received, 7);
+        }
+        // The root->g hop carries each packet exactly once (replication
+        // happens at the branch point g, not at the source).
+        let root_out = e.world().node(root).out_channels[0];
+        assert_eq!(e.world().channel(root_out).stats.transmitted, 7);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_world() {
+        let run = |seed: u64| {
+            let (mut e, blaster, sink, ab) = two_node_world(&QueueConfig::paper_red());
+            let _ = seed;
+            e.start_agent_at(blaster, SimTime::ZERO);
+            e.run_until(SimTime::from_secs(2));
+            let s: &Sink = e.agent_as(sink).unwrap();
+            (s.received, e.world().channel(ab).stats.transmitted)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerAgent {
+            fired: Vec<u64>,
+        }
+        impl Agent for TimerAgent {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+            }
+            fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_>) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut e = Engine::new(1);
+        let n = e.add_node("n");
+        let a = e.add_agent(n, Box::new(TimerAgent { fired: vec![] }));
+        e.start_agent_at(a, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let ta: &TimerAgent = e.agent_as(a).unwrap();
+        assert_eq!(ta.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_overhead_never_reorders_an_agents_packets() {
+        // Random processing overhead models a host's (serialized) protocol
+        // stack: it delays packets but must not permute them, or receivers
+        // would see phantom SACK holes.
+        struct OrderedSink {
+            uids: Vec<u64>,
+        }
+        impl Agent for OrderedSink {
+            fn on_packet(&mut self, packet: Packet, _ctx: &mut Context<'_>) {
+                self.uids.push(packet.uid);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut e = Engine::new(99);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            b,
+            1_000_000_000, // fast link: ordering is decided at injection
+            SimDuration::from_millis(1),
+            &QueueConfig::DropTail { limit: 10_000 },
+        );
+        let sink = e.add_agent(b, Box::new(OrderedSink { uids: vec![] }));
+        let blaster = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink),
+                count: 500,
+                size: 100,
+            }),
+        );
+        e.compute_routes();
+        e.set_send_overhead(blaster, SimDuration::from_millis(5));
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(10));
+        let s: &OrderedSink = e.agent_as(sink).unwrap();
+        assert_eq!(s.uids.len(), 500);
+        let mut sorted = s.uids.clone();
+        sorted.sort_unstable();
+        assert_eq!(s.uids, sorted, "jitter reordered the agent's packets");
+    }
+
+    #[test]
+    fn fault_injection_drops_everything() {
+        let (mut e, blaster, sink, ab) = two_node_world(&QueueConfig::paper_droptail());
+        e.set_fault(ab, FaultInjector::new(1.0));
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 0);
+        assert_eq!(e.world().channel(ab).stats.fault_drops, 5);
+    }
+
+    #[test]
+    fn clock_lands_exactly_on_deadline() {
+        let (mut e, blaster, _, _) = two_node_world(&QueueConfig::paper_droptail());
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(42));
+        assert_eq!(e.now(), SimTime::from_secs(42));
+    }
+}

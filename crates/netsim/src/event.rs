@@ -1,0 +1,170 @@
+//! The event calendar: a deterministic priority queue of future events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::{AgentId, ChannelId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A channel finished serializing the packet it was transmitting.
+    TxComplete {
+        /// The transmitting channel.
+        channel: ChannelId,
+        /// The packet that just left the transmitter.
+        packet: Packet,
+    },
+    /// A packet arrives at a node (after propagation, or injected locally
+    /// by an agent on that node).
+    Arrive {
+        /// The node the packet arrives at.
+        node: NodeId,
+        /// The arriving packet.
+        packet: Packet,
+    },
+    /// An agent timer expires.
+    Timer {
+        /// The agent whose timer fires.
+        agent: AgentId,
+        /// Opaque token the agent registered; stale timers are the agent's
+        /// responsibility to ignore.
+        token: u64,
+    },
+    /// An agent's `on_start` hook.
+    Start {
+        /// The agent to start.
+        agent: AgentId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number breaking ties deterministically: events
+    /// scheduled first fire first within the same instant.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The future event list.
+#[derive(Debug, Default)]
+pub struct Calendar {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Remove and return the next event in (time, insertion) order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(agent: u32, token: u64) -> EventKind {
+        EventKind::Timer {
+            agent: AgentId(agent),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), timer(0, 3));
+        cal.schedule(SimTime::from_secs(1), timer(0, 1));
+        cal.schedule(SimTime::from_secs(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(1);
+        for token in 0..100 {
+            cal.schedule(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(SimTime::from_secs(5), timer(0, 0));
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(cal.len(), 1);
+        let e = cal.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_secs(5));
+        assert!(cal.pop().is_none());
+    }
+}

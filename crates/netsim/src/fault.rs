@@ -1,0 +1,120 @@
+//! Channel-level fault injection.
+//!
+//! Two uses:
+//! * testing transport robustness under adverse conditions (the smoltcp
+//!   example-suite idiom), and
+//! * constructing the paper's *analytic* loss models directly — figure 2's
+//!   "independent loss paths" and "common loss path" cases are Bernoulli
+//!   losses on chosen channels, with no queueing involved.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Random packet discard on a channel, applied before the queue.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability that any given packet is discarded.
+    pub drop_prob: f64,
+    /// When `true`, only data-bearing segments are dropped (feedback is
+    /// spared). The analytic scenarios use this so that ACK loss does not
+    /// contaminate the congestion-probability bookkeeping.
+    pub data_only: bool,
+    drops: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Drop every packet independently with probability `drop_prob`.
+    pub fn new(drop_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1]"
+        );
+        FaultInjector {
+            drop_prob,
+            data_only: false,
+            drops: 0,
+            passed: 0,
+        }
+    }
+
+    /// Restrict drops to data segments.
+    pub fn data_only(mut self) -> Self {
+        self.data_only = true;
+        self
+    }
+
+    /// Decide the fate of a packet carrying `is_data` payload.
+    pub fn should_drop(&mut self, is_data: bool, rng: &mut StdRng) -> bool {
+        if self.data_only && !is_data {
+            self.passed += 1;
+            return false;
+        }
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            self.drops += 1;
+            true
+        } else {
+            self.passed += 1;
+            false
+        }
+    }
+
+    /// (dropped, passed) counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.drops, self.passed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut f = FaultInjector::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(!f.should_drop(true, &mut rng));
+        }
+        assert_eq!(f.counts(), (0, 1000));
+    }
+
+    #[test]
+    fn one_probability_always_drops() {
+        let mut f = FaultInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(f.should_drop(true, &mut rng));
+        }
+        assert_eq!(f.counts(), (100, 0));
+    }
+
+    #[test]
+    fn rate_is_statistically_close() {
+        let mut f = FaultInjector::new(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut drops = 0;
+        for _ in 0..20_000 {
+            if f.should_drop(true, &mut rng) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn data_only_spares_feedback() {
+        let mut f = FaultInjector::new(1.0).data_only();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(f.should_drop(true, &mut rng));
+        assert!(!f.should_drop(false, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        FaultInjector::new(1.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed identifiers for simulator entities.
+//!
+//! All entities live in index-based arenas owned by the engine; these
+//! newtypes prevent mixing one arena's indices with another's.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The arena index this id refers to.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A node: a host or a gateway.
+    NodeId,
+    "n"
+);
+define_id!(
+    /// A directed channel (one direction of a full-duplex link).
+    ChannelId,
+    "ch"
+);
+define_id!(
+    /// A transport endpoint attached to a node.
+    AgentId,
+    "a"
+);
+define_id!(
+    /// A multicast group.
+    GroupId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let n = NodeId::from(7usize);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+        assert_eq!(format!("{:?}", ChannelId(3)), "ch3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(AgentId(1) < AgentId(2));
+        assert_eq!(GroupId(5), GroupId(5));
+    }
+}

@@ -1,0 +1,97 @@
+//! Directed channels: one direction of a full-duplex link.
+//!
+//! A full-duplex link between two nodes is modelled as two independent
+//! [`Channel`]s, each with its own transmitter and buffer, so that reverse
+//! ACK traffic is simulated through real queues rather than assumed free.
+
+use crate::fault::FaultInjector;
+use crate::id::{ChannelId, NodeId};
+use crate::queue::{QueueConfig, QueueDiscipline};
+use crate::stats::ChannelStats;
+use crate::time::SimDuration;
+
+/// A unidirectional transmission channel with a finite buffer.
+#[derive(Debug)]
+pub struct Channel {
+    /// This channel's id.
+    pub id: ChannelId,
+    /// Upstream endpoint (packets enter here).
+    pub from: NodeId,
+    /// Downstream endpoint (packets arrive here after transmission and
+    /// propagation).
+    pub to: NodeId,
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// The output buffer discipline (drop-tail or RED).
+    pub queue: Box<dyn QueueDiscipline>,
+    /// `true` while the transmitter is serializing a packet.
+    pub busy: bool,
+    /// Optional random packet discard.
+    pub fault: Option<FaultInjector>,
+    /// Collected statistics.
+    pub stats: ChannelStats,
+}
+
+impl Channel {
+    /// Build a channel from `from` to `to`.
+    pub fn new(
+        id: ChannelId,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        queue_cfg: &QueueConfig,
+    ) -> Self {
+        assert!(bandwidth_bps > 0, "channel bandwidth must be positive");
+        Channel {
+            id,
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            queue: queue_cfg.build(),
+            busy: false,
+            fault: None,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Service time of one `size_bytes` packet on this channel.
+    pub fn service_time(&self, size_bytes: u32) -> SimDuration {
+        SimDuration::from_nanos(crate::packet::tx_nanos(size_bytes, self.bandwidth_bps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_matches_bandwidth() {
+        let ch = Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            800_000, // 100 kB/s
+            SimDuration::from_millis(5),
+            &QueueConfig::paper_droptail(),
+        );
+        // 1000 B = 8000 bits at 800 kbps -> 10 ms.
+        assert_eq!(ch.service_time(1000), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            0,
+            SimDuration::ZERO,
+            &QueueConfig::paper_droptail(),
+        );
+    }
+}

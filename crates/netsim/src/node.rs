@@ -1,0 +1,63 @@
+//! Nodes: hosts and gateways, with unicast routing tables.
+
+use crate::id::{ChannelId, NodeId};
+
+/// A network node. Gateways forward; hosts additionally terminate agents
+/// (the distinction is informational — any node may do both).
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Human-readable label (e.g. `"G21"`, `"R14"` in the paper's tree).
+    pub name: String,
+    /// Outgoing channels attached to this node.
+    pub out_channels: Vec<ChannelId>,
+    /// Unicast next-hop table, indexed by destination node: the outgoing
+    /// channel to use. `None` for unreachable destinations (and self).
+    pub routes: Vec<Option<ChannelId>>,
+}
+
+impl Node {
+    /// A new node with empty routing state.
+    pub fn new(id: NodeId, name: impl Into<String>) -> Self {
+        Node {
+            id,
+            name: name.into(),
+            out_channels: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// The next-hop channel toward `dst`, if any.
+    pub fn route_to(&self, dst: NodeId) -> Option<ChannelId> {
+        self.routes.get(dst.index()).copied().flatten()
+    }
+}
+
+/// Multicast group state: the source-based distribution tree and receiver
+/// membership, both indexed by node.
+#[derive(Debug, Default)]
+pub struct Group {
+    /// The tree root (the sender's node), once built.
+    pub root: Option<NodeId>,
+    /// Per node: channels the group's packets are replicated onto.
+    pub forward: Vec<Vec<ChannelId>>,
+    /// Per node: locally attached member agents to deliver to.
+    pub members_at: Vec<Vec<crate::id::AgentId>>,
+    /// All member agents of the group.
+    pub members: Vec<crate::id::AgentId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_lookup_handles_missing_entries() {
+        let mut n = Node::new(NodeId(0), "S");
+        n.routes = vec![None, Some(ChannelId(3))];
+        assert_eq!(n.route_to(NodeId(1)), Some(ChannelId(3)));
+        assert_eq!(n.route_to(NodeId(0)), None);
+        assert_eq!(n.route_to(NodeId(9)), None, "out of range is unreachable");
+    }
+}

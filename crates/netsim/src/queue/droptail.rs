@@ -1,0 +1,114 @@
+//! FIFO drop-tail queue — the dominant router type in the 1998 Internet.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use super::{DropReason, Enqueue, QueueDiscipline};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// A finite FIFO buffer: arrivals beyond the limit are discarded.
+#[derive(Debug)]
+pub struct DropTail {
+    buf: VecDeque<Packet>,
+    limit: usize,
+}
+
+impl DropTail {
+    /// A drop-tail queue holding at most `limit` packets.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "drop-tail queue needs at least one slot");
+        DropTail {
+            buf: VecDeque::with_capacity(limit),
+            limit,
+        }
+    }
+}
+
+impl QueueDiscipline for DropTail {
+    fn enqueue(&mut self, packet: Packet, _now: SimTime, _rng: &mut StdRng) -> Enqueue {
+        if self.buf.len() >= self.limit {
+            Enqueue::Dropped(packet, DropReason::BufferOverflow)
+        } else {
+            self.buf.push_back(packet);
+            Enqueue::Accepted
+        }
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        self.buf.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::test_packet;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTail::new(4);
+        let mut r = rng();
+        for uid in 0..4 {
+            assert!(matches!(
+                q.enqueue(test_packet(uid), SimTime::ZERO, &mut r),
+                Enqueue::Accepted
+            ));
+        }
+        for uid in 0..4 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, uid);
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = DropTail::new(2);
+        let mut r = rng();
+        q.enqueue(test_packet(0), SimTime::ZERO, &mut r);
+        q.enqueue(test_packet(1), SimTime::ZERO, &mut r);
+        match q.enqueue(test_packet(2), SimTime::ZERO, &mut r) {
+            Enqueue::Dropped(p, DropReason::BufferOverflow) => assert_eq!(p.uid, 2),
+            other => panic!("expected overflow drop, got {other:?}"),
+        }
+        // Earlier arrivals are untouched.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 0);
+    }
+
+    #[test]
+    fn frees_slot_after_dequeue() {
+        let mut q = DropTail::new(1);
+        let mut r = rng();
+        q.enqueue(test_packet(0), SimTime::ZERO, &mut r);
+        assert!(matches!(
+            q.enqueue(test_packet(1), SimTime::ZERO, &mut r),
+            Enqueue::Dropped(..)
+        ));
+        q.dequeue(SimTime::ZERO);
+        assert!(matches!(
+            q.enqueue(test_packet(2), SimTime::ZERO, &mut r),
+            Enqueue::Accepted
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        DropTail::new(0);
+    }
+}

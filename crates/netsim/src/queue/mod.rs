@@ -1,0 +1,126 @@
+//! Queue disciplines for gateway output buffers.
+//!
+//! The paper's whole premise is the interaction of congestion control with
+//! the two router types deployed in the 1998 Internet: FIFO **drop-tail**
+//! buffers (the common case) and **RED** gateways (Floyd & Jacobson 1993).
+//! Both are implemented here behind one trait so a link can be configured
+//! with either.
+
+mod droptail;
+mod red;
+
+pub use droptail::DropTail;
+pub use red::{Red, RedConfig};
+
+use rand::rngs::StdRng;
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Why a packet was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The buffer was full (drop-tail behaviour; also RED when the physical
+    /// buffer overflows).
+    BufferOverflow,
+    /// RED's early-drop decision (average queue between the thresholds).
+    EarlyDrop,
+    /// RED's forced drop (average queue above the maximum threshold).
+    ForcedDrop,
+    /// A fault injector discarded the packet.
+    Fault,
+}
+
+/// Outcome of offering a packet to a queue.
+#[derive(Debug)]
+pub enum Enqueue {
+    /// The packet was queued (or will be transmitted immediately).
+    Accepted,
+    /// The packet was discarded; the caller gets it back for tracing.
+    Dropped(Packet, DropReason),
+}
+
+/// A queue discipline: decides admission and ordering of packets waiting
+/// for a channel transmitter.
+///
+/// Implementations must be deterministic given the same RNG stream; RED is
+/// the only discipline that consumes randomness.
+pub trait QueueDiscipline: std::fmt::Debug + Send {
+    /// Offer `packet` to the queue at time `now`.
+    fn enqueue(&mut self, packet: Packet, now: SimTime, rng: &mut StdRng) -> Enqueue;
+
+    /// Take the next packet to transmit.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Packets currently buffered.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is buffered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The buffer capacity in packets.
+    fn capacity(&self) -> usize;
+}
+
+/// Configuration for constructing a queue discipline on a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueConfig {
+    /// FIFO with tail drop; `limit` packets of buffer.
+    DropTail {
+        /// Buffer size in packets.
+        limit: usize,
+    },
+    /// Random Early Detection.
+    Red(RedConfig),
+}
+
+impl QueueConfig {
+    /// The paper's gateway buffer: 20 packets, drop-tail.
+    pub fn paper_droptail() -> Self {
+        QueueConfig::DropTail { limit: 20 }
+    }
+
+    /// The paper's RED gateway: buffer 20, min threshold 5, max threshold
+    /// 15, remaining parameters at the NS2 defaults.
+    pub fn paper_red() -> Self {
+        QueueConfig::Red(RedConfig::paper())
+    }
+
+    /// Build the discipline.
+    pub fn build(&self) -> Box<dyn QueueDiscipline> {
+        match self {
+            QueueConfig::DropTail { limit } => Box::new(DropTail::new(*limit)),
+            QueueConfig::Red(cfg) => Box::new(Red::new(cfg.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_packet(uid: u64) -> Packet {
+    use crate::id::AgentId;
+    use crate::packet::Dest;
+    use crate::wire::Segment;
+    Packet {
+        uid,
+        src: AgentId(0),
+        dest: Dest::Agent(AgentId(1)),
+        size_bytes: 1000,
+        segment: Segment::Raw,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builds_matching_discipline() {
+        let q = QueueConfig::paper_droptail().build();
+        assert_eq!(q.capacity(), 20);
+        let q = QueueConfig::paper_red().build();
+        assert_eq!(q.capacity(), 20);
+    }
+}

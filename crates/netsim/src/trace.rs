@@ -1,0 +1,312 @@
+//! Event tracing hooks.
+//!
+//! A [`Tracer`] observes packet-level events as the engine processes them —
+//! the simulator's analogue of smoltcp's pcap dumps. Experiments use it to
+//! record queue-occupancy time series (the paper's "buffer period"
+//! analysis) and drop patterns (the phase-effect demonstration).
+
+use crate::id::{AgentId, ChannelId, NodeId};
+use crate::packet::Packet;
+use crate::queue::DropReason;
+use crate::time::SimTime;
+
+/// A packet-level event visible to tracers.
+#[derive(Debug)]
+pub enum TraceEvent<'a> {
+    /// A packet was accepted into a channel buffer; `qlen` is the length
+    /// after insertion.
+    Enqueue {
+        /// The channel whose buffer accepted the packet.
+        channel: ChannelId,
+        /// The accepted packet.
+        packet: &'a Packet,
+        /// Buffer occupancy after insertion.
+        qlen: usize,
+    },
+    /// A packet was discarded at a channel.
+    Drop {
+        /// The dropping channel.
+        channel: ChannelId,
+        /// The discarded packet.
+        packet: &'a Packet,
+        /// Why it was discarded.
+        reason: DropReason,
+        /// Buffer occupancy at the time of the drop.
+        qlen: usize,
+    },
+    /// A channel began serializing a packet; `qlen` is the length after the
+    /// packet left the buffer.
+    TxStart {
+        /// The transmitting channel.
+        channel: ChannelId,
+        /// The packet being transmitted.
+        packet: &'a Packet,
+        /// Buffer occupancy after removal.
+        qlen: usize,
+    },
+    /// A packet arrived at a node (after propagation).
+    Arrive {
+        /// The node reached.
+        node: NodeId,
+        /// The arriving packet.
+        packet: &'a Packet,
+    },
+    /// A packet was handed to a transport endpoint.
+    Deliver {
+        /// The receiving agent.
+        agent: AgentId,
+        /// The delivered packet.
+        packet: &'a Packet,
+    },
+}
+
+/// Observer of engine events.
+pub trait Tracer {
+    /// Called for every traced event, in simulation order.
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>);
+}
+
+/// A tracer that counts events by kind — useful in tests and as a cheap
+/// activity summary.
+#[derive(Debug, Default, Clone)]
+pub struct CountingTracer {
+    /// Packets accepted into buffers.
+    pub enqueues: u64,
+    /// Packets discarded.
+    pub drops: u64,
+    /// Transmissions started.
+    pub tx_starts: u64,
+    /// Node arrivals.
+    pub arrivals: u64,
+    /// Agent deliveries.
+    pub deliveries: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn trace(&mut self, _now: SimTime, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Enqueue { .. } => self.enqueues += 1,
+            TraceEvent::Drop { .. } => self.drops += 1,
+            TraceEvent::TxStart { .. } => self.tx_starts += 1,
+            TraceEvent::Arrive { .. } => self.arrivals += 1,
+            TraceEvent::Deliver { .. } => self.deliveries += 1,
+        }
+    }
+}
+
+/// A tracer that renders every event as one human-readable line — the
+/// simulator's analogue of a `tcpdump`/pcap text dump. Useful for
+/// debugging protocol behaviour on small scenarios; on paper-scale runs
+/// it produces millions of lines, so keep it to short intervals.
+#[derive(Debug, Default)]
+pub struct LogTracer {
+    /// The rendered lines, in simulation order.
+    pub lines: Vec<String>,
+    /// Maximum number of lines to retain (0 = unbounded). Oldest lines
+    /// are dropped first.
+    pub max_lines: usize,
+}
+
+impl LogTracer {
+    /// A tracer retaining at most `max_lines` lines (0 = unbounded).
+    pub fn new(max_lines: usize) -> Self {
+        LogTracer {
+            lines: Vec::new(),
+            max_lines,
+        }
+    }
+
+    /// The whole log as one string.
+    pub fn dump(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    fn push(&mut self, line: String) {
+        if self.max_lines > 0 && self.lines.len() >= self.max_lines {
+            self.lines.remove(0);
+        }
+        self.lines.push(line);
+    }
+}
+
+impl Tracer for LogTracer {
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
+        let line = match event {
+            TraceEvent::Enqueue {
+                channel,
+                packet,
+                qlen,
+            } => format!(
+                "{now} {channel} enqueue uid={} {} from {} (q={qlen})",
+                packet.uid,
+                packet.segment.kind_str(),
+                packet.src
+            ),
+            TraceEvent::Drop {
+                channel,
+                packet,
+                reason,
+                qlen,
+            } => format!(
+                "{now} {channel} DROP    uid={} {} from {} ({reason:?}, q={qlen})",
+                packet.uid,
+                packet.segment.kind_str(),
+                packet.src
+            ),
+            TraceEvent::TxStart {
+                channel,
+                packet,
+                qlen,
+            } => format!(
+                "{now} {channel} tx      uid={} {} (q={qlen})",
+                packet.uid,
+                packet.segment.kind_str()
+            ),
+            TraceEvent::Arrive { node, packet } => format!(
+                "{now} {node} arrive  uid={} {}",
+                packet.uid,
+                packet.segment.kind_str()
+            ),
+            TraceEvent::Deliver { agent, packet } => format!(
+                "{now} {agent} deliver uid={} {}",
+                packet.uid,
+                packet.segment.kind_str()
+            ),
+        };
+        self.push(line);
+    }
+}
+
+/// Records the queue-length time series of a single channel: one `(time,
+/// length)` sample per change. Drives the buffer-period experiment (§3.1).
+#[derive(Debug)]
+pub struct QueueLengthTracer {
+    /// The channel being watched.
+    pub channel: ChannelId,
+    /// `(time, qlen)` samples, one per change.
+    pub samples: Vec<(SimTime, usize)>,
+    /// `(time, uid)` of every drop at the channel.
+    pub drops: Vec<(SimTime, u64)>,
+}
+
+impl QueueLengthTracer {
+    /// Watch `channel`.
+    pub fn new(channel: ChannelId) -> Self {
+        QueueLengthTracer {
+            channel,
+            samples: Vec::new(),
+            drops: Vec::new(),
+        }
+    }
+}
+
+impl Tracer for QueueLengthTracer {
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Enqueue { channel, qlen, .. } | TraceEvent::TxStart { channel, qlen, .. }
+                if *channel == self.channel =>
+            {
+                self.samples.push((now, *qlen));
+            }
+            TraceEvent::Drop {
+                channel, packet, ..
+            } if *channel == self.channel => {
+                self.drops.push((now, packet.uid));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::AgentId;
+    use crate::packet::Dest;
+    use crate::wire::Segment;
+
+    fn pkt() -> Packet {
+        Packet {
+            uid: 1,
+            src: AgentId(0),
+            dest: Dest::Agent(AgentId(1)),
+            size_bytes: 1000,
+            segment: Segment::Raw,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn counting_tracer_counts() {
+        let mut t = CountingTracer::default();
+        let p = pkt();
+        t.trace(
+            SimTime::ZERO,
+            &TraceEvent::Enqueue {
+                channel: ChannelId(0),
+                packet: &p,
+                qlen: 1,
+            },
+        );
+        t.trace(
+            SimTime::ZERO,
+            &TraceEvent::Drop {
+                channel: ChannelId(0),
+                packet: &p,
+                reason: DropReason::BufferOverflow,
+                qlen: 1,
+            },
+        );
+        t.trace(
+            SimTime::ZERO,
+            &TraceEvent::Deliver {
+                agent: AgentId(1),
+                packet: &p,
+            },
+        );
+        assert_eq!((t.enqueues, t.drops, t.deliveries), (1, 1, 1));
+    }
+
+    #[test]
+    fn log_tracer_renders_and_caps() {
+        let mut t = LogTracer::new(2);
+        let p = pkt();
+        for i in 0..3 {
+            t.trace(
+                SimTime::from_secs(i),
+                &TraceEvent::Arrive {
+                    node: NodeId(0),
+                    packet: &p,
+                },
+            );
+        }
+        assert_eq!(t.lines.len(), 2, "cap enforced");
+        assert!(t.dump().contains("arrive"));
+        assert!(t.dump().contains("raw"));
+        // Oldest line (t=0s) dropped.
+        assert!(!t.lines[0].starts_with("0.000000s"));
+    }
+
+    #[test]
+    fn queue_tracer_filters_by_channel() {
+        let mut t = QueueLengthTracer::new(ChannelId(5));
+        let p = pkt();
+        t.trace(
+            SimTime::from_secs(1),
+            &TraceEvent::Enqueue {
+                channel: ChannelId(5),
+                packet: &p,
+                qlen: 3,
+            },
+        );
+        t.trace(
+            SimTime::from_secs(2),
+            &TraceEvent::Enqueue {
+                channel: ChannelId(6),
+                packet: &p,
+                qlen: 9,
+            },
+        );
+        assert_eq!(t.samples, vec![(SimTime::from_secs(1), 3)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Transport segment representations.
+//!
+//! Following the smoltcp convention, the base crate defines the *wire
+//! formats* that travel inside packets, while the protocol *behaviour*
+//! (window management, loss detection) lives in the transport crates
+//! (`tcp-sack`, `rla`, `baselines`).
+//!
+//! Sequence numbers count packets, not bytes — the paper's analysis is
+//! entirely in packet units (windows in packets, throughput in pkt/s), and
+//! all data packets have a fixed size per flow.
+
+use crate::id::AgentId;
+use crate::time::SimTime;
+
+/// The maximum number of SACK blocks carried in one acknowledgment, as in
+/// RFC 2018 (40 bytes of TCP option space / 8 bytes per block, with one slot
+/// lost to the timestamp option in practice).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// A half-open range `[start, end)` of packet sequence numbers that the
+/// receiver holds above the cumulative acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SackBlock {
+    /// First sequence number covered by the block.
+    pub start: u64,
+    /// One past the last sequence number covered by the block.
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// Number of packets the block covers.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` for a degenerate empty block.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` if `seq` falls inside the block.
+    pub fn contains(&self, seq: u64) -> bool {
+        (self.start..self.end).contains(&seq)
+    }
+}
+
+/// A TCP data segment (one packet of the flow's fixed packet size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpData {
+    /// Packet sequence number, starting at 0.
+    pub seq: u64,
+    /// `true` when this is a retransmission.
+    pub retransmit: bool,
+    /// Timestamp at which the sender transmitted the segment; echoed by the
+    /// receiver for RTT measurement (the timestamp option).
+    pub timestamp: SimTime,
+}
+
+/// A TCP SACK acknowledgment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpAck {
+    /// Cumulative ack: all packets with `seq < cum_ack` have been received.
+    pub cum_ack: u64,
+    /// Out-of-order data held by the receiver, most recent block first.
+    pub sack: Vec<SackBlock>,
+    /// Echo of the data segment timestamp that triggered this ack.
+    pub echo_timestamp: SimTime,
+}
+
+/// A multicast data segment (used by the RLA sender).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McastData {
+    /// Packet sequence number, starting at 0.
+    pub seq: u64,
+    /// `true` when this is a retransmission.
+    pub retransmit: bool,
+    /// Sender transmission timestamp, echoed by receivers.
+    pub timestamp: SimTime,
+}
+
+/// A multicast receiver's selective acknowledgment, unicast back to the
+/// sender. Same format as [`TcpAck`] plus the receiver's identity (the RLA
+/// sender keeps per-receiver state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McastAck {
+    /// The acknowledging receiver.
+    pub receiver: AgentId,
+    /// Cumulative ack: all packets with `seq < cum_ack` received.
+    pub cum_ack: u64,
+    /// Out-of-order data held by the receiver.
+    pub sack: Vec<SackBlock>,
+    /// Echo of the data segment timestamp that triggered this ack.
+    pub echo_timestamp: SimTime,
+    /// Set by a receiver that wants an immediate unicast retransmission of
+    /// the first hole (paper §3.3, footnote 8).
+    pub urgent_rexmit: bool,
+}
+
+/// A data packet from a rate-based sender (LTRC / MBFC baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateData {
+    /// Packet sequence number, starting at 0.
+    pub seq: u64,
+    /// Sender transmission timestamp.
+    pub timestamp: SimTime,
+}
+
+/// Periodic feedback from a rate-based receiver: a loss-rate report over the
+/// last monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateFeedback {
+    /// The reporting receiver.
+    pub receiver: AgentId,
+    /// Highest sequence number seen so far.
+    pub highest_seq: u64,
+    /// Packets detected lost during the report interval.
+    pub lost: u64,
+    /// Packets received during the report interval.
+    pub received: u64,
+    /// Exponentially-weighted moving average of the receiver's loss rate.
+    pub avg_loss_rate: f64,
+}
+
+/// The transport payload of a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// No transport payload (cross traffic, probes).
+    Raw,
+    /// TCP data.
+    TcpData(TcpData),
+    /// TCP selective acknowledgment.
+    TcpAck(TcpAck),
+    /// Multicast data (RLA).
+    McastData(McastData),
+    /// Multicast receiver SACK (RLA).
+    McastAck(McastAck),
+    /// Rate-based multicast data (baselines).
+    RateData(RateData),
+    /// Rate-based receiver feedback (baselines).
+    RateFeedback(RateFeedback),
+}
+
+impl Segment {
+    /// Short tag for traces.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Segment::Raw => "raw",
+            Segment::TcpData(_) => "tcp-data",
+            Segment::TcpAck(_) => "tcp-ack",
+            Segment::McastData(_) => "mc-data",
+            Segment::McastAck(_) => "mc-ack",
+            Segment::RateData(_) => "rate-data",
+            Segment::RateFeedback(_) => "rate-fb",
+        }
+    }
+
+    /// `true` for data-bearing segments (as opposed to feedback).
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            Segment::TcpData(_) | Segment::McastData(_) | Segment::RateData(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sack_block_geometry() {
+        let b = SackBlock { start: 10, end: 14 };
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert!(b.contains(10) && b.contains(13));
+        assert!(!b.contains(14) && !b.contains(9));
+
+        let e = SackBlock { start: 5, end: 5 };
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn segment_classification() {
+        assert!(Segment::TcpData(TcpData {
+            seq: 0,
+            retransmit: false,
+            timestamp: SimTime::ZERO
+        })
+        .is_data());
+        assert!(!Segment::TcpAck(TcpAck {
+            cum_ack: 0,
+            sack: vec![],
+            echo_timestamp: SimTime::ZERO
+        })
+        .is_data());
+        assert_eq!(Segment::Raw.kind_str(), "raw");
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the simulator's core data structures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netsim::event::{Calendar, EventKind};
+use netsim::id::AgentId;
+use netsim::packet::{Dest, Packet};
+use netsim::queue::{DropTail, Enqueue, QueueDiscipline, Red, RedConfig};
+use netsim::stats::{Running, TimeWeighted};
+use netsim::time::{SimDuration, SimTime};
+use netsim::wire::Segment;
+
+fn pkt(uid: u64) -> Packet {
+    Packet {
+        uid,
+        src: AgentId(0),
+        dest: Dest::Agent(AgentId(1)),
+        size_bytes: 1000,
+        segment: Segment::Raw,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+proptest! {
+    /// Pops come out sorted by time; equal times preserve insertion order.
+    #[test]
+    fn calendar_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_nanos(t), EventKind::Timer {
+                agent: AgentId(0),
+                token: i as u64,
+            });
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some(e) = cal.pop() {
+            let EventKind::Timer { token, .. } = e.kind else { unreachable!() };
+            if let Some((lt, ltok)) = last {
+                prop_assert!(e.at >= lt, "time went backwards");
+                if e.at == lt {
+                    prop_assert!(token > ltok, "FIFO violated at equal times");
+                }
+            }
+            last = Some((e.at, token));
+        }
+    }
+
+    /// Drop-tail conserves packets: everything offered is either inside,
+    /// dequeued, or was rejected; never more resident than the limit.
+    #[test]
+    fn droptail_conservation(
+        limit in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let mut q = DropTail::new(limit);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut offered = 0u64;
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        let mut dequeued = 0u64;
+        for (i, &is_enqueue) in ops.iter().enumerate() {
+            if is_enqueue {
+                offered += 1;
+                match q.enqueue(pkt(i as u64), SimTime::ZERO, &mut rng) {
+                    Enqueue::Accepted => accepted += 1,
+                    Enqueue::Dropped(..) => dropped += 1,
+                }
+            } else if q.dequeue(SimTime::ZERO).is_some() {
+                dequeued += 1;
+            }
+            prop_assert!(q.len() <= limit, "resident beyond capacity");
+        }
+        prop_assert_eq!(offered, accepted + dropped);
+        prop_assert_eq!(accepted, dequeued + q.len() as u64);
+    }
+
+    /// Drop-tail is FIFO: dequeue order equals accepted-enqueue order.
+    #[test]
+    fn droptail_fifo(count in 1usize..100, limit in 1usize..100) {
+        let mut q = DropTail::new(limit);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut accepted = Vec::new();
+        for i in 0..count {
+            if let Enqueue::Accepted = q.enqueue(pkt(i as u64), SimTime::ZERO, &mut rng) {
+                accepted.push(i as u64);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(p) = q.dequeue(SimTime::ZERO) {
+            out.push(p.uid);
+        }
+        prop_assert_eq!(out, accepted);
+    }
+
+    /// RED never exceeds its physical buffer and also conserves packets.
+    #[test]
+    fn red_conservation(
+        limit in 2usize..64,
+        seed in 0u64..100,
+        n in 1u64..500,
+    ) {
+        let cfg = RedConfig { limit, ..RedConfig::paper() };
+        let mut q = Red::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..n {
+            match q.enqueue(pkt(i), SimTime::from_nanos(i * 100_000), &mut rng) {
+                Enqueue::Accepted => accepted += 1,
+                Enqueue::Dropped(..) => dropped += 1,
+            }
+            prop_assert!(q.len() <= limit);
+            if i % 3 == 0 {
+                if q.dequeue(SimTime::from_nanos(i * 100_000)).is_some() {
+                    accepted -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(accepted as usize, q.len());
+        prop_assert_eq!(n, accepted + dropped + (n - accepted - dropped));
+    }
+
+    /// The Running accumulator matches a direct computation.
+    #[test]
+    fn running_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((r.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(r.min(), min);
+        prop_assert_eq!(r.max(), max);
+    }
+
+    /// A time-weighted average always lies between the signal's extremes.
+    #[test]
+    fn time_weighted_average_bounded(
+        changes in proptest::collection::vec((1u64..1000, 0.0f64..100.0), 1..50),
+    ) {
+        let mut w = TimeWeighted::new(SimTime::ZERO, 50.0);
+        let mut lo: f64 = 50.0;
+        let mut hi: f64 = 50.0;
+        let mut t = 0u64;
+        for &(dt, v) in &changes {
+            t += dt;
+            w.set(SimTime::from_nanos(t), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let avg = w.average(SimTime::from_nanos(t + 1));
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {} not in [{}, {}]", avg, lo, hi);
+    }
+
+    /// Transmission time scales linearly in size and inversely in rate.
+    #[test]
+    fn tx_time_scaling(size in 1u32..100_000, bps in 1_000u64..10_000_000_000) {
+        let t1 = netsim::packet::tx_nanos(size, bps);
+        let t2 = netsim::packet::tx_nanos(size, bps * 2);
+        // Halving time when doubling rate (within rounding).
+        prop_assert!(t2 <= t1 / 2 + 1);
+        let d = SimDuration::from_nanos(t1);
+        prop_assert!(d.as_secs_f64() > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rla — the Random Listening Algorithm
+//!
+//! The primary contribution of *Achieving Bounded Fairness for Multicast
+//! and TCP Traffic in the Internet* (Wang & Schwartz, SIGCOMM 1998):
+//! window-based multicast congestion control that shares bandwidth with TCP
+//! within **provable bounds** ("essential fairness") without locating the
+//! session's bottleneck branches.
+//!
+//! ## The idea
+//!
+//! A multicast sender hears congestion signals from *every* congested
+//! receiver. Reacting to each one would drive throughput to zero as the
+//! group grows; reacting only to the worst receiver requires identifying
+//! it, which loss information alone cannot do quickly. The RLA instead
+//! **listens at random**: on each congestion signal it halves its window
+//! with probability `1/n`, where `n` is the number of receivers currently
+//! reporting losses frequently. On average it reacts once per `n` signals —
+//! as if listening to one representative receiver — and the paper proves
+//! the resulting throughput is bounded between `a·λ_TCP` and `b·λ_TCP`
+//! (Theorem I: `a = 1/3`, `b = √(3n)` with RED gateways; Theorem II:
+//! `a = 1/4`, `b = 2n` with drop-tail gateways and phase effects removed).
+//!
+//! ## Crate contents
+//!
+//! * [`RlaSender`] / [`McastReceiver`] — the protocol agents (§3.3's six
+//!   rules, including forced cuts, the troubled-receiver count with
+//!   `η = 20`, and the multicast/unicast retransmission policy).
+//! * [`TroubleTracker`] — rule 6's dynamic `num_trouble_rcvr`.
+//! * [`PthreshPolicy`] — the restricted-topology rule `1/n` and the
+//!   generalized `(rtt_i/rtt_max)²/n` for unequal round-trip times (§5.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod rate_rla;
+pub mod receiver;
+pub mod sender;
+pub mod trouble;
+
+pub use config::{PthreshPolicy, RlaConfig, SlowReceiverPolicy};
+pub use rate_rla::{RateRla, RateRlaConfig};
+pub use receiver::{McastReceiver, McastReceiverStats};
+pub use sender::{RlaSender, RlaStats};
+pub use trouble::{CongestionHistory, TroubleTracker};

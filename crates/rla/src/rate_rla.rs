@@ -1,0 +1,234 @@
+//! Rate-based random listening — the paper's §6 future-work direction.
+//!
+//! > "It is worth noting that the idea of 'random listening' can be used
+//! > in conjunction with other forms of congestion control mechanism,
+//! > such as rate-based control. The key idea is to randomly react to the
+//! > congestion signals from all receivers and to achieve a reasonable
+//! > reaction to congestion on the average over a long run."
+//!
+//! This module implements exactly that: a [`RateController`] (pluggable
+//! into the `baselines` crate's [`RateSender`](baselines::RateSender))
+//! that, on each update tick, treats every receiver reporting fresh
+//! losses as one congestion signal and halves the rate **with probability
+//! `1/n`** per signal, where `n` is the troubled-receiver count derived
+//! from the same η-rule as the window-based RLA. Unlike LTRC/MBFC there
+//! is no loss-rate threshold to tune.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use baselines::rate_sender::{RateController, ReceiverReport};
+use netsim::id::AgentId;
+use netsim::time::{SimDuration, SimTime};
+
+use crate::trouble::TroubleTracker;
+
+/// Configuration of the rate-based random listener.
+#[derive(Debug, Clone)]
+pub struct RateRlaConfig {
+    /// The η constant of the troubled-receiver rule.
+    pub eta: f64,
+    /// EWMA gain for per-receiver congestion intervals.
+    pub interval_gain: f64,
+    /// Additive increase per update interval, pkt/s.
+    pub increase_pps: f64,
+    /// Ignore reports older than this.
+    pub report_timeout: SimDuration,
+    /// RNG seed for the listening coin (kept internal so the controller
+    /// can be driven outside an engine; determinism still holds per
+    /// seed).
+    pub seed: u64,
+}
+
+impl Default for RateRlaConfig {
+    fn default() -> Self {
+        RateRlaConfig {
+            eta: 20.0,
+            interval_gain: 0.125,
+            increase_pps: 2.0,
+            report_timeout: SimDuration::from_secs(5),
+            seed: 7,
+        }
+    }
+}
+
+/// The §6 controller: random listening over loss reports.
+#[derive(Debug)]
+pub struct RateRla {
+    cfg: RateRlaConfig,
+    rng: StdRng,
+    /// Receiver identities in tracker order.
+    receivers: Vec<AgentId>,
+    trouble: TroubleTracker,
+    /// Highest report timestamp already processed per receiver.
+    processed: Vec<SimTime>,
+    reductions: u64,
+}
+
+impl RateRla {
+    /// A fresh controller.
+    pub fn new(cfg: RateRlaConfig) -> Self {
+        assert!(cfg.eta >= 1.0, "eta must be at least 1");
+        RateRla {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            trouble: TroubleTracker::new(0, cfg.eta, cfg.interval_gain),
+            receivers: Vec::new(),
+            processed: Vec::new(),
+            cfg,
+            reductions: 0,
+        }
+    }
+
+    fn index_of(&mut self, receiver: AgentId) -> usize {
+        if let Some(i) = self.receivers.iter().position(|&r| r == receiver) {
+            return i;
+        }
+        // First report from a new receiver: grow the tracker.
+        self.receivers.push(receiver);
+        self.processed.push(SimTime::ZERO);
+        let mut grown = TroubleTracker::new(
+            self.receivers.len(),
+            self.cfg.eta,
+            self.cfg.interval_gain,
+        );
+        std::mem::swap(&mut grown, &mut self.trouble);
+        // Replay nothing: histories restart, which only makes the count
+        // conservative for a few intervals.
+        for idx in 0..grown.len() {
+            let _ = idx;
+        }
+        self.receivers.len() - 1
+    }
+}
+
+impl RateController for RateRla {
+    fn update(&mut self, now: SimTime, rate: f64, reports: &[ReceiverReport]) -> f64 {
+        // Gather fresh loss signals.
+        let mut signals = 0usize;
+        for report in reports {
+            if now.saturating_since(report.updated_at) > self.cfg.report_timeout {
+                continue;
+            }
+            let idx = self.index_of(report.receiver);
+            if report.updated_at <= self.processed[idx] {
+                continue; // already seen this report
+            }
+            self.processed[idx] = report.updated_at;
+            if report.interval_loss_rate > 0.0 {
+                self.trouble.record_signal(idx, now);
+                signals += 1;
+            }
+        }
+        if signals == 0 {
+            return rate + self.cfg.increase_pps;
+        }
+        // Random listening: each signal is heeded with probability 1/n.
+        let n = self.trouble.troubled_count(now).max(1);
+        let mut cuts = 0u32;
+        for _ in 0..signals {
+            if self.rng.gen::<f64>() < 1.0 / n as f64 {
+                cuts += 1;
+            }
+        }
+        if cuts > 0 {
+            self.reductions += u64::from(cuts);
+            rate / 2.0f64.powi(cuts.min(8) as i32)
+        } else {
+            rate + self.cfg.increase_pps
+        }
+    }
+
+    fn reductions(&self) -> u64 {
+        self.reductions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u32, loss: f64, at: SimTime) -> ReceiverReport {
+        ReceiverReport {
+            receiver: AgentId(id),
+            avg_loss_rate: loss,
+            interval_loss_rate: loss,
+            updated_at: at,
+        }
+    }
+
+    #[test]
+    fn increases_without_losses() {
+        let mut c = RateRla::new(RateRlaConfig::default());
+        let r = c.update(
+            SimTime::from_secs(1),
+            10.0,
+            &[report(0, 0.0, SimTime::from_secs(1))],
+        );
+        assert!(r > 10.0);
+        assert_eq!(c.reductions(), 0);
+    }
+
+    #[test]
+    fn single_receiver_always_listens() {
+        // n = 1: every loss signal must halve the rate.
+        let mut c = RateRla::new(RateRlaConfig::default());
+        let mut rate = 64.0;
+        for tick in 1..=5 {
+            rate = c.update(
+                SimTime::from_secs(tick),
+                rate,
+                &[report(0, 0.1, SimTime::from_secs(tick))],
+            );
+        }
+        assert_eq!(c.reductions(), 5);
+        assert!(rate < 64.0 / 16.0);
+    }
+
+    #[test]
+    fn stale_reports_not_double_counted() {
+        let mut c = RateRla::new(RateRlaConfig::default());
+        let rep = report(0, 0.1, SimTime::from_secs(1));
+        let r1 = c.update(SimTime::from_secs(1), 32.0, &[rep]);
+        // Same report again: no new signal, rate must increase.
+        let r2 = c.update(SimTime::from_secs(2), r1, &[rep]);
+        assert!(r2 > r1);
+        assert_eq!(c.reductions(), 1);
+    }
+
+    #[test]
+    fn listening_probability_scales_with_population() {
+        // 20 equally-congested receivers: across many ticks the cut count
+        // should be near (ticks * 20) / n = ticks, not ticks * 20.
+        let mut c = RateRla::new(RateRlaConfig::default());
+        let ticks = 400u64;
+        let mut rate = 100.0;
+        for tick in 1..=ticks {
+            let now = SimTime::from_secs(tick);
+            let reports: Vec<ReceiverReport> =
+                (0..20).map(|i| report(i, 0.05, now)).collect();
+            rate = c.update(now, rate, &reports).clamp(1.0, 1e6);
+        }
+        let cuts = c.reductions();
+        // Expectation ≈ ticks (each tick: 20 signals × 1/20). Allow 3σ.
+        assert!(
+            (cuts as f64) > ticks as f64 * 0.5 && (cuts as f64) < ticks as f64 * 1.6,
+            "cuts {cuts} should be near {ticks}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut c = RateRla::new(RateRlaConfig::default());
+            let mut rate = 50.0;
+            for tick in 1..=50 {
+                let now = SimTime::from_secs(tick);
+                let reports: Vec<ReceiverReport> =
+                    (0..5).map(|i| report(i, 0.02, now)).collect();
+                rate = c.update(now, rate, &reports);
+            }
+            (rate.to_bits(), c.reductions())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,75 @@
+//! TCP agent configuration.
+
+use netsim::time::SimDuration;
+
+/// Parameters of a TCP SACK connection.
+///
+/// Defaults mirror the paper's simulation setup: 1000-byte data packets,
+/// 40-byte ACKs, and NS2-era timer constants.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Data packet size on the wire, bytes.
+    pub packet_size: u32,
+    /// Acknowledgment size on the wire, bytes.
+    pub ack_size: u32,
+    /// Initial congestion window, packets.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, packets.
+    pub initial_ssthresh: f64,
+    /// Maximum congestion window (the advertised receiver window), packets.
+    pub max_cwnd: f64,
+    /// Number of SACKed packets above a hole that declares it lost
+    /// (the fast-retransmit dup-threshold; 3 in the paper and RFC).
+    pub dupack_threshold: u64,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            packet_size: 1000,
+            ack_size: 40,
+            initial_cwnd: 1.0,
+            initial_ssthresh: 64.0,
+            max_cwnd: 10_000.0,
+            dupack_threshold: 3,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(64),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Validate invariants; called by the sender constructor.
+    pub fn validate(&self) {
+        assert!(self.packet_size > 0, "packet size must be positive");
+        assert!(self.ack_size > 0, "ack size must be positive");
+        assert!(self.initial_cwnd >= 1.0, "initial cwnd below one packet");
+        assert!(self.max_cwnd >= self.initial_cwnd, "max cwnd below initial");
+        assert!(self.dupack_threshold >= 1, "dup threshold must be positive");
+        assert!(self.min_rto <= self.max_rto, "min RTO above max RTO");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        TcpConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cwnd")]
+    fn bad_window_rejected() {
+        TcpConfig {
+            initial_cwnd: 0.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

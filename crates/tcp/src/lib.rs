@@ -1,0 +1,33 @@
+//! # tcp-sack — TCP SACK agents for the `netsim` simulator
+//!
+//! The unicast baseline of the reproduction: the paper measures the Random
+//! Listening Algorithm's fairness *against TCP SACK connections*, so every
+//! experiment runs these agents as background traffic.
+//!
+//! The sender ([`TcpSender`]) implements the congestion-control behaviour
+//! the paper's §4.1 analysis assumes:
+//!
+//! * slow start (+1 per ack below `ssthresh`),
+//! * congestion avoidance (+1/cwnd per ack),
+//! * SACK-scoreboard loss detection (a hole is lost once three higher
+//!   packets are SACKed),
+//! * **one window halving per loss window** (fast recovery), and
+//! * `cwnd = 1` with exponential backoff on a retransmission timeout.
+//!
+//! The receiver ([`TcpReceiver`]) acknowledges every data packet with a
+//! cumulative ack plus up to three RFC 2018 SACK blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod receiver;
+pub mod rto;
+pub mod scoreboard;
+pub mod sender;
+
+pub use config::TcpConfig;
+pub use receiver::{ReceiverStats, TcpReceiver};
+pub use rto::RttEstimator;
+pub use scoreboard::Scoreboard;
+pub use sender::{SenderStats, TcpSender};

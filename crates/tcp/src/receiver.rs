@@ -1,0 +1,204 @@
+//! The TCP SACK receiver: acknowledges every data packet with a cumulative
+//! ack plus up to [`MAX_SACK_BLOCKS`](netsim::wire::MAX_SACK_BLOCKS)
+//! selective-acknowledgment blocks (RFC 2018 format).
+
+use std::any::Any;
+use std::collections::BTreeSet;
+
+use netsim::agent::Agent;
+use netsim::engine::Context;
+use netsim::packet::{Dest, Packet};
+use netsim::wire::{SackBlock, Segment, TcpAck, MAX_SACK_BLOCKS};
+
+/// Receiver-side statistics.
+#[derive(Debug, Default, Clone)]
+pub struct ReceiverStats {
+    /// Data packets that arrived (including duplicates).
+    pub arrivals: u64,
+    /// Distinct packets delivered in order (cumulative-ack progress).
+    pub delivered: u64,
+    /// Duplicate arrivals (already delivered or already buffered).
+    pub duplicates: u64,
+}
+
+/// A TCP SACK receiver endpoint.
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    /// Next expected in-order sequence number (== cumulative ack).
+    cum_ack: u64,
+    /// Out-of-order packets held above the cumulative ack.
+    ooo: BTreeSet<u64>,
+    /// ACK packet size on the wire, bytes.
+    ack_size: u32,
+    /// Running statistics.
+    pub stats: ReceiverStats,
+}
+
+impl TcpReceiver {
+    /// A receiver producing `ack_size`-byte acknowledgments.
+    pub fn new(ack_size: u32) -> Self {
+        TcpReceiver {
+            ack_size,
+            ..Default::default()
+        }
+    }
+
+    /// Current cumulative acknowledgment.
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Zero the statistics (end-of-warmup reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = ReceiverStats::default();
+    }
+
+    /// Fold `seq` into the receive state; returns `true` if it was new.
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq < self.cum_ack || self.ooo.contains(&seq) {
+            self.stats.duplicates += 1;
+            return false;
+        }
+        if seq == self.cum_ack {
+            self.cum_ack += 1;
+            self.stats.delivered += 1;
+            // Drain the out-of-order buffer as far as it now reaches.
+            while self.ooo.remove(&self.cum_ack) {
+                self.cum_ack += 1;
+                self.stats.delivered += 1;
+            }
+        } else {
+            self.ooo.insert(seq);
+        }
+        true
+    }
+
+    /// Build the SACK blocks: the block containing `latest` first, then the
+    /// remaining blocks from highest to lowest, up to the wire limit.
+    fn sack_blocks(&self, latest: u64) -> Vec<SackBlock> {
+        let mut blocks: Vec<SackBlock> = Vec::new();
+        let mut iter = self.ooo.iter().copied();
+        if let Some(first) = iter.next() {
+            let mut cur = SackBlock {
+                start: first,
+                end: first + 1,
+            };
+            for seq in iter {
+                if seq == cur.end {
+                    cur.end += 1;
+                } else {
+                    blocks.push(cur);
+                    cur = SackBlock {
+                        start: seq,
+                        end: seq + 1,
+                    };
+                }
+            }
+            blocks.push(cur);
+        }
+        // Most-recent block first, the rest by descending start.
+        blocks.sort_by(|a, b| {
+            let a_latest = a.contains(latest);
+            let b_latest = b.contains(latest);
+            b_latest.cmp(&a_latest).then(b.start.cmp(&a.start))
+        });
+        blocks.truncate(MAX_SACK_BLOCKS);
+        blocks
+    }
+}
+
+impl Agent for TcpReceiver {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        let Segment::TcpData(data) = packet.segment else {
+            debug_assert!(false, "TCP receiver got {}", packet.segment.kind_str());
+            return;
+        };
+        self.stats.arrivals += 1;
+        self.accept(data.seq);
+        let ack = TcpAck {
+            cum_ack: self.cum_ack,
+            sack: self.sack_blocks(data.seq),
+            echo_timestamp: data.timestamp,
+        };
+        ctx.send(Dest::Agent(packet.src), self.ack_size, Segment::TcpAck(ack));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_advances_cum_ack() {
+        let mut r = TcpReceiver::new(40);
+        assert!(r.accept(0));
+        assert!(r.accept(1));
+        assert_eq!(r.cum_ack(), 2);
+        assert_eq!(r.stats.delivered, 2);
+        assert!(r.sack_blocks(1).is_empty());
+    }
+
+    #[test]
+    fn hole_generates_sack_block() {
+        let mut r = TcpReceiver::new(40);
+        r.accept(0);
+        r.accept(2);
+        r.accept(3);
+        assert_eq!(r.cum_ack(), 1);
+        assert_eq!(r.sack_blocks(3), vec![SackBlock { start: 2, end: 4 }]);
+    }
+
+    #[test]
+    fn fill_drains_out_of_order_buffer() {
+        let mut r = TcpReceiver::new(40);
+        r.accept(0);
+        r.accept(2);
+        r.accept(3);
+        r.accept(1); // fills the hole
+        assert_eq!(r.cum_ack(), 4);
+        assert!(r.sack_blocks(1).is_empty());
+        assert_eq!(r.stats.delivered, 4);
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_delivered() {
+        let mut r = TcpReceiver::new(40);
+        r.accept(0);
+        assert!(!r.accept(0));
+        r.accept(2);
+        assert!(!r.accept(2));
+        assert_eq!(r.stats.duplicates, 2);
+        assert_eq!(r.cum_ack(), 1);
+    }
+
+    #[test]
+    fn most_recent_block_listed_first() {
+        let mut r = TcpReceiver::new(40);
+        // Holes at 1 and 4: blocks {2,3} and {5} and {7}.
+        for seq in [0, 2, 3, 5, 7] {
+            r.accept(seq);
+        }
+        // Most recent receipt is 5: its block must come first.
+        let blocks = r.sack_blocks(5);
+        assert_eq!(blocks[0], SackBlock { start: 5, end: 6 });
+        assert_eq!(blocks.len(), 3);
+    }
+
+    #[test]
+    fn block_count_capped_at_wire_limit() {
+        let mut r = TcpReceiver::new(40);
+        // Every even seq from 2..20: nine isolated blocks.
+        for seq in (2..20).step_by(2) {
+            r.accept(seq);
+        }
+        assert_eq!(r.sack_blocks(18).len(), MAX_SACK_BLOCKS);
+    }
+}

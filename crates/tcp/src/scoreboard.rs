@@ -1,0 +1,334 @@
+//! The sender-side SACK scoreboard.
+//!
+//! Tracks the fate of every packet between the cumulative ACK and the
+//! highest sequence sent, and implements the paper's loss-declaration rule
+//! (§3.3 rule 1): *a packet is considered lost if a packet with a sequence
+//! number at least `dupack_threshold` higher has been selectively ACKed.*
+
+use std::collections::BTreeMap;
+
+use netsim::time::SimTime;
+use netsim::wire::SackBlock;
+
+/// Sender-side state of one in-flight packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentPacket {
+    /// When the packet (or its latest retransmission) was sent.
+    pub sent_at: SimTime,
+    /// The receiver has selectively acknowledged it.
+    pub sacked: bool,
+    /// Declared lost (hole with enough SACKed packets above it).
+    pub lost: bool,
+    /// A retransmission of it is in flight.
+    pub retransmitted: bool,
+}
+
+/// The scoreboard: per-packet state for `[cum_ack, high_seq)`.
+#[derive(Debug, Default)]
+pub struct Scoreboard {
+    packets: BTreeMap<u64, SentPacket>,
+    cum_ack: u64,
+    /// Highest sequence number SACKed so far (None if nothing SACKed).
+    high_sacked: Option<u64>,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current cumulative acknowledgment (all `seq <` this are delivered).
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Record that `seq` was (re)transmitted at `now`.
+    pub fn on_send(&mut self, seq: u64, now: SimTime) {
+        debug_assert!(seq >= self.cum_ack, "sending an already-acked packet");
+        let entry = self.packets.entry(seq).or_insert(SentPacket {
+            sent_at: now,
+            sacked: false,
+            lost: false,
+            retransmitted: false,
+        });
+        if entry.lost {
+            entry.retransmitted = true;
+            entry.lost = false;
+        }
+        entry.sent_at = now;
+    }
+
+    /// Apply an acknowledgment. Returns the number of packets *newly*
+    /// declared lost by this ack (0 if none).
+    pub fn on_ack(&mut self, cum_ack: u64, sack: &[SackBlock], dup_threshold: u64) -> usize {
+        if cum_ack > self.cum_ack {
+            self.cum_ack = cum_ack;
+            // Everything below the cumulative ack is delivered.
+            self.packets = self.packets.split_off(&cum_ack);
+        }
+        for block in sack {
+            for seq in block.start..block.end {
+                if seq < self.cum_ack {
+                    continue;
+                }
+                if let Some(p) = self.packets.get_mut(&seq) {
+                    if !p.sacked {
+                        p.sacked = true;
+                        p.lost = false;
+                        self.high_sacked = Some(self.high_sacked.map_or(seq, |h| h.max(seq)));
+                    }
+                }
+            }
+        }
+        self.detect_losses(dup_threshold)
+    }
+
+    /// Declare holes lost per the dup-threshold rule. Returns newly lost.
+    fn detect_losses(&mut self, dup_threshold: u64) -> usize {
+        let Some(high) = self.high_sacked else {
+            return 0;
+        };
+        // Count, for each hole, the SACKed packets strictly above it.
+        // Walk from the top: maintain a running count of sacked packets seen.
+        let mut newly_lost = 0;
+        let mut sacked_above = 0u64;
+        let keys: Vec<u64> = self.packets.range(..=high).map(|(&k, _)| k).collect();
+        for &seq in keys.iter().rev() {
+            let p = self.packets.get_mut(&seq).expect("key vanished");
+            if p.sacked {
+                sacked_above += 1;
+            } else if !p.lost && !p.retransmitted && sacked_above >= dup_threshold {
+                p.lost = true;
+                newly_lost += 1;
+            }
+        }
+        newly_lost
+    }
+
+    /// The oldest unsacked packet: `(seq, last_sent_at, evidence,
+    /// retransmitted)`, where `evidence` is true when some higher packet
+    /// has been SACKed (the hole is a real gap, not just the newest data).
+    /// Drives early retransmission at the window edge.
+    pub fn head_hole(&self) -> Option<(u64, SimTime, bool, bool)> {
+        let (&seq, p) = self.packets.iter().find(|(_, p)| !p.sacked)?;
+        let evidence = self.high_sacked.is_some_and(|h| h > seq);
+        Some((seq, p.sent_at, evidence, p.retransmitted))
+    }
+
+    /// Mark only the oldest unsacked packet as lost (one-per-RTO pacing,
+    /// as TCP effectively does when it retransmits the head of the window
+    /// on timeout). Returns the marked sequence, if any.
+    pub fn mark_head_lost(&mut self) -> Option<u64> {
+        let (&seq, p) = self.packets.iter_mut().find(|(_, p)| !p.sacked)?;
+        p.lost = true;
+        p.retransmitted = false;
+        Some(seq)
+    }
+
+    /// Mark everything outstanding as lost (retransmission timeout).
+    /// Returns the number of packets so marked.
+    pub fn mark_all_lost(&mut self) -> usize {
+        let mut n = 0;
+        for p in self.packets.values_mut() {
+            if !p.sacked {
+                p.lost = true;
+                p.retransmitted = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// All packets currently marked lost and not yet retransmitted, in
+    /// sequence order. (The RLA sender feeds these into its retransmission
+    /// queue; TCP itself only needs [`Scoreboard::next_lost`].)
+    pub fn lost_unretransmitted(&self) -> Vec<u64> {
+        self.packets
+            .iter()
+            .filter(|(_, p)| p.lost && !p.retransmitted)
+            .map(|(&seq, _)| seq)
+            .collect()
+    }
+
+    /// `true` if the receiver is known to hold `seq` (cumulatively acked or
+    /// selectively acked).
+    pub fn is_received(&self, seq: u64) -> bool {
+        seq < self.cum_ack || self.packets.get(&seq).is_some_and(|p| p.sacked)
+    }
+
+    /// `true` if `seq` is currently declared lost.
+    pub fn is_lost(&self, seq: u64) -> bool {
+        self.packets.get(&seq).is_some_and(|p| p.lost)
+    }
+
+    /// The lowest packet currently marked lost and not yet retransmitted.
+    pub fn next_lost(&self) -> Option<u64> {
+        self.packets
+            .iter()
+            .find(|(_, p)| p.lost && !p.retransmitted)
+            .map(|(&seq, _)| seq)
+    }
+
+    /// Packets "in the pipe": sent, not cumulatively acked, not SACKed, and
+    /// not declared lost (lost ones are assumed gone from the network).
+    pub fn in_flight(&self) -> u64 {
+        self.packets
+            .values()
+            .filter(|p| !p.sacked && !p.lost)
+            .count() as u64
+    }
+
+    /// Number of tracked (outstanding) packets.
+    pub fn outstanding(&self) -> u64 {
+        self.packets.len() as u64
+    }
+
+    /// `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// State of a specific packet, if tracked.
+    pub fn get(&self, seq: u64) -> Option<&SentPacket> {
+        self.packets.get(&seq)
+    }
+
+    /// Time the oldest outstanding packet was last (re)sent — drives the
+    /// retransmission timer.
+    pub fn oldest_sent_at(&self) -> Option<SimTime> {
+        self.packets
+            .values()
+            .filter(|p| !p.sacked)
+            .map(|p| p.sent_at)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb_with_sent(n: u64) -> Scoreboard {
+        let mut sb = Scoreboard::new();
+        for seq in 0..n {
+            sb.on_send(seq, SimTime::from_secs(seq));
+        }
+        sb
+    }
+
+    fn block(start: u64, end: u64) -> SackBlock {
+        SackBlock { start, end }
+    }
+
+    #[test]
+    fn cum_ack_clears_delivered_packets() {
+        let mut sb = sb_with_sent(5);
+        assert_eq!(sb.outstanding(), 5);
+        let lost = sb.on_ack(3, &[], 3);
+        assert_eq!(lost, 0);
+        assert_eq!(sb.cum_ack(), 3);
+        assert_eq!(sb.outstanding(), 2);
+        assert_eq!(sb.in_flight(), 2);
+    }
+
+    #[test]
+    fn loss_declared_after_three_sacks_above() {
+        let mut sb = sb_with_sent(6);
+        // Packet 0 lost; 1, 2 SACKed: not enough evidence yet.
+        assert_eq!(sb.on_ack(0, &[block(1, 3)], 3), 0);
+        assert!(!sb.get(0).unwrap().lost);
+        // Third SACK above seals it.
+        assert_eq!(sb.on_ack(0, &[block(1, 4)], 3), 1);
+        assert!(sb.get(0).unwrap().lost);
+        assert_eq!(sb.next_lost(), Some(0));
+        // In flight excludes both the lost packet and the SACKed ones.
+        assert_eq!(sb.in_flight(), 2); // packets 4, 5
+    }
+
+    #[test]
+    fn multiple_holes_all_declared() {
+        let mut sb = sb_with_sent(10);
+        // Holes at 0 and 2; SACKs at 1 and 3..=8.
+        let lost = sb.on_ack(0, &[block(1, 2), block(3, 9)], 3);
+        assert_eq!(lost, 2);
+        assert_eq!(sb.next_lost(), Some(0));
+    }
+
+    #[test]
+    fn retransmission_clears_lost_flag() {
+        let mut sb = sb_with_sent(5);
+        sb.on_ack(0, &[block(1, 5)], 3);
+        assert_eq!(sb.next_lost(), Some(0));
+        sb.on_send(0, SimTime::from_secs(99));
+        assert_eq!(sb.next_lost(), None);
+        let p = sb.get(0).unwrap();
+        assert!(p.retransmitted && !p.lost);
+        // A retransmitted hole is back in flight.
+        assert_eq!(sb.in_flight(), 1);
+    }
+
+    #[test]
+    fn retransmitted_hole_not_redeclared() {
+        let mut sb = sb_with_sent(6);
+        sb.on_ack(0, &[block(1, 5)], 3);
+        sb.on_send(0, SimTime::from_secs(99));
+        // More SACKs arrive; packet 0 is retransmitted, must not be lost
+        // again by the same evidence.
+        assert_eq!(sb.on_ack(0, &[block(1, 6)], 3), 0);
+        assert_eq!(sb.next_lost(), None);
+    }
+
+    #[test]
+    fn timeout_marks_everything_unsacked() {
+        let mut sb = sb_with_sent(4);
+        sb.on_ack(0, &[block(2, 3)], 3);
+        let n = sb.mark_all_lost();
+        assert_eq!(n, 3); // 0, 1, 3 (2 is SACKed)
+        assert_eq!(sb.in_flight(), 0);
+        assert_eq!(sb.next_lost(), Some(0));
+    }
+
+    #[test]
+    fn cum_ack_supersedes_sack_state() {
+        let mut sb = sb_with_sent(6);
+        sb.on_ack(0, &[block(1, 5)], 3); // 0 lost
+        sb.on_send(0, SimTime::from_secs(9));
+        // Retransmission delivered: cum ack jumps over everything sacked.
+        sb.on_ack(5, &[], 3);
+        assert_eq!(sb.outstanding(), 1); // only packet 5
+        assert_eq!(sb.cum_ack(), 5);
+    }
+
+    #[test]
+    fn oldest_sent_time_tracks_unsacked_only() {
+        let mut sb = sb_with_sent(3); // sent at t=0,1,2
+        sb.on_ack(0, &[block(0, 1)], 3); // SACK packet 0 (degenerate but legal)
+        assert_eq!(sb.oldest_sent_at(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn reception_and_loss_queries() {
+        let mut sb = sb_with_sent(6);
+        sb.on_ack(1, &[block(2, 5)], 3); // hole at 1? no: cum=1, hole at 1.., sacked 2..5
+        assert!(sb.is_received(0), "below cum ack");
+        assert!(sb.is_received(3), "sacked");
+        assert!(!sb.is_received(1), "the hole");
+        assert!(!sb.is_received(5), "in flight");
+        assert!(sb.is_lost(1), "three sacks above the hole");
+        assert_eq!(sb.lost_unretransmitted(), vec![1]);
+        sb.on_send(1, SimTime::from_secs(9));
+        assert!(sb.lost_unretransmitted().is_empty());
+    }
+
+    #[test]
+    fn stale_sack_below_cum_ack_ignored() {
+        let mut sb = sb_with_sent(5);
+        sb.on_ack(4, &[], 3);
+        // A reordered ack with old SACK info must not resurrect state.
+        let lost = sb.on_ack(2, &[block(0, 2)], 3);
+        assert_eq!(lost, 0);
+        assert_eq!(sb.cum_ack(), 4);
+        assert_eq!(sb.outstanding(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! The TCP SACK sender: slow start, congestion avoidance, fast
+//! retransmit/recovery driven by the SACK scoreboard, and timeout recovery.
+//!
+//! This models the NS2 `Sack1` agent the paper simulated against, at the
+//! level of detail its analysis uses (§4.1): window +1 per RTT without
+//! loss, one halving per loss window, cwnd = 1 on timeout.
+
+use std::any::Any;
+
+use netsim::agent::Agent;
+use netsim::engine::Context;
+use netsim::id::AgentId;
+use netsim::packet::{Dest, Packet};
+use netsim::stats::{Running, TimeWeighted};
+use netsim::time::SimTime;
+use netsim::wire::{Segment, TcpAck, TcpData};
+
+use crate::config::TcpConfig;
+use crate::rto::RttEstimator;
+use crate::scoreboard::Scoreboard;
+
+/// Sender-side statistics for the paper's tables.
+#[derive(Debug, Clone)]
+pub struct SenderStats {
+    /// Packets newly delivered (cumulative-ack progress) since the last
+    /// reset — the throughput numerator.
+    pub delivered: u64,
+    /// Data packets transmitted (including retransmissions).
+    pub data_sent: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Fast-recovery window cuts (the paper's "# wnd cut" less timeouts).
+    pub window_cuts: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Time-weighted average congestion window.
+    pub cwnd_avg: TimeWeighted,
+    /// RTT samples.
+    pub rtt: Running,
+    /// When the statistics window began.
+    pub since: SimTime,
+}
+
+impl SenderStats {
+    fn new(now: SimTime, cwnd: f64) -> Self {
+        SenderStats {
+            delivered: 0,
+            data_sent: 0,
+            retransmits: 0,
+            window_cuts: 0,
+            timeouts: 0,
+            cwnd_avg: TimeWeighted::new(now, cwnd),
+            rtt: Running::new(),
+            since: now,
+        }
+    }
+
+    /// All congestion-window reductions (fast recovery plus timeouts).
+    pub fn total_cuts(&self) -> u64 {
+        self.window_cuts + self.timeouts
+    }
+
+    /// Throughput in packets per second over `[since, now]`.
+    pub fn throughput_pps(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.since).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.delivered as f64 / span
+        }
+    }
+}
+
+/// A TCP SACK sender with infinite data (the paper's persistent source).
+pub struct TcpSender {
+    cfg: TcpConfig,
+    receiver: AgentId,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Next new sequence number.
+    high_seq: u64,
+    scoreboard: Scoreboard,
+    rtt: RttEstimator,
+    /// While `Some(p)`: in fast recovery until the cumulative ack reaches
+    /// `p`; further losses inside the window are the same congestion
+    /// signal (one cut per loss window).
+    recovery_point: Option<u64>,
+    /// Timer generation; stale timer tokens are ignored.
+    timer_gen: u64,
+    /// Collected statistics.
+    pub stats: SenderStats,
+}
+
+impl TcpSender {
+    /// A sender that will stream to `receiver`.
+    pub fn new(receiver: AgentId, cfg: TcpConfig) -> Self {
+        cfg.validate();
+        let cwnd = cfg.initial_cwnd;
+        let ssthresh = cfg.initial_ssthresh;
+        TcpSender {
+            rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto),
+            cfg,
+            receiver,
+            cwnd,
+            ssthresh,
+            high_seq: 0,
+            scoreboard: Scoreboard::new(),
+            recovery_point: None,
+            timer_gen: 0,
+            stats: SenderStats::new(SimTime::ZERO, cwnd),
+        }
+    }
+
+    /// Current congestion window, packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold, packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> Option<netsim::time::SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Discard statistics collected so far and start a fresh window at
+    /// `now` (end-of-warmup reset; the paper discards the first 100 s).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        let cwnd = self.cwnd;
+        self.stats = SenderStats::new(now, cwnd);
+    }
+
+    fn set_cwnd(&mut self, now: SimTime, cwnd: f64) {
+        self.cwnd = cwnd.clamp(1.0, self.cfg.max_cwnd);
+        self.stats.cwnd_avg.set(now, self.cwnd);
+    }
+
+    /// Window growth on a newly acknowledged packet.
+    fn open_cwnd(&mut self, now: SimTime) {
+        let next = if self.cwnd < self.ssthresh {
+            self.cwnd + 1.0 // slow start
+        } else {
+            self.cwnd + 1.0 / self.cwnd // congestion avoidance
+        };
+        self.set_cwnd(now, next);
+    }
+
+    /// One congestion signal: halve the window and enter fast recovery.
+    fn cut_window(&mut self, now: SimTime) {
+        let half = (self.cwnd / 2.0).max(1.0);
+        self.ssthresh = half.max(2.0);
+        self.set_cwnd(now, half);
+        self.recovery_point = Some(self.high_seq);
+        self.stats.window_cuts += 1;
+    }
+
+    /// Transmit whatever the window currently allows: retransmissions of
+    /// declared-lost packets first, then new data.
+    fn try_send(&mut self, ctx: &mut Context<'_>) {
+        let allowed = (self.cwnd as u64).max(1);
+        loop {
+            if self.scoreboard.in_flight() >= allowed {
+                break;
+            }
+            if let Some(seq) = self.scoreboard.next_lost() {
+                self.transmit(ctx, seq, true);
+                continue;
+            }
+            // Receiver-buffer bound (§3.3 rule 5 analogue for TCP): don't
+            // run more than max_cwnd past the cumulative ack.
+            if self.high_seq >= self.scoreboard.cum_ack() + self.cfg.max_cwnd as u64 {
+                break;
+            }
+            let seq = self.high_seq;
+            self.high_seq += 1;
+            self.transmit(ctx, seq, false);
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Context<'_>, seq: u64, retransmit: bool) {
+        let now = ctx.now();
+        self.scoreboard.on_send(seq, now);
+        self.stats.data_sent += 1;
+        if retransmit {
+            self.stats.retransmits += 1;
+        }
+        ctx.send(
+            Dest::Agent(self.receiver),
+            self.cfg.packet_size,
+            Segment::TcpData(TcpData {
+                seq,
+                retransmit,
+                timestamp: now,
+            }),
+        );
+    }
+
+    /// (Re)arm the retransmission timer for one RTO from now.
+    fn arm_timer(&mut self, ctx: &mut Context<'_>) {
+        self.timer_gen += 1;
+        ctx.set_timer(self.rtt.rto(), self.timer_gen);
+    }
+
+    fn on_ack(&mut self, ack: &TcpAck, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        self.stats
+            .rtt
+            .push(now.saturating_since(ack.echo_timestamp).as_secs_f64());
+        self.rtt.sample(now.saturating_since(ack.echo_timestamp));
+
+        let before = self.scoreboard.cum_ack();
+        let newly_lost = self
+            .scoreboard
+            .on_ack(ack.cum_ack, &ack.sack, self.cfg.dupack_threshold);
+        let advanced = self.scoreboard.cum_ack().saturating_sub(before);
+        self.stats.delivered += advanced;
+
+        if let Some(point) = self.recovery_point {
+            if self.scoreboard.cum_ack() >= point {
+                self.recovery_point = None;
+            }
+        }
+
+        if self.recovery_point.is_none() {
+            if newly_lost > 0 {
+                // A fresh loss window: one congestion signal, one cut.
+                self.cut_window(now);
+            } else {
+                for _ in 0..advanced {
+                    self.open_cwnd(now);
+                }
+            }
+        }
+
+        if advanced > 0 {
+            // Forward progress: restart the timer.
+            self.arm_timer(ctx);
+        }
+        self.try_send(ctx);
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if self.scoreboard.is_empty() {
+            return; // nothing outstanding; idle
+        }
+        self.rtt.on_timeout();
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.set_cwnd(now, 1.0);
+        self.recovery_point = None;
+        self.scoreboard.mark_all_lost();
+        self.stats.timeouts += 1;
+        self.arm_timer(ctx);
+        self.try_send(ctx);
+    }
+}
+
+impl Agent for TcpSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stats = SenderStats::new(ctx.now(), self.cwnd);
+        self.try_send(ctx);
+        self.arm_timer(ctx);
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        match &packet.segment {
+            Segment::TcpAck(ack) => {
+                let ack = ack.clone();
+                self.on_ack(&ack, ctx);
+            }
+            other => debug_assert!(false, "TCP sender got {}", other.kind_str()),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token != self.timer_gen {
+            return; // superseded timer
+        }
+        self.on_timeout(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::Engine;
+    use netsim::queue::QueueConfig;
+    use netsim::time::SimDuration;
+
+    use crate::receiver::TcpReceiver;
+
+    /// One TCP flow over a 2-node link; returns (engine, sender id,
+    /// receiver id).
+    fn one_flow(
+        bandwidth_bps: u64,
+        delay: SimDuration,
+        qcfg: &QueueConfig,
+    ) -> (Engine, AgentId, AgentId) {
+        let mut e = Engine::new(3);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(a, b, bandwidth_bps, delay, qcfg);
+        let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let tx = e.add_agent(a, Box::new(TcpSender::new(rx, TcpConfig::default())));
+        e.compute_routes();
+        e.start_agent_at(tx, SimTime::ZERO);
+        (e, tx, rx)
+    }
+
+    #[test]
+    fn fills_an_uncongested_pipe() {
+        // 8 Mbps, 10 ms: BDP = 20 packets; TCP should saturate the link.
+        let (mut e, tx, rx) = one_flow(
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::DropTail { limit: 100 },
+        );
+        e.run_until(SimTime::from_secs(30));
+        let rx: &TcpReceiver = e.agent_as(rx).unwrap();
+        // Capacity is 1000 pkt/s; expect > 95% utilization over 30 s.
+        assert!(
+            rx.stats.delivered > 28_000,
+            "delivered {}",
+            rx.stats.delivered
+        );
+        let tx: &TcpSender = e.agent_as(tx).unwrap();
+        assert_eq!(tx.stats.timeouts, 0, "no timeouts on a clean path");
+    }
+
+    #[test]
+    fn congestion_causes_cuts_not_collapse() {
+        // Tight buffer: overflow losses must trigger fast recovery, and
+        // the connection must keep running (sawtooth, not stall).
+        let (mut e, tx, rx) = one_flow(
+            800_000, // 100 pkt/s
+            SimDuration::from_millis(50),
+            &QueueConfig::DropTail { limit: 10 },
+        );
+        e.run_until(SimTime::from_secs(60));
+        let txs: &TcpSender = e.agent_as(tx).unwrap();
+        assert!(txs.stats.window_cuts > 5, "cuts: {}", txs.stats.window_cuts);
+        let rx: &TcpReceiver = e.agent_as(rx).unwrap();
+        let rate = rx.stats.delivered as f64 / 60.0;
+        assert!(
+            rate > 80.0 && rate <= 101.0,
+            "goodput {rate} pkt/s should stay near 100"
+        );
+    }
+
+    #[test]
+    fn recovers_from_total_blackout_via_timeout() {
+        use netsim::fault::FaultInjector;
+        let (mut e, tx, _rx) = one_flow(
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::paper_droptail(),
+        );
+        // Black out the forward channel for a while.
+        let ch = e.world().node(netsim::id::NodeId(0)).out_channels[0];
+        e.run_until(SimTime::from_secs(2));
+        e.set_fault(ch, FaultInjector::new(1.0));
+        e.run_until(SimTime::from_secs(6));
+        let cuts_mid = {
+            let t: &TcpSender = e.agent_as(tx).unwrap();
+            t.stats.timeouts
+        };
+        assert!(cuts_mid >= 1, "blackout must cause timeouts");
+        // Heal the path; the flow must resume.
+        e.world_mut().channel_mut(ch).fault = None;
+        let before = {
+            let t: &TcpSender = e.agent_as(tx).unwrap();
+            t.stats.delivered
+        };
+        e.run_until(SimTime::from_secs(12));
+        let t: &TcpSender = e.agent_as(tx).unwrap();
+        assert!(
+            t.stats.delivered > before + 1000,
+            "flow must resume after the path heals ({} -> {})",
+            before,
+            t.stats.delivered
+        );
+    }
+
+    #[test]
+    fn window_halves_once_per_loss_window() {
+        // Statistical sanity: with sustained congestion, window cuts must
+        // be far fewer than retransmissions grouped into loss windows.
+        let (mut e, tx, _) = one_flow(
+            800_000,
+            SimDuration::from_millis(20),
+            &QueueConfig::DropTail { limit: 5 },
+        );
+        e.run_until(SimTime::from_secs(60));
+        let t: &TcpSender = e.agent_as(tx).unwrap();
+        assert!(t.stats.retransmits > 0);
+        assert!(
+            t.stats.total_cuts() <= t.stats.retransmits,
+            "cuts {} must not exceed loss events {}",
+            t.stats.total_cuts(),
+            t.stats.retransmits
+        );
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_roughly_equally() {
+        let mut e = Engine::new(11);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        // 200 pkt/s bottleneck shared by two identical flows.
+        e.add_link(
+            a,
+            b,
+            1_600_000,
+            SimDuration::from_millis(20),
+            &QueueConfig::paper_droptail(),
+        );
+        let rx1 = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let rx2 = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let tx1 = e.add_agent(a, Box::new(TcpSender::new(rx1, TcpConfig::default())));
+        let tx2 = e.add_agent(a, Box::new(TcpSender::new(rx2, TcpConfig::default())));
+        e.compute_routes();
+        e.start_agent_at(tx1, SimTime::ZERO);
+        e.start_agent_at(tx2, SimTime::from_millis(37));
+        e.run_until(SimTime::from_secs(120));
+        let d1 = e.agent_as::<TcpReceiver>(rx1).unwrap().stats.delivered as f64;
+        let d2 = e.agent_as::<TcpReceiver>(rx2).unwrap().stats.delivered as f64;
+        let ratio = d1.max(d2) / d1.min(d2);
+        assert!(
+            ratio < 2.0,
+            "equal flows should share within 2x ({d1} vs {d2})"
+        );
+        assert!(d1 + d2 > 0.85 * 200.0 * 120.0, "link underutilized");
+    }
+}
