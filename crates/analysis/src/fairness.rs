@@ -6,10 +6,8 @@
 //! bottleneck and `a ≤ b < N` are functions of the receiver count.
 //! **Absolute fairness** is the special case `a = b = 1`.
 
-use serde::Serialize;
-
 /// A pair of essential-fairness bounds `(a, b)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FairnessBounds {
     /// Lower multiple of the TCP throughput.
     pub a: f64,
@@ -46,7 +44,10 @@ impl FairnessBounds {
     /// The §4.3 remark: with *equally* congested troubled receivers the
     /// RLA throughput stays within 4× TCP for any `n`.
     pub fn balanced_congestion() -> Self {
-        FairnessBounds { a: 1.0 / 3.0, b: 4.0 }
+        FairnessBounds {
+            a: 1.0 / 3.0,
+            b: 4.0,
+        }
     }
 
     /// `b / a`, the paper's tightness indicator.
@@ -65,7 +66,7 @@ impl FairnessBounds {
 }
 
 /// A measured fairness outcome for reporting.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FairnessCheck {
     /// Multicast throughput, pkt/s.
     pub lambda_rla: f64,

@@ -18,7 +18,10 @@ use rand::{Rng, SeedableRng};
 
 /// Equation (1): the PA window size for congestion probability `p`.
 pub fn pa_window(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "congestion probability must be in (0,1)");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "congestion probability must be in (0,1)"
+    );
     (2.0 * (1.0 - p)).sqrt() / p.sqrt()
 }
 
@@ -54,7 +57,10 @@ pub struct WindowProcessStats {
 /// the window halves, otherwise it grows by `1/W`. The first `warmup`
 /// steps are discarded.
 pub fn simulate_tcp_window(p: f64, steps: u64, warmup: u64, seed: u64) -> WindowProcessStats {
-    assert!(p > 0.0 && p < 1.0, "congestion probability must be in (0,1)");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "congestion probability must be in (0,1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w: f64 = 1.0;
     let mut sum = 0.0;

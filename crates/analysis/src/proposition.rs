@@ -86,13 +86,7 @@ pub fn proposition_bounds(p_max: f64, n: usize) -> PropositionBounds {
 /// per step, each receiver signals (independently, or all together when
 /// `common` is set), each signal is listened to with probability `1/n`,
 /// and the window halves once per accepted signal.
-pub fn simulate_rla_window(
-    p: &[f64],
-    common: bool,
-    steps: u64,
-    warmup: u64,
-    seed: u64,
-) -> f64 {
+pub fn simulate_rla_window(p: &[f64], common: bool, steps: u64, warmup: u64, seed: u64) -> f64 {
     let n = p.len();
     assert!(n >= 1);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn increases_without_congestion() {
         let mut c = Ltrc::new(LtrcConfig::default());
-        let r = c.update(SimTime::from_secs(1), 10.0, &[report(0.001, SimTime::from_secs(1))]);
+        let r = c.update(
+            SimTime::from_secs(1),
+            10.0,
+            &[report(0.001, SimTime::from_secs(1))],
+        );
         assert_eq!(r, 12.0);
         assert_eq!(c.reductions(), 0);
     }
@@ -119,7 +123,11 @@ mod tests {
     #[test]
     fn halves_on_threshold_crossing() {
         let mut c = Ltrc::new(LtrcConfig::default());
-        let r = c.update(SimTime::from_secs(1), 10.0, &[report(0.05, SimTime::from_secs(1))]);
+        let r = c.update(
+            SimTime::from_secs(1),
+            10.0,
+            &[report(0.05, SimTime::from_secs(1))],
+        );
         assert_eq!(r, 5.0);
         assert_eq!(c.reductions(), 1);
     }
@@ -127,7 +135,11 @@ mod tests {
     #[test]
     fn hold_time_prevents_consecutive_cuts() {
         let mut c = Ltrc::new(LtrcConfig::default());
-        let r1 = c.update(SimTime::from_secs(1), 10.0, &[report(0.05, SimTime::from_secs(1))]);
+        let r1 = c.update(
+            SimTime::from_secs(1),
+            10.0,
+            &[report(0.05, SimTime::from_secs(1))],
+        );
         // 500 ms later: still inside the 1 s hold — must increase instead.
         let r2 = c.update(
             SimTime::from_secs_f64(1.5),
@@ -136,7 +148,11 @@ mod tests {
         );
         assert!(r2 > r1);
         // After the hold expires the cut happens.
-        let r3 = c.update(SimTime::from_secs(3), r2, &[report(0.05, SimTime::from_secs(3))]);
+        let r3 = c.update(
+            SimTime::from_secs(3),
+            r2,
+            &[report(0.05, SimTime::from_secs(3))],
+        );
         assert_eq!(r3, r2 * 0.5);
         assert_eq!(c.reductions(), 2);
     }
@@ -145,7 +161,11 @@ mod tests {
     fn stale_reports_ignored() {
         let mut c = Ltrc::new(LtrcConfig::default());
         // A very old congested report must not trigger a cut.
-        let r = c.update(SimTime::from_secs(100), 10.0, &[report(0.5, SimTime::from_secs(1))]);
+        let r = c.update(
+            SimTime::from_secs(100),
+            10.0,
+            &[report(0.5, SimTime::from_secs(1))],
+        );
         assert!(r > 10.0);
     }
 

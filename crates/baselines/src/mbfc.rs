@@ -130,7 +130,10 @@ mod tests {
             report(3, 0.0, now),
         ];
         let r = c.update(now, 10.0, &reports);
-        assert!(r > 10.0, "QoS averaging: a single congested receiver ignored");
+        assert!(
+            r > 10.0,
+            "QoS averaging: a single congested receiver ignored"
+        );
     }
 
     #[test]
@@ -172,7 +175,11 @@ mod tests {
             population_threshold: 0.0,
             ..Default::default()
         });
-        let r1 = c.update(SimTime::from_secs(1), 16.0, &[report(0, 0.5, SimTime::from_secs(1))]);
+        let r1 = c.update(
+            SimTime::from_secs(1),
+            16.0,
+            &[report(0, 0.5, SimTime::from_secs(1))],
+        );
         let r2 = c.update(
             SimTime::from_secs_f64(1.2),
             r1,

@@ -362,7 +362,10 @@ mod tests {
             &QueueConfig::paper_droptail(),
         );
         let g = e.new_group();
-        let rx = e.add_agent(b, Box::new(RateReceiver::new(SimDuration::from_millis(500), 0.25)));
+        let rx = e.add_agent(
+            b,
+            Box::new(RateReceiver::new(SimDuration::from_millis(500), 0.25)),
+        );
         e.join_group(g, rx);
         let cfg = RateConfig {
             initial_rate: 50.0,

@@ -25,7 +25,15 @@ fn bench_analysis(c: &mut Criterion) {
     });
 
     g.bench_function("eq3_monte_carlo_1m_steps", |b| {
-        b.iter(|| black_box(simulate_rla_window(&[0.02, 0.01], false, 1_000_000, 10_000, 7)))
+        b.iter(|| {
+            black_box(simulate_rla_window(
+                &[0.02, 0.01],
+                false,
+                1_000_000,
+                10_000,
+                7,
+            ))
+        })
     });
 
     g.bench_function("eq3_closed_forms_27_receivers", |b| {

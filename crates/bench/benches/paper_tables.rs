@@ -24,13 +24,31 @@ fn bench_tables(c: &mut Criterion) {
     // Figure 7 (drop-tail): one representative column per correlation
     // regime — fully correlated, independent, unbalanced.
     g.bench_function("fig7_case1_droptail", |b| {
-        b.iter(|| black_box(quick(CongestionCase::Case1RootLink, GatewayKind::DropTail, 1)))
+        b.iter(|| {
+            black_box(quick(
+                CongestionCase::Case1RootLink,
+                GatewayKind::DropTail,
+                1,
+            ))
+        })
     });
     g.bench_function("fig7_case3_droptail", |b| {
-        b.iter(|| black_box(quick(CongestionCase::Case3AllLeaves, GatewayKind::DropTail, 1)))
+        b.iter(|| {
+            black_box(quick(
+                CongestionCase::Case3AllLeaves,
+                GatewayKind::DropTail,
+                1,
+            ))
+        })
     });
     g.bench_function("fig7_case5_droptail", |b| {
-        b.iter(|| black_box(quick(CongestionCase::Case5OneLevel2, GatewayKind::DropTail, 1)))
+        b.iter(|| {
+            black_box(quick(
+                CongestionCase::Case5OneLevel2,
+                GatewayKind::DropTail,
+                1,
+            ))
+        })
     });
 
     // Figure 8 shares figure 7's runs; bench the per-branch aggregation
@@ -41,7 +59,9 @@ fn bench_tables(c: &mut Criterion) {
                 .with_duration(SimDuration::from_secs(30));
             s.warmup = SimDuration::from_secs(10);
             let r = s.run();
-            black_box(experiments::tables::render_signal_table(std::slice::from_ref(&r)))
+            black_box(experiments::tables::render_signal_table(
+                std::slice::from_ref(&r),
+            ))
         })
     });
 
@@ -52,12 +72,24 @@ fn bench_tables(c: &mut Criterion) {
 
     // Figure 10 (unequal RTTs, generalized RLA).
     g.bench_function("fig10_level3", |b| {
-        b.iter(|| black_box(quick(CongestionCase::Fig10AllLevel3, GatewayKind::DropTail, 1)))
+        b.iter(|| {
+            black_box(quick(
+                CongestionCase::Fig10AllLevel3,
+                GatewayKind::DropTail,
+                1,
+            ))
+        })
     });
 
     // §5.2 (two overlapping sessions).
     g.bench_function("sec52_two_sessions", |b| {
-        b.iter(|| black_box(quick(CongestionCase::Case3AllLeaves, GatewayKind::DropTail, 2)))
+        b.iter(|| {
+            black_box(quick(
+                CongestionCase::Case3AllLeaves,
+                GatewayKind::DropTail,
+                2,
+            ))
+        })
     });
 
     g.finish();

@@ -78,15 +78,16 @@ fn ltrc_session(secs: u64) -> u64 {
     e.build_group_tree(group, root);
     e.start_agent_at(tx, SimTime::ZERO);
     e.run_until(SimTime::from_secs(secs));
-    e.agent_as::<RateReceiver>(rx0.expect("rx")).expect("rx").stats.received
+    e.agent_as::<RateReceiver>(rx0.expect("rx"))
+        .expect("rx")
+        .stats
+        .received
 }
 
 fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocols");
     g.sample_size(10);
-    g.bench_function("tcp_30_sim_seconds", |b| {
-        b.iter(|| black_box(tcp_flow(30)))
-    });
+    g.bench_function("tcp_30_sim_seconds", |b| b.iter(|| black_box(tcp_flow(30))));
     g.bench_function("rla_9rcvr_30_sim_seconds", |b| {
         b.iter(|| black_box(rla_session(30)))
     });

@@ -13,7 +13,10 @@
 //! * **pthresh policy** — Equal vs the §5.3 RTT-scaled rule on the
 //!   unequal-RTT topology.
 
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::manifest::{scenario_entry, write_manifest};
+use experiments::{
+    base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, Json, TreeScenario,
+};
 use netsim::time::SimDuration;
 use rla::{PthreshPolicy, RlaConfig};
 
@@ -120,6 +123,27 @@ fn main() {
     );
     let labels: Vec<String> = rows.iter().map(|(l, _)| l.clone()).collect();
     let results = run_parallel(rows.into_iter().map(|(_, s)| s).collect());
+
+    let runs: Vec<Json> = labels
+        .iter()
+        .zip(&results)
+        .map(|(label, r)| {
+            let mut entry = scenario_entry(r);
+            if let Json::Obj(fields) = &mut entry {
+                fields.insert(0, ("variant".to_string(), label.as_str().into()));
+            }
+            entry
+        })
+        .collect();
+    let manifest = Json::obj(vec![
+        ("binary", "ablation".into()),
+        ("duration_secs", duration.as_secs_f64().into()),
+        ("runs", Json::Arr(runs)),
+    ]);
+    match write_manifest("ablation", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write ablation.manifest.json: {e}"),
+    }
 
     println!("RLA design ablations (case-3 drop-tail unless noted)");
     println!(

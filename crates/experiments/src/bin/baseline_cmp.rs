@@ -8,9 +8,9 @@
 //! and the controller starves, too high and it crushes TCP.
 
 use baselines::{Ltrc, LtrcConfig, Mbfc, MbfcConfig, RateConfig, RateReceiver, RateSender};
-use rla::{RateRla, RateRlaConfig};
 use netsim::prelude::*;
 use rla::{McastReceiver, RlaConfig, RlaSender};
+use rla::{RateRla, RateRlaConfig};
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
 /// What multicast controller to install.
@@ -22,8 +22,8 @@ enum Controller {
 }
 
 /// Run the contest; returns (multicast goodput at the slowest receiver,
-/// TCP throughput) in pkt/s.
-fn contest(controller: Controller, seed: u64) -> (f64, f64) {
+/// TCP throughput) in pkt/s plus the engine's trace digest.
+fn contest(controller: Controller, seed: u64) -> (f64, f64, u64) {
     let mut engine = Engine::new(seed);
     let queue = QueueConfig::paper_droptail();
     let src = engine.add_node("src");
@@ -139,12 +139,24 @@ fn contest(controller: Controller, seed: u64) -> (f64, f64) {
     let mc = match rxs {
         RxSet::Rate(v) => v
             .iter()
-            .map(|&rx| engine.agent_as::<RateReceiver>(rx).expect("rx").stats.received)
+            .map(|&rx| {
+                engine
+                    .agent_as::<RateReceiver>(rx)
+                    .expect("rx")
+                    .stats
+                    .received
+            })
             .min()
             .unwrap_or(0),
         RxSet::Rla(v) => v
             .iter()
-            .map(|&rx| engine.agent_as::<McastReceiver>(rx).expect("rx").stats.delivered)
+            .map(|&rx| {
+                engine
+                    .agent_as::<McastReceiver>(rx)
+                    .expect("rx")
+                    .stats
+                    .delivered
+            })
             .min()
             .unwrap_or(0),
     };
@@ -153,7 +165,11 @@ fn contest(controller: Controller, seed: u64) -> (f64, f64) {
         .expect("tcp rx")
         .stats
         .delivered;
-    (mc as f64 / duration, tcp as f64 / duration)
+    (
+        mc as f64 / duration,
+        tcp as f64 / duration,
+        engine.trace_digest().value(),
+    )
 }
 
 fn main() {
@@ -173,8 +189,9 @@ fn main() {
         ),
         ("RLA (no threshold to tune)".into(), Controller::Rla),
     ];
+    let mut run_entries = Vec::new();
     for (label, ctl) in rows {
-        let (mc, tcp) = contest(ctl, experiments::base_seed());
+        let (mc, tcp, digest) = contest(ctl, experiments::base_seed());
         println!(
             "{:<34} {:>10.1} {:>10.1} {:>10.2}",
             label,
@@ -182,6 +199,21 @@ fn main() {
             tcp,
             mc / tcp.max(1e-9)
         );
+        run_entries.push(experiments::Json::obj(vec![
+            ("controller", label.as_str().into()),
+            ("seed", experiments::base_seed().into()),
+            ("mcast_pps", mc.into()),
+            ("tcp_pps", tcp.into()),
+            ("trace_digest", format!("{digest:016x}").into()),
+        ]));
+    }
+    let manifest = experiments::Json::obj(vec![
+        ("binary", "baseline_cmp".into()),
+        ("runs", experiments::Json::Arr(run_entries)),
+    ]);
+    match experiments::manifest::write_manifest("baseline_cmp", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write baseline_cmp.manifest.json: {e}"),
     }
     println!(
         "\nexpected shape: each rate-based row is far from 1.0 on at least one\n\

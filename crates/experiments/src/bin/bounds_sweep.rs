@@ -14,18 +14,22 @@ use rla::{McastReceiver, RlaConfig, RlaSender};
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
 /// Run one (n, seed) point; returns (λ_RLA, λ_TCP on the worst branch,
-/// average RLA window).
-fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64) {
+/// average RLA window, trace digest).
+fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64, u64) {
     let mut engine = Engine::new(seed);
     let queue = QueueConfig::DropTail { limit: 1000 }; // losses come from the injectors
-    let mut branches = vec![BranchSpec::new(80_000_000, SimDuration::from_millis(30)).with_loss(0.002); n];
+    let mut branches =
+        vec![BranchSpec::new(80_000_000, SimDuration::from_millis(30)).with_loss(0.002); n];
     branches[0].drop_prob = 0.02; // the soft bottleneck
     let star = build_star(&mut engine, &branches, &queue);
 
     // The competing TCP on the worst branch.
     let tcp_rx = engine.add_agent(star.leaves[0], Box::new(TcpReceiver::new(40)));
     engine.set_send_overhead(tcp_rx, SimDuration::from_millis(1));
-    let tcp_tx = engine.add_agent(star.root, Box::new(TcpSender::new(tcp_rx, TcpConfig::default())));
+    let tcp_tx = engine.add_agent(
+        star.root,
+        Box::new(TcpSender::new(tcp_rx, TcpConfig::default())),
+    );
 
     let group = engine.new_group();
     for &leaf in &star.leaves {
@@ -33,7 +37,10 @@ fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64) {
         engine.set_send_overhead(rx, SimDuration::from_millis(1));
         engine.join_group(group, rx);
     }
-    let rla_tx = engine.add_agent(star.root, Box::new(RlaSender::new(group, RlaConfig::default())));
+    let rla_tx = engine.add_agent(
+        star.root,
+        Box::new(RlaSender::new(group, RlaConfig::default())),
+    );
     engine.compute_routes();
     engine.build_group_tree(group, star.root);
     engine.start_agent_at(tcp_tx, SimTime::ZERO);
@@ -42,8 +49,14 @@ fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64) {
     let warmup = secs / 5;
     engine.run_until(SimTime::from_secs(warmup));
     let w = engine.now();
-    engine.agent_as_mut::<RlaSender>(rla_tx).expect("rla").reset_stats(w);
-    engine.agent_as_mut::<TcpSender>(tcp_tx).expect("tcp").reset_stats(w);
+    engine
+        .agent_as_mut::<RlaSender>(rla_tx)
+        .expect("rla")
+        .reset_stats(w);
+    engine
+        .agent_as_mut::<TcpSender>(tcp_tx)
+        .expect("tcp")
+        .reset_stats(w);
     engine.run_until(SimTime::from_secs(secs));
     let now = engine.now();
     let rla = engine.agent_as::<RlaSender>(rla_tx).expect("rla");
@@ -52,6 +65,7 @@ fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64) {
         rla.stats.throughput_pps(now),
         tcp.stats.throughput_pps(now),
         rla.stats.cwnd_avg.average(now),
+        engine.trace_digest().value(),
     )
 }
 
@@ -63,18 +77,21 @@ fn main() {
         "{:>4} {:>10} {:>10} {:>8} {:>8} {:>10} {:>12}",
         "n", "λ_RLA", "λ_WTCP", "ratio", "cwnd", "√(3n)", "2n (Thm II)"
     );
+    let mut run_entries = Vec::new();
     for &n in &[2usize, 4, 9, 16, 27] {
         // Average a few seeds; each point is cheap (fault-injected, no
         // queue dynamics).
         let mut rla = 0.0;
         let mut tcp = 0.0;
         let mut cwnd = 0.0;
+        let mut digests = Vec::new();
         const SEEDS: u64 = 3;
         for s in 0..SEEDS {
-            let (a, b, w) = point(n, experiments::base_seed() + s, secs);
+            let (a, b, w, d) = point(n, experiments::base_seed() + s, secs);
             rla += a;
             tcp += b;
             cwnd += w;
+            digests.push(experiments::Json::from(format!("{d:016x}")));
         }
         rla /= SEEDS as f64;
         tcp /= SEEDS as f64;
@@ -89,6 +106,23 @@ fn main() {
             (3.0 * n as f64).sqrt(),
             2.0 * n as f64
         );
+        run_entries.push(experiments::Json::obj(vec![
+            ("receivers", n.into()),
+            ("base_seed", experiments::base_seed().into()),
+            ("rla_pps", rla.into()),
+            ("wtcp_pps", tcp.into()),
+            ("ratio", (rla / tcp).into()),
+            ("trace_digests", experiments::Json::Arr(digests)),
+        ]));
+    }
+    let manifest = experiments::Json::obj(vec![
+        ("binary", "bounds_sweep".into()),
+        ("duration_secs", (secs as f64).into()),
+        ("runs", experiments::Json::Arr(run_entries)),
+    ]);
+    match experiments::manifest::write_manifest("bounds_sweep", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write bounds_sweep.manifest.json: {e}"),
     }
     println!(
         "\nexpected shape: the ratio grows with n (the paper's 'serves more\n\

@@ -104,6 +104,25 @@ fn main() {
         mean(&full_periods) / (2.0 * rtt)
     );
     println!("drops recorded at the gateway: {}", trace.drops.len());
+    let manifest = experiments::Json::obj(vec![
+        ("binary", "buffer_period".into()),
+        ("seed", experiments::base_seed().into()),
+        ("duration_secs", duration.into()),
+        (
+            "trace_digest",
+            format!("{:016x}", engine.trace_digest().value()).into(),
+        ),
+        ("trace_events", engine.trace_digest().events().into()),
+        ("buffer_periods", periods.len().into()),
+        ("buffer_period_mean_secs", mean(&periods).into()),
+        ("buffer_full_periods", full_periods.len().into()),
+        ("buffer_full_mean_secs", mean(&full_periods).into()),
+        ("gateway_drops", trace.drops.len().into()),
+    ]);
+    match experiments::manifest::write_manifest("buffer_period", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write buffer_period.manifest.json: {e}"),
+    }
     println!("\npaper's observation: buffer period >> 2RTT; buffer-full period <~ 2RTT,");
     println!("which is why the RLA groups losses within 2·srtt into one congestion signal.");
 }

@@ -63,15 +63,27 @@ fn main() {
     }
     {
         let s: &RlaSender = world.engine.agent_as(sender).unwrap();
-        println!("early_rexmt={} rexmc={} data={}", s.stats.early_retransmits, s.stats.retransmits_multicast, s.stats.data_sent);
-        let mut dups = 0u64; let mut arrivals = 0u64;
+        println!(
+            "early_rexmt={} rexmc={} data={}",
+            s.stats.early_retransmits, s.stats.retransmits_multicast, s.stats.data_sent
+        );
+        let mut dups = 0u64;
+        let mut arrivals = 0u64;
         for &rx in &world.rla_receivers[0] {
             let r: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
-            dups += r.stats.duplicates; arrivals += r.stats.arrivals;
+            dups += r.stats.duplicates;
+            arrivals += r.stats.arrivals;
         }
-        println!("receiver dups={} arrivals={} dups/rexmc={:.1}", dups, arrivals, dups as f64 / s.stats.retransmits_multicast.max(1) as f64);
+        println!(
+            "receiver dups={} arrivals={} dups/rexmc={:.1}",
+            dups,
+            arrivals,
+            dups as f64 / s.stats.retransmits_multicast.max(1) as f64
+        );
         let mut leaf_drops = 0u64;
-        for &ch in &world.tree.l4_down { leaf_drops += world.engine.world().channel(ch).stats.queue_drops(); }
+        for &ch in &world.tree.l4_down {
+            leaf_drops += world.engine.world().channel(ch).stats.queue_drops();
+        }
         println!("total leaf-channel drops (tcp+rla) = {leaf_drops}");
     }
     // Any channel that dropped packets.
@@ -91,6 +103,7 @@ fn main() {
         }
     }
     let r = world.collect(&scenario);
+    experiments::emit_scenario_manifest("debug_probe", scenario.duration, std::slice::from_ref(&r));
     println!(
         "RLA {:.1} pkt/s | WTCP {:.1} | BTCP {:.1} | avgTCP {:.1}",
         r.rla[0].throughput_pps,

@@ -6,14 +6,21 @@
 //! * the Lemma: common losses (figure 2b) give a larger window than
 //!   independent losses at the same per-receiver congestion probability.
 
+use std::fmt::Write as _;
+
 use analysis::{
-    eq3_two_receivers, pa_window, proposition_bounds, rla_window_common,
-    rla_window_independent, simulate_rla_window,
+    eq3_two_receivers, pa_window, proposition_bounds, rla_window_common, rla_window_independent,
+    simulate_rla_window,
 };
 
 fn main() {
-    println!("Equation (3) — two-receiver RLA window, independent losses");
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Equation (3) — two-receiver RLA window, independent losses"
+    );
+    let _ = writeln!(
+        out,
         "{:>8} {:>8} {:>10} {:>10} {:>12} {:>10}",
         "p1", "p2", "eq.(3)", "general", "monte-carlo", "MC/eq3"
     );
@@ -27,7 +34,8 @@ fn main() {
         let paper = eq3_two_receivers(p1, p2);
         let general = rla_window_independent(&[p1, p2]);
         let mc = simulate_rla_window(&[p1, p2], false, 4_000_000, 200_000, 7);
-        println!(
+        let _ = writeln!(
+            out,
             "{:>8.4} {:>8.4} {:>10.2} {:>10.2} {:>12.2} {:>10.3}",
             p1,
             p2,
@@ -38,8 +46,12 @@ fn main() {
         );
     }
 
-    println!("\nProposition (equation 2) — bounds on the RLA window, p_max = 0.02");
-    println!(
+    let _ = writeln!(
+        out,
+        "\nProposition (equation 2) — bounds on the RLA window, p_max = 0.02"
+    );
+    let _ = writeln!(
+        out,
         "{:>4} {:>14} {:>14} {:>12} {:>12} {:>8}",
         "n", "W (indep)", "W (common)", "lower", "upper", "inside?"
     );
@@ -54,18 +66,29 @@ fn main() {
             && indep < b.upper * tol
             && common * tol > b.lower
             && common < b.upper * tol;
-        println!(
+        let _ = writeln!(
+            out,
             "{:>4} {:>14.2} {:>14.2} {:>12.2} {:>12.2} {:>8}",
             n, indep, common, b.lower, b.upper, inside
         );
     }
-    println!("(lower bound = eq.(1) at p_max = {:.2}: {:.2})", p, pa_window(p));
+    let _ = writeln!(
+        out,
+        "(lower bound = eq.(1) at p_max = {:.2}: {:.2})",
+        p,
+        pa_window(p)
+    );
 
-    println!("\nLemma — correlation in losses enlarges the window (common / indep):");
+    let _ = writeln!(
+        out,
+        "\nLemma — correlation in losses enlarges the window (common / indep):"
+    );
     for &n in &[2usize, 9, 27] {
         let indep = rla_window_independent(&vec![p; n]);
         let common = rla_window_common(p, n);
-        println!("  n = {:>2}: ratio {:.3}", n, common / indep);
+        let _ = writeln!(out, "  n = {:>2}: ratio {:.3}", n, common / indep);
     }
+    print!("{out}");
+    experiments::emit_analysis_manifest("eq3", &out, vec![("monte_carlo_seed", 7u64.into())]);
     println!("\n(the same ordering shows up in figure 7: case 1 > case 2 > case 3)");
 }

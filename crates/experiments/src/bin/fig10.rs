@@ -8,7 +8,10 @@
 //! bottleneck placements: all level-2 links, all level-3 links.
 
 use experiments::tables::render_fig10_table;
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
+    TreeScenario,
+};
 
 fn main() {
     let duration = run_duration();
@@ -28,6 +31,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let results = run_parallel(scenarios);
+    emit_scenario_manifest("fig10", duration, &results);
     println!("Figure 10 — results with different round-trip times (f(x) = x^2)");
     println!("{}", render_fig10_table(&results));
     println!("paper reference:");

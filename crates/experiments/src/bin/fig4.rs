@@ -5,6 +5,8 @@
 //! it the drift turns back toward the fair operating point. Printed as an
 //! ASCII vector field plus the raw values as CSV.
 
+use std::fmt::Write as _;
+
 use analysis::particle::drift_field;
 use experiments::plots::render_drift_field;
 
@@ -15,14 +17,31 @@ fn main() {
     let step = 1.0;
     let field = drift_field(n, pipe, w_max, step);
 
-    println!("Figure 4 — average drift of (cwnd1, cwnd2), n = {n}, pipe = {pipe}");
-    println!("(7 = both grow; L = both shrink; direction of steepest drift per cell)");
-    println!("{}", render_drift_field(&field, w_max, step));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4 — average drift of (cwnd1, cwnd2), n = {n}, pipe = {pipe}"
+    );
+    let _ = writeln!(
+        out,
+        "(7 = both grow; L = both shrink; direction of steepest drift per cell)"
+    );
+    let _ = writeln!(out, "{}", render_drift_field(&field, w_max, step));
 
-    println!("raw field (CSV): w1,w2,dx,dy");
+    let _ = writeln!(out, "raw field (CSV): w1,w2,dx,dy");
     for v in &field {
-        println!("{},{},{:.4},{:.4}", v.w1, v.w2, v.dx, v.dy);
+        let _ = writeln!(out, "{},{},{:.4},{:.4}", v.w1, v.w2, v.dx, v.dy);
     }
+    print!("{out}");
+    experiments::emit_analysis_manifest(
+        "fig4",
+        &out,
+        vec![
+            ("receivers", (n as u64).into()),
+            ("pipe", pipe.into()),
+            ("w_max", w_max.into()),
+        ],
+    );
 
     // The headline property: drift points toward the fair point.
     let below = field
@@ -33,7 +52,10 @@ fn main() {
         .iter()
         .find(|v| v.w1 > 12.0 && v.w2 > 12.0)
         .expect("points above the pipe exist");
-    println!("\ncheck: below pipe drift = (+{:.2}, +{:.2})", below.dx, below.dy);
+    println!(
+        "\ncheck: below pipe drift = (+{:.2}, +{:.2})",
+        below.dx, below.dy
+    );
     println!(
         "check: far above pipe drift = ({:.2}, {:.2}) (must be negative)",
         above.dx, above.dy

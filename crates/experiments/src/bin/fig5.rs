@@ -17,7 +17,7 @@ use netsim::prelude::*;
 use rla::{McastReceiver, RlaConfig, RlaSender};
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
-fn particle_view() {
+fn particle_view() -> experiments::Json {
     // pipe 40 shared by the two sessions themselves -> fair point (20,20).
     let stats = simulate_particle(27, 40.0, 2_000_000, 5, 60);
     println!("— particle model (n = 27, fair point (20, 20)) —");
@@ -29,9 +29,19 @@ fn particle_view() {
         stats.mode(),
         100.0 * stats.mass_near(20.0, 20.0, 8.0)
     );
+    experiments::Json::obj(vec![
+        ("view", "particle".into()),
+        ("seed", 5u64.into()),
+        ("mean_w1", stats.mean_w1.into()),
+        ("mean_w2", stats.mean_w2.into()),
+        (
+            "mass_near_fair_point",
+            stats.mass_near(20.0, 20.0, 8.0).into(),
+        ),
+    ])
 }
 
-fn full_sim_view() {
+fn full_sim_view() -> experiments::Json {
     // Flat star: S -- R_i over 27 independent paths, BDP = 60 packets:
     // 600 pkt/s (4.8 Mbps) with 50 ms one-way delay (RTT 0.1 s).
     let mut engine = Engine::new(base_seed());
@@ -114,6 +124,18 @@ fn full_sim_view() {
         stats.mean_w1, stats.mean_w2, stats.steps, duration
     );
     println!("paper reference: density centred at (20, 20)");
+    experiments::Json::obj(vec![
+        ("view", "full-sim".into()),
+        ("seed", base_seed().into()),
+        ("duration_secs", duration.into()),
+        (
+            "trace_digest",
+            format!("{:016x}", engine.trace_digest().value()).into(),
+        ),
+        ("trace_events", engine.trace_digest().events().into()),
+        ("mean_w1", stats.mean_w1.into()),
+        ("mean_w2", stats.mean_w2.into()),
+    ])
 }
 
 fn base_seed() -> u64 {
@@ -126,6 +148,14 @@ fn run_duration_secs() -> f64 {
 
 fn main() {
     println!("Figure 5 — occurrence density of (cwnd1, cwnd2)\n");
-    particle_view();
-    full_sim_view();
+    let particle = particle_view();
+    let full = full_sim_view();
+    let manifest = experiments::Json::obj(vec![
+        ("binary", "fig5".into()),
+        ("views", experiments::Json::Arr(vec![particle, full])),
+    ]);
+    match experiments::manifest::write_manifest("fig5", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write fig5.manifest.json: {e}"),
+    }
 }

@@ -6,7 +6,10 @@
 //! TCP. Honours `RLA_DURATION_SECS` (default 3000 s, the paper's length).
 
 use experiments::tables::render_throughput_table;
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
+    TreeScenario,
+};
 
 fn main() {
     let duration = run_duration();
@@ -23,6 +26,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let results = run_parallel(scenarios);
+    emit_scenario_manifest("fig7", duration, &results);
     println!(
         "{}",
         render_throughput_table(

@@ -8,7 +8,10 @@
 //! cases 4–5 the counts diverge because the window sizes differ.
 
 use experiments::tables::render_signal_table;
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
+    TreeScenario,
+};
 
 fn main() {
     let duration = run_duration();
@@ -25,6 +28,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let results = run_parallel(scenarios);
+    emit_scenario_manifest("fig8", duration, &results);
     println!("Figure 8 — congestion signals per branch (RLA) vs window cuts (TCP)");
     println!("{}", render_signal_table(&results));
     println!("paper reference (worst/best/average):");

@@ -6,7 +6,10 @@
 //! case 1.
 
 use experiments::tables::render_throughput_table;
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
+    TreeScenario,
+};
 
 fn main() {
     let duration = run_duration();
@@ -23,6 +26,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let results = run_parallel(scenarios);
+    emit_scenario_manifest("fig9", duration, &results);
     println!(
         "{}",
         render_throughput_table("Figure 9 — simulation results with RED gateways", &results)

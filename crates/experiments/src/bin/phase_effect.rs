@@ -10,8 +10,9 @@
 use netsim::prelude::*;
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
-/// Run the two-flow contest; returns (throughput1, throughput2) in pkt/s.
-fn contest(queue: &QueueConfig, overhead: SimDuration, seed: u64) -> (f64, f64) {
+/// Run the two-flow contest; returns (throughput1, throughput2) in pkt/s
+/// plus the trace digest.
+fn contest(queue: &QueueConfig, overhead: SimDuration, seed: u64) -> (f64, f64, u64) {
     let mut engine = Engine::new(seed);
     let s1 = engine.add_node("s1");
     let s2 = engine.add_node("s2");
@@ -44,9 +45,21 @@ fn contest(queue: &QueueConfig, overhead: SimDuration, seed: u64) -> (f64, f64) 
     engine.start_agent_at(tx2, SimTime::from_millis(503));
     let duration = experiments::run_duration().as_secs_f64().min(1000.0);
     engine.run_until(SimTime::from_secs_f64(duration));
-    let d1 = engine.agent_as::<TcpReceiver>(rx1).expect("rx").stats.delivered;
-    let d2 = engine.agent_as::<TcpReceiver>(rx2).expect("rx").stats.delivered;
-    (d1 as f64 / duration, d2 as f64 / duration)
+    let d1 = engine
+        .agent_as::<TcpReceiver>(rx1)
+        .expect("rx")
+        .stats
+        .delivered;
+    let d2 = engine
+        .agent_as::<TcpReceiver>(rx2)
+        .expect("rx")
+        .stats
+        .delivered;
+    (
+        d1 as f64 / duration,
+        d2 as f64 / duration,
+        engine.trace_digest().value(),
+    )
 }
 
 fn main() {
@@ -67,20 +80,27 @@ fn main() {
             QueueConfig::paper_droptail(),
             service,
         ),
-        ("RED gateway (no overhead needed)", QueueConfig::paper_red(), SimDuration::ZERO),
+        (
+            "RED gateway (no overhead needed)",
+            QueueConfig::paper_red(),
+            SimDuration::ZERO,
+        ),
     ];
     let mut summary = Vec::new();
+    let mut run_entries = Vec::new();
     for (label, queue, overhead) in rows.drain(..) {
         // Average the unfairness indicator over several seeds.
         let mut worst_ratio: f64 = 1.0;
         let mut t1_acc = 0.0;
         let mut t2_acc = 0.0;
+        let mut digests = Vec::new();
         const SEEDS: u64 = 5;
         for seed in 0..SEEDS {
-            let (t1, t2) = contest(&queue, overhead, experiments::base_seed() + seed);
+            let (t1, t2, d) = contest(&queue, overhead, experiments::base_seed() + seed);
             worst_ratio = worst_ratio.max(t1.max(t2) / t1.min(t2).max(1e-9));
             t1_acc += t1;
             t2_acc += t2;
+            digests.push(experiments::Json::from(format!("{d:016x}")));
         }
         println!(
             "{:<44} {:>9.1} {:>9.1} {:>9.2}",
@@ -89,7 +109,23 @@ fn main() {
             t2_acc / SEEDS as f64,
             worst_ratio
         );
+        run_entries.push(experiments::Json::obj(vec![
+            ("configuration", label.into()),
+            ("base_seed", experiments::base_seed().into()),
+            ("flow1_pps", (t1_acc / SEEDS as f64).into()),
+            ("flow2_pps", (t2_acc / SEEDS as f64).into()),
+            ("worst_ratio", worst_ratio.into()),
+            ("trace_digests", experiments::Json::Arr(digests)),
+        ]));
         summary.push((label, worst_ratio));
+    }
+    let manifest = experiments::Json::obj(vec![
+        ("binary", "phase_effect".into()),
+        ("runs", experiments::Json::Arr(run_entries)),
+    ]);
+    match experiments::manifest::write_manifest("phase_effect", &manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write phase_effect.manifest.json: {e}"),
     }
     println!("\n(flow rates in pkt/s; max/min is the worst split over 5 seeds)");
     println!(

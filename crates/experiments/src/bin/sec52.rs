@@ -5,7 +5,9 @@
 //! reports 65.1 / 65.9 pkt/s and average windows 19.9 / 20.1 — the
 //! multicast-fairness property of §4.4 realized in the full simulator.
 
-use experiments::{base_seed, run_duration, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, CongestionCase, GatewayKind, TreeScenario,
+};
 
 fn main() {
     let duration = run_duration();
@@ -18,6 +20,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let r = scenario.run();
+    emit_scenario_manifest("sec52", duration, std::slice::from_ref(&r));
 
     println!("Section 5.2 — two overlapping multicast sessions (case-3 topology)");
     for (i, s) in r.rla.iter().enumerate() {

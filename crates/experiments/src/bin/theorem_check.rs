@@ -8,7 +8,10 @@
 //! far tighter (`a ≈ 1`, `b ≈ 3` in §5's setups) is reported alongside.
 
 use analysis::{FairnessBounds, FairnessCheck};
-use experiments::{base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, TreeScenario};
+use experiments::{
+    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
+    TreeScenario,
+};
 use netsim::time::SimDuration;
 
 fn main() {
@@ -30,6 +33,7 @@ fn main() {
         duration.as_secs_f64()
     );
     let results = run_parallel(scenarios);
+    emit_scenario_manifest("theorem_check", duration, &results);
 
     println!("Theorems I & II — measured ratio vs proved bounds (n = 27 troubled receivers)");
     println!(

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest;
 pub mod metrics;
 pub mod plots;
 pub mod runner;
@@ -35,8 +36,9 @@ pub mod star;
 pub mod tables;
 pub mod tree;
 
+pub use manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
 pub use metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
-pub use runner::{base_seed, run_duration, run_parallel};
+pub use runner::{base_seed, job_count, run_duration, run_parallel, run_parallel_with_jobs};
 pub use scenario::{GatewayKind, ScenarioWorld, TreeScenario};
 pub use star::{build_star, BranchSpec, Star};
 pub use tree::{build_tree, CongestionCase, TertiaryTree};

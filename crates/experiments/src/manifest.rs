@@ -1,0 +1,363 @@
+//! Run manifests: one JSON file per experiment binary under `results/`.
+//!
+//! A manifest records everything needed to reproduce and verify a run:
+//! the scenario parameters, seed, simulated duration, the engine's
+//! [`TraceDigest`](netsim::trace::TraceDigest) over the full packet-event
+//! stream, and the headline metrics. Regenerating a figure with the same
+//! code, seed and duration must reproduce the digests bit-for-bit — the
+//! golden-digest regression tests pin two committed manifests this way.
+//!
+//! The workspace deliberately has no JSON dependency; the emitter here
+//! covers the small subset we need (objects, arrays, strings, numbers)
+//! with correct string escaping and round-trippable float formatting.
+//!
+//! Output goes to `results/<name>.manifest.json`, or under
+//! `RLA_RESULTS_DIR` when set.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+use netsim::time::SimDuration;
+
+use crate::metrics::ScenarioResult;
+use crate::scenario::GatewayKind;
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`]; render with [`Json::pretty`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float (non-finite values render as `null`).
+    Num(f64),
+    /// An unsigned integer, rendered without a decimal point.
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v as u64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array.
+    pub fn arr(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// Two-space-indented rendering with a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest string that parses back
+                    // to the same value; force a decimal point so the
+                    // field stays float-typed for readers.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Where manifests go: `RLA_RESULTS_DIR` if set, else `results/` in the
+/// current directory (the workspace root under `cargo run`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("RLA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write `value` to `results/<name>.manifest.json` and return the path.
+pub fn write_manifest(name: &str, value: &Json) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.manifest.json"));
+    std::fs::write(&path, value.pretty())?;
+    Ok(path)
+}
+
+fn gateway_str(g: GatewayKind) -> &'static str {
+    match g {
+        GatewayKind::DropTail => "drop-tail",
+        GatewayKind::Red => "red",
+    }
+}
+
+/// The manifest entry for one scenario run: parameters, digest, and the
+/// headline metrics every paper table reports.
+pub fn scenario_entry(r: &ScenarioResult) -> Json {
+    Json::obj(vec![
+        ("case", r.case_label.as_str().into()),
+        ("gateway", gateway_str(r.gateway).into()),
+        ("seed", r.seed.into()),
+        ("measured_secs", r.measured_secs.into()),
+        ("trace_digest", format!("{:016x}", r.trace_digest).into()),
+        ("trace_events", r.trace_events.into()),
+        (
+            "congested_leaves",
+            Json::Arr(r.congested_leaves.iter().map(|&i| i.into()).collect()),
+        ),
+        (
+            "rla_throughput_pps",
+            Json::Arr(r.rla.iter().map(|s| s.throughput_pps.into()).collect()),
+        ),
+        (
+            "wtcp_pps",
+            r.worst_tcp()
+                .map_or(Json::Null, |t| t.throughput_pps.into()),
+        ),
+        (
+            "btcp_pps",
+            r.best_tcp().map_or(Json::Null, |t| t.throughput_pps.into()),
+        ),
+        ("avg_tcp_pps", r.avg_tcp_throughput().into()),
+    ])
+}
+
+/// Standard manifest for a binary that ran a batch of tree scenarios.
+pub fn scenario_manifest(binary: &str, duration: SimDuration, runs: &[ScenarioResult]) -> Json {
+    Json::obj(vec![
+        ("binary", binary.into()),
+        ("duration_secs", duration.as_secs_f64().into()),
+        ("runs", Json::Arr(runs.iter().map(scenario_entry).collect())),
+    ])
+}
+
+/// Build and write the standard scenario manifest; prints the path to
+/// stderr (tables go to stdout) and never fails the run over an
+/// unwritable results directory.
+pub fn emit_scenario_manifest(binary: &str, duration: SimDuration, runs: &[ScenarioResult]) {
+    emit(binary, &scenario_manifest(binary, duration, runs));
+}
+
+/// Digest of an analysis-only artifact: the same fold the engine applies
+/// to trace events, applied to the rendered output bytes. Gives the
+/// analytic binaries (eq1, fig4, ...) a regression digest without a
+/// packet trace.
+pub fn text_digest(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Manifest for an analysis-only binary (no simulation): digests the
+/// rendered output and records the parameters given as `extra` fields.
+pub fn analysis_manifest(binary: &str, output: &str, extra: Vec<(&str, Json)>) -> Json {
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("binary", binary.into()),
+        (
+            "output_digest",
+            format!("{:016x}", text_digest(output)).into(),
+        ),
+        ("output_bytes", output.len().into()),
+    ];
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+/// Build and write an analysis-only manifest (see [`analysis_manifest`]).
+pub fn emit_analysis_manifest(binary: &str, output: &str, extra: Vec<(&str, Json)>) {
+    emit(binary, &analysis_manifest(binary, output, extra));
+}
+
+fn emit(binary: &str, value: &Json) {
+    match write_manifest(binary, value) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write {binary}.manifest.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TcpRow;
+
+    #[test]
+    fn renders_escapes_and_numbers() {
+        let j = Json::obj(vec![
+            ("s", "a\"b\\c\nd".into()),
+            ("f", 1.5.into()),
+            ("whole", 3.0.into()),
+            ("i", 7u64.into()),
+            ("nan", f64::NAN.into()),
+            ("arr", Json::arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::obj(vec![])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains(r#""s": "a\"b\\c\nd""#), "{s}");
+        assert!(s.contains(r#""f": 1.5"#), "{s}");
+        assert!(s.contains(r#""whole": 3.0"#), "floats keep a point: {s}");
+        assert!(s.contains(r#""i": 7"#), "{s}");
+        assert!(s.contains(r#""nan": null"#), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn text_digest_is_stable_and_sensitive() {
+        assert_eq!(text_digest("abc"), text_digest("abc"));
+        assert_ne!(text_digest("abc"), text_digest("abd"));
+        assert_ne!(text_digest("ab"), text_digest("abc"));
+    }
+
+    #[test]
+    fn scenario_entry_includes_digest_and_metrics() {
+        let r = ScenarioResult {
+            case_label: "L1".into(),
+            gateway: GatewayKind::Red,
+            congested_leaves: vec![2],
+            measured_secs: 50.0,
+            seed: 9,
+            trace_digest: 0xdead_beef,
+            trace_events: 4,
+            rla: vec![],
+            tcp: vec![TcpRow {
+                receiver_index: 0,
+                throughput_pps: 80.0,
+                cwnd_avg: 0.0,
+                rtt_avg: 0.0,
+                window_cuts: 0,
+                timeouts: 0,
+            }],
+        };
+        let s = scenario_entry(&r).pretty();
+        assert!(s.contains(r#""trace_digest": "00000000deadbeef""#), "{s}");
+        assert!(s.contains(r#""gateway": "red""#), "{s}");
+        assert!(s.contains(r#""seed": 9"#), "{s}");
+        assert!(s.contains(r#""wtcp_pps": 80.0"#), "{s}");
+    }
+}

@@ -1,11 +1,9 @@
 //! Result rows collected from a scenario run.
 
-use serde::Serialize;
-
 use crate::scenario::GatewayKind;
 
 /// The RLA sender's row of figure 7/9/10.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RlaRow {
     /// Average throughput over the measurement window, pkt/s.
     pub throughput_pps: f64,
@@ -29,7 +27,7 @@ pub struct RlaRow {
 }
 
 /// One competing TCP connection's row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TcpRow {
     /// Index of the receiver node this connection terminates at.
     pub receiver_index: usize,
@@ -46,17 +44,25 @@ pub struct TcpRow {
 }
 
 /// Everything measured from one scenario run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// The paper's congested-link label.
     pub case_label: String,
     /// Gateway type used.
-    #[serde(skip)]
     pub gateway: GatewayKind,
     /// Receiver indices on congested branches (empty = all equal).
     pub congested_leaves: Vec<usize>,
     /// Length of the measurement window, seconds.
     pub measured_secs: f64,
+    /// Simulation seed the run used.
+    pub seed: u64,
+    /// Order-sensitive digest of the full packet-event stream (see
+    /// `netsim::trace::TraceDigest`). Two runs with the same digest
+    /// enqueued, dropped, transmitted and delivered exactly the same
+    /// packets at the same instants.
+    pub trace_digest: u64,
+    /// Number of trace events folded into `trace_digest`.
+    pub trace_events: u64,
     /// RLA sessions, in creation order.
     pub rla: Vec<RlaRow>,
     /// TCP connections, in receiver order.
@@ -111,7 +117,7 @@ impl ScenarioResult {
 }
 
 /// Worst / best / average of a set of per-branch counts (figure 8's rows).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BranchSignalStats {
     /// Largest per-branch count.
     pub worst: u64,
@@ -145,6 +151,9 @@ mod tests {
             gateway: GatewayKind::DropTail,
             congested_leaves: vec![],
             measured_secs: 1.0,
+            seed: 1,
+            trace_digest: 0,
+            trace_events: 0,
             rla: vec![],
             tcp: tputs
                 .iter()

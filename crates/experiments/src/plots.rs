@@ -36,10 +36,10 @@ pub fn render_drift_field(field: &[DriftVector], w_max: f64, step: f64) -> Strin
 fn arrow(dx: f64, dy: f64) -> char {
     let eps = 1e-9;
     match (dx > eps, dx < -eps, dy > eps, dy < -eps) {
-        (true, _, true, _) => '7',   // up-right (NE)
-        (_, true, _, true) => 'L',   // down-left (SW)
-        (true, _, _, true) => '\\',  // right-down
-        (_, true, true, _) => '/',   // left-up
+        (true, _, true, _) => '7',  // up-right (NE)
+        (_, true, _, true) => 'L',  // down-left (SW)
+        (true, _, _, true) => '\\', // right-down
+        (_, true, true, _) => '/',  // left-up
         (true, _, _, _) => '>',
         (_, true, _, _) => '<',
         (_, _, true, _) => '^',

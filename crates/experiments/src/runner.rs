@@ -6,10 +6,19 @@
 //! * `RLA_DURATION_SECS` — simulated seconds per run (default 3000, the
 //!   paper's length).
 //! * `RLA_SEED` — base RNG seed (default 1).
+//! * `RLA_JOBS` — worker threads for scenario sweeps (default: the
+//!   machine's available parallelism).
 //!
-//! Independent runs execute in parallel with one OS thread each (the
-//! engine itself is single-threaded for determinism).
+//! Independent runs execute on a fixed-size worker pool (the engine
+//! itself is single-threaded for determinism). Because every scenario is
+//! a pure function of its parameters and seed, the pool's scheduling
+//! cannot affect results: `run_parallel` returns bit-identical
+//! [`ScenarioResult`]s — including trace digests — for any job count,
+//! in input order.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::thread;
 
 use netsim::time::SimDuration;
@@ -35,17 +44,90 @@ pub fn base_seed() -> u64 {
         .unwrap_or(1)
 }
 
-/// Run several scenarios concurrently (one thread each) and return the
-/// results in input order.
+/// Worker count for scenario sweeps: `RLA_JOBS` if set (floor 1),
+/// otherwise the machine's available parallelism.
+pub fn job_count() -> usize {
+    std::env::var("RLA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run scenarios on a fixed-size worker pool (see [`job_count`]) and
+/// return the results in input order.
+///
+/// Panics propagate *after* every other scenario has finished, with the
+/// index and label of each failed scenario, so one bad configuration in
+/// a sweep doesn't discard the rest of the batch's work.
 pub fn run_parallel(scenarios: Vec<TreeScenario>) -> Vec<ScenarioResult> {
-    let handles: Vec<_> = scenarios
-        .into_iter()
-        .map(|s| thread::spawn(move || s.run()))
+    run_parallel_with_jobs(scenarios, job_count())
+}
+
+/// [`run_parallel`] with an explicit worker count — used by tests to
+/// prove results are independent of the pool size without touching the
+/// process environment.
+pub fn run_parallel_with_jobs(scenarios: Vec<TreeScenario>, jobs: usize) -> Vec<ScenarioResult> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.max(1).min(n);
+
+    // Labels survive for panic reporting even when the run is consumed.
+    let labels: Vec<String> = scenarios
+        .iter()
+        .map(|s| format!("{} {:?} seed {}", s.case.label(), s.gateway, s.seed))
         .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("scenario thread panicked"))
-        .collect()
+
+    let queue: Mutex<VecDeque<(usize, TreeScenario)>> =
+        Mutex::new(scenarios.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<thread::Result<ScenarioResult>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("work queue poisoned").pop_front();
+                let Some((idx, scenario)) = next else { break };
+                // One panicking scenario must not tear down the pool:
+                // isolate it and keep draining the queue.
+                let outcome = catch_unwind(AssertUnwindSafe(|| scenario.run()));
+                *slots[idx].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(result)) => results.push(result),
+            Some(Err(payload)) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                failures.push(format!("scenario {idx} ({}): {msg}", labels[idx]));
+            }
+            None => failures.push(format!(
+                "scenario {idx} ({}): worker died before running it",
+                labels[idx]
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {n} scenarios panicked:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    results
 }
 
 #[cfg(test)]
@@ -54,18 +136,39 @@ mod tests {
     use crate::scenario::GatewayKind;
     use crate::tree::CongestionCase;
 
+    fn make() -> TreeScenario {
+        TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
+            .with_duration(SimDuration::from_secs(60))
+    }
+
     #[test]
     fn parallel_matches_sequential() {
-        let make = || {
-            TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
-                .with_duration(SimDuration::from_secs(60))
-        };
         let seq = make().run();
         let par = run_parallel(vec![make(), make()]);
         // Determinism: same scenario -> identical numbers, in any thread.
         assert_eq!(seq.rla[0].cong_signals, par[0].rla[0].cong_signals);
         assert_eq!(par[0].rla[0].cong_signals, par[1].rla[0].cong_signals);
         assert_eq!(seq.rla[0].window_cuts, par[1].rla[0].window_cuts);
+        // And the full event streams, not just headline counters.
+        assert_eq!(seq.trace_digest, par[0].trace_digest);
+        assert_eq!(par[0].trace_digest, par[1].trace_digest);
+        assert_eq!(seq.trace_events, par[0].trace_events);
+    }
+
+    #[test]
+    fn pool_preserves_input_order() {
+        // Different seeds give different digests; order must survive a
+        // pool smaller than the batch.
+        let batch: Vec<_> = (1..=5).map(|s| make().with_seed(s)).collect();
+        let expected: Vec<u64> = batch.iter().map(|s| s.seed).collect();
+        let results = run_parallel_with_jobs(batch, 2);
+        let got: Vec<u64> = results.iter().map(|r| r.seed).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn job_count_is_positive() {
+        assert!(job_count() >= 1);
     }
 
     #[test]
@@ -73,5 +176,21 @@ mod tests {
         // Can't set env vars safely in parallel tests; just check default.
         let d = run_duration();
         assert!(d >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn panicking_scenario_reports_and_spares_the_rest() {
+        // warmup >= duration trips the scenario's own assertion.
+        let mut bad = make();
+        bad.warmup = bad.duration;
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_parallel_with_jobs(vec![make(), bad], 2)
+        }))
+        .expect_err("the bad scenario must surface");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("assert! panics with String");
+        assert!(msg.contains("1 of 2 scenarios panicked"), "{msg}");
+        assert!(msg.contains("scenario 1"), "{msg}");
     }
 }

@@ -86,9 +86,8 @@ impl TreeScenario {
     /// Same scenario scaled to a shorter run (tests, benches). The warmup
     /// shrinks proportionally but never below 20 s.
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
-        self.warmup = SimDuration::from_secs_f64(
-            (duration.as_secs_f64() / 30.0).clamp(20.0, 100.0),
-        );
+        self.warmup =
+            SimDuration::from_secs_f64((duration.as_secs_f64() / 30.0).clamp(20.0, 100.0));
         self.duration = duration;
         self
     }
@@ -130,10 +129,7 @@ impl TreeScenario {
         let mut tcp_senders = Vec::new();
         for &node in &tcp_nodes {
             let rx = engine.add_agent(node, Box::new(TcpReceiver::new(tcp_cfg.ack_size)));
-            let tx = engine.add_agent(
-                tree.root,
-                Box::new(TcpSender::new(rx, tcp_cfg.clone())),
-            );
+            let tx = engine.add_agent(tree.root, Box::new(TcpSender::new(rx, tcp_cfg.clone())));
             tcp_receivers.push(rx);
             tcp_senders.push(tx);
         }
@@ -150,10 +146,7 @@ impl TreeScenario {
                 engine.join_group(group, rx);
                 rxs.push(rx);
             }
-            let tx = engine.add_agent(
-                tree.root,
-                Box::new(RlaSender::new(group, rla_cfg.clone())),
-            );
+            let tx = engine.add_agent(tree.root, Box::new(RlaSender::new(group, rla_cfg.clone())));
             rla_senders.push(tx);
             rla_receivers.push(rxs);
         }
@@ -315,6 +308,9 @@ impl ScenarioWorld {
             measured_secs: now
                 .saturating_since(SimTime::ZERO + scenario.warmup)
                 .as_secs_f64(),
+            seed: scenario.seed,
+            trace_digest: self.engine.trace_digest().value(),
+            trace_events: self.engine.trace_digest().events(),
             rla,
             tcp,
         }

@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn lossy_branch_gets_fault_injector() {
         let mut e = Engine::new(0);
-        let branches = vec![
-            BranchSpec::fig5(),
-            BranchSpec::fig5().with_loss(0.05),
-        ];
+        let branches = vec![BranchSpec::fig5(), BranchSpec::fig5().with_loss(0.05)];
         let s = build_star(&mut e, &branches, &QueueConfig::paper_droptail());
         assert!(e.world().channel(s.down[0]).fault.is_none());
         assert!(e.world().channel(s.down[1]).fault.is_some());

@@ -69,10 +69,7 @@ pub fn render_throughput_table(title: &str, results: &[ScenarioResult]) -> Strin
             .collect(),
     );
 
-    for (label, pick) in [
-        ("WTCP", true),
-        ("BTCP", false),
-    ] {
+    for (label, pick) in [("WTCP", true), ("BTCP", false)] {
         let rows: Vec<&crate::metrics::TcpRow> = results
             .iter()
             .map(|r| {
@@ -85,7 +82,9 @@ pub fn render_throughput_table(title: &str, results: &[ScenarioResult]) -> Strin
             .collect();
         row(
             &format!("{label} thrput (pkt/sec)"),
-            rows.iter().map(|t| format!("{:.1}", t.throughput_pps)).collect(),
+            rows.iter()
+                .map(|t| format!("{:.1}", t.throughput_pps))
+                .collect(),
         );
         row(
             &format!("{label} cwnd"),
@@ -196,6 +195,9 @@ mod tests {
             gateway: GatewayKind::DropTail,
             congested_leaves: vec![],
             measured_secs: 2900.0,
+            seed: 1,
+            trace_digest: 0,
+            trace_events: 0,
             rla: vec![RlaRow {
                 throughput_pps: 144.1,
                 cwnd_avg: 33.9,

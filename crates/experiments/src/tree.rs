@@ -226,7 +226,11 @@ mod tests {
     #[test]
     fn tree_has_paper_shape() {
         let mut e = Engine::new(0);
-        let t = build_tree(&mut e, CongestionCase::Case1RootLink, &QueueConfig::paper_droptail());
+        let t = build_tree(
+            &mut e,
+            CongestionCase::Case1RootLink,
+            &QueueConfig::paper_droptail(),
+        );
         assert_eq!(t.g2.len(), 3);
         assert_eq!(t.g3.len(), 9);
         assert_eq!(t.leaves.len(), 27);
@@ -242,7 +246,11 @@ mod tests {
     fn case_bandwidths_match_soft_bottleneck_target() {
         // Each case's congested link must give share = 100 pkt/s.
         let mut e = Engine::new(0);
-        let t = build_tree(&mut e, CongestionCase::Case2AllLevel3, &QueueConfig::paper_droptail());
+        let t = build_tree(
+            &mut e,
+            CongestionCase::Case2AllLevel3,
+            &QueueConfig::paper_droptail(),
+        );
         // L3 carries 3 TCPs + 1 multicast at 400 pkt/s = 3.2 Mbps.
         let bw = e.world().channel(t.l3_down[0]).bandwidth_bps;
         assert_eq!(bw, 3_200_000);
@@ -252,7 +260,11 @@ mod tests {
     #[test]
     fn case5_congests_only_the_first_level2_link() {
         let mut e = Engine::new(0);
-        let t = build_tree(&mut e, CongestionCase::Case5OneLevel2, &QueueConfig::paper_droptail());
+        let t = build_tree(
+            &mut e,
+            CongestionCase::Case5OneLevel2,
+            &QueueConfig::paper_droptail(),
+        );
         assert_eq!(e.world().channel(t.l2_down[0]).bandwidth_bps, 8_000_000);
         assert_eq!(e.world().channel(t.l2_down[1]).bandwidth_bps, FAST_BPS);
         assert_eq!(t.congested_leaves(), (0..9).collect::<Vec<_>>());

@@ -24,7 +24,7 @@ use crate::node::{Group, Node};
 use crate::packet::{Dest, Packet};
 use crate::queue::{Enqueue, QueueConfig};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, Tracer};
+use crate::trace::{TraceDigest, TraceEvent, Tracer};
 use crate::wire::Segment;
 
 /// Per-agent engine-side metadata.
@@ -54,6 +54,9 @@ pub struct World {
     agent_meta: Vec<AgentMeta>,
     next_uid: u64,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    /// Always-on fingerprint of the packet-event stream (see
+    /// [`TraceDigest`]); the substrate of the digest-regression layer.
+    digest: TraceDigest,
 }
 
 impl World {
@@ -68,6 +71,7 @@ impl World {
             agent_meta: Vec::new(),
             next_uid: 0,
             tracer: None,
+            digest: TraceDigest::new(),
         }
     }
 
@@ -116,6 +120,11 @@ impl World {
         &mut self.rng
     }
 
+    /// The always-on digest of every packet event processed so far.
+    pub fn trace_digest(&self) -> &TraceDigest {
+        &self.digest
+    }
+
     fn alloc_uid(&mut self) -> u64 {
         let uid = self.next_uid;
         self.next_uid += 1;
@@ -140,6 +149,13 @@ impl World {
             if fault.should_drop(is_data, &mut self.rng) {
                 ch.stats.record_drop(crate::queue::DropReason::Fault);
                 let qlen = ch.queue.len();
+                self.digest.record_drop(
+                    now,
+                    channel,
+                    packet.uid,
+                    crate::queue::DropReason::Fault,
+                    qlen,
+                );
                 self.trace(&TraceEvent::Drop {
                     channel,
                     packet: &packet,
@@ -157,13 +173,16 @@ impl World {
             self.start_tx(channel, packet);
         } else {
             // Keep a copy for the trace when a tracer is installed; the
-            // queue takes ownership on acceptance.
+            // queue takes ownership on acceptance. The always-on digest
+            // only needs the uid, captured before the handoff.
+            let uid = packet.uid;
             let snapshot = self.tracer.as_ref().map(|_| packet.clone());
             match ch.queue.enqueue(packet, now, &mut self.rng) {
                 Enqueue::Accepted => {
                     ch.stats.accepted += 1;
                     let qlen = ch.queue.len();
                     ch.stats.record_qlen(now, qlen);
+                    self.digest.record_enqueue(now, channel, uid, qlen);
                     if let Some(p) = &snapshot {
                         self.trace(&TraceEvent::Enqueue {
                             channel,
@@ -175,6 +194,7 @@ impl World {
                 Enqueue::Dropped(packet, reason) => {
                     ch.stats.record_drop(reason);
                     let qlen = ch.queue.len();
+                    self.digest.record_drop(now, channel, uid, reason, qlen);
                     self.trace(&TraceEvent::Drop {
                         channel,
                         packet: &packet,
@@ -195,6 +215,7 @@ impl World {
         let service = ch.service_time(packet.size_bytes);
         ch.stats.record_busy(service);
         let qlen = ch.queue.len();
+        self.digest.record_tx_start(now, channel, packet.uid, qlen);
         self.trace(&TraceEvent::TxStart {
             channel,
             packet: &packet,
@@ -347,6 +368,11 @@ impl Engine {
         self.world.tracer = Some(tracer);
     }
 
+    /// The always-on digest of every packet event this engine processed.
+    pub fn trace_digest(&self) -> &TraceDigest {
+        self.world.trace_digest()
+    }
+
     // ------------------------------------------------------------------
     // Topology construction
     // ------------------------------------------------------------------
@@ -385,9 +411,14 @@ impl Engine {
     ) -> ChannelId {
         assert!(from != to, "self-loop channels are not allowed");
         let id = ChannelId::from(self.world.channels.len());
-        self.world
-            .channels
-            .push(Channel::new(id, from, to, bandwidth_bps, prop_delay, queue_cfg));
+        self.world.channels.push(Channel::new(
+            id,
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            queue_cfg,
+        ));
         self.world.nodes[from.index()].out_channels.push(id);
         id
     }
@@ -519,9 +550,7 @@ impl Engine {
 
     /// Schedule `agent`'s `on_start` at time `at`.
     pub fn start_agent_at(&mut self, agent: AgentId, at: SimTime) {
-        self.world
-            .calendar
-            .schedule(at, EventKind::Start { agent });
+        self.world.calendar.schedule(at, EventKind::Start { agent });
     }
 
     /// Run until the calendar is exhausted or `deadline` is reached; the
@@ -569,6 +598,9 @@ impl Engine {
     }
 
     fn arrive(&mut self, node: NodeId, packet: Packet) {
+        self.world
+            .digest
+            .record_arrive(self.world.now, node, packet.uid);
         self.world.trace(&TraceEvent::Arrive {
             node,
             packet: &packet,
@@ -593,16 +625,10 @@ impl Engine {
                     g.root.is_some(),
                     "group packet before build_group_tree was called"
                 );
-                let forwards: Vec<ChannelId> = g
-                    .forward
-                    .get(node.index())
-                    .map(|v| v.clone())
-                    .unwrap_or_default();
-                let locals: Vec<AgentId> = g
-                    .members_at
-                    .get(node.index())
-                    .map(|v| v.clone())
-                    .unwrap_or_default();
+                let forwards: Vec<ChannelId> =
+                    g.forward.get(node.index()).cloned().unwrap_or_default();
+                let locals: Vec<AgentId> =
+                    g.members_at.get(node.index()).cloned().unwrap_or_default();
                 for ch in forwards {
                     self.world.offer(ch, packet.clone());
                 }
@@ -614,6 +640,9 @@ impl Engine {
     }
 
     fn deliver(&mut self, agent: AgentId, packet: Packet) {
+        self.world
+            .digest
+            .record_deliver(self.world.now, agent, packet.uid);
         self.world.trace(&TraceEvent::Deliver {
             agent,
             packet: &packet,
@@ -753,8 +782,20 @@ mod tests {
         let a = e.add_node("a");
         let m = e.add_node("m");
         let b = e.add_node("b");
-        e.add_link(a, m, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
-        e.add_link(m, b, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        e.add_link(
+            a,
+            m,
+            8_000_000,
+            SimDuration::from_millis(1),
+            &QueueConfig::paper_droptail(),
+        );
+        e.add_link(
+            m,
+            b,
+            8_000_000,
+            SimDuration::from_millis(1),
+            &QueueConfig::paper_droptail(),
+        );
         let sink = e.add_agent(b, Box::new(Sink::default()));
         let blaster = e.add_agent(
             a,
@@ -778,9 +819,21 @@ mod tests {
         let root = e.add_node("root");
         let g = e.add_node("g");
         let leaves: Vec<NodeId> = (0..3).map(|i| e.add_node(format!("l{i}"))).collect();
-        e.add_link(root, g, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+        e.add_link(
+            root,
+            g,
+            8_000_000,
+            SimDuration::from_millis(1),
+            &QueueConfig::paper_droptail(),
+        );
         for &l in &leaves {
-            e.add_link(g, l, 8_000_000, SimDuration::from_millis(1), &QueueConfig::paper_droptail());
+            e.add_link(
+                g,
+                l,
+                8_000_000,
+                SimDuration::from_millis(1),
+                &QueueConfig::paper_droptail(),
+            );
         }
         let group = e.new_group();
         let sinks: Vec<AgentId> = leaves

@@ -73,5 +73,6 @@ pub mod prelude {
     pub use crate::packet::{Dest, Packet};
     pub use crate::queue::{QueueConfig, RedConfig};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::TraceDigest;
     pub use crate::wire::{SackBlock, Segment};
 }

@@ -51,7 +51,7 @@ impl Packet {
 pub fn tx_nanos(size_bytes: u32, bandwidth_bps: u64) -> u64 {
     assert!(bandwidth_bps > 0, "zero-bandwidth channel");
     let bits = size_bytes as u128 * 8;
-    ((bits * 1_000_000_000u128 + bandwidth_bps as u128 - 1) / bandwidth_bps as u128) as u64
+    (bits * 1_000_000_000u128).div_ceil(bandwidth_bps as u128) as u64
 }
 
 #[cfg(test)]
@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn tx_time_rounds_up() {
         // 1 bit at 3 bps -> ceil(1e9/3) ns.
-        assert_eq!(tx_nanos(1, 3), (8_000_000_000u64 + 2) / 3);
+        assert_eq!(tx_nanos(1, 3), 8_000_000_000u64.div_ceil(3));
     }
 
     #[test]

@@ -128,6 +128,15 @@ impl Red {
         (self.early_drops, self.forced_drops, self.overflow_drops)
     }
 
+    /// The current early-drop ("marking") probability `p_b` implied by
+    /// the averaged queue: 0 below `min_th`, `max_p` at `max_th`, linear
+    /// in between, clamped to a probability.
+    pub fn drop_probability(&self) -> f64 {
+        let p_b =
+            self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
+        p_b.clamp(0.0, 1.0)
+    }
+
     fn update_avg(&mut self, now: SimTime) {
         if let Some(idle_start) = self.idle_since.take() {
             // While the queue was idle, pretend `m` small packets departed,
@@ -146,12 +155,15 @@ impl Red {
     /// The early-drop decision for the current average, given `count`
     /// packets since the last drop.
     fn early_drop(&mut self, rng: &mut StdRng) -> bool {
-        let p_b = self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
-        let p_b = p_b.clamp(0.0, 1.0);
+        let p_b = self.drop_probability();
         // Spread drops out: the effective probability grows with the number
         // of packets admitted since the last drop.
         let denom = 1.0 - self.count as f64 * p_b;
-        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        let p_a = if denom <= 0.0 {
+            1.0
+        } else {
+            (p_b / denom).min(1.0)
+        };
         rng.gen::<f64>() < p_a
     }
 }

@@ -70,7 +70,13 @@ pub fn dumbbell(
     let left_hosts = (0..n_left)
         .map(|i| {
             let h = engine.add_node(format!("l{i}"));
-            engine.add_link(h, left_router, access.bandwidth_bps, access.delay, &access.queue);
+            engine.add_link(
+                h,
+                left_router,
+                access.bandwidth_bps,
+                access.delay,
+                &access.queue,
+            );
             h
         })
         .collect();
@@ -133,7 +139,8 @@ pub fn kary_tree(engine: &mut Engine, arity: usize, level_specs: &[LinkSpec]) ->
             for c in 0..arity {
                 let idx = pi * arity + c;
                 let child = engine.add_node(format!("d{}n{}", depth + 1, idx));
-                let pair = engine.add_link(parent, child, spec.bandwidth_bps, spec.delay, &spec.queue);
+                let pair =
+                    engine.add_link(parent, child, spec.bandwidth_bps, spec.delay, &spec.queue);
                 next.push(child);
                 level_links.push(pair);
             }
@@ -141,7 +148,11 @@ pub fn kary_tree(engine: &mut Engine, arity: usize, level_specs: &[LinkSpec]) ->
         levels.push(next);
         links.push(level_links);
     }
-    KaryTree { root, levels, links }
+    KaryTree {
+        root,
+        levels,
+        links,
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,162 @@ pub trait Tracer {
     fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>);
 }
 
+/// Order-sensitive 64-bit digest of the packet-event stream, plus
+/// per-kind counters.
+///
+/// Every event the engine processes — enqueue, drop, transmission start,
+/// node arrival, agent delivery — is folded into a running 64-bit hash
+/// together with its timestamp, the id it happened at, the packet uid,
+/// and (where meaningful) the queue length. Two runs with equal digests
+/// processed the same events in the same order at the same simulated
+/// times: the digest is a whole-run fingerprint cheap enough (a couple of
+/// multiplies per event, no allocation) to leave on unconditionally.
+///
+/// The engine maintains one of these for every run (see
+/// [`crate::engine::Engine::trace_digest`]); it can also be installed as
+/// a standalone [`Tracer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDigest {
+    hash: u64,
+    /// Packets accepted into buffers.
+    pub enqueues: u64,
+    /// Packets discarded (any [`DropReason`]).
+    pub drops: u64,
+    /// Transmissions started.
+    pub tx_starts: u64,
+    /// Node arrivals.
+    pub arrivals: u64,
+    /// Agent deliveries.
+    pub deliveries: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        TraceDigest {
+            // FNV-1a 64-bit offset basis: a fixed, documented start state.
+            hash: 0xcbf2_9ce4_8422_2325,
+            enqueues: 0,
+            drops: 0,
+            tx_starts: 0,
+            arrivals: 0,
+            deliveries: 0,
+        }
+    }
+}
+
+impl TraceDigest {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// The digest as the canonical 16-hex-digit string used in run
+    /// manifests.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// Total events folded in, across all kinds.
+    pub fn events(&self) -> u64 {
+        self.enqueues + self.drops + self.tx_starts + self.arrivals + self.deliveries
+    }
+
+    /// Fold one word into the running hash (order-sensitive).
+    fn mix(&mut self, word: u64) {
+        let mut h = self.hash ^ word;
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.hash = h;
+    }
+
+    fn fold(&mut self, kind: u64, now: SimTime, id: u64, uid: u64, aux: u64) {
+        self.mix(kind);
+        self.mix(now.as_nanos());
+        self.mix(id);
+        self.mix(uid);
+        self.mix(aux);
+    }
+
+    /// Fold a packet accepted into `channel`'s buffer.
+    pub fn record_enqueue(&mut self, now: SimTime, channel: ChannelId, uid: u64, qlen: usize) {
+        self.enqueues += 1;
+        self.fold(1, now, channel.index() as u64, uid, qlen as u64);
+    }
+
+    /// Fold a packet discarded at `channel`.
+    pub fn record_drop(
+        &mut self,
+        now: SimTime,
+        channel: ChannelId,
+        uid: u64,
+        reason: DropReason,
+        qlen: usize,
+    ) {
+        self.drops += 1;
+        let tag = match reason {
+            DropReason::BufferOverflow => 0,
+            DropReason::EarlyDrop => 1,
+            DropReason::ForcedDrop => 2,
+            DropReason::Fault => 3,
+        };
+        self.fold(
+            2 | (tag << 8),
+            now,
+            channel.index() as u64,
+            uid,
+            qlen as u64,
+        );
+    }
+
+    /// Fold the start of a transmission on `channel`.
+    pub fn record_tx_start(&mut self, now: SimTime, channel: ChannelId, uid: u64, qlen: usize) {
+        self.tx_starts += 1;
+        self.fold(3, now, channel.index() as u64, uid, qlen as u64);
+    }
+
+    /// Fold a packet arrival at `node`.
+    pub fn record_arrive(&mut self, now: SimTime, node: NodeId, uid: u64) {
+        self.arrivals += 1;
+        self.fold(4, now, node.index() as u64, uid, 0);
+    }
+
+    /// Fold a packet delivery to `agent`.
+    pub fn record_deliver(&mut self, now: SimTime, agent: AgentId, uid: u64) {
+        self.deliveries += 1;
+        self.fold(5, now, agent.index() as u64, uid, 0);
+    }
+}
+
+impl Tracer for TraceDigest {
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Enqueue {
+                channel,
+                packet,
+                qlen,
+            } => self.record_enqueue(now, *channel, packet.uid, *qlen),
+            TraceEvent::Drop {
+                channel,
+                packet,
+                reason,
+                qlen,
+            } => self.record_drop(now, *channel, packet.uid, *reason, *qlen),
+            TraceEvent::TxStart {
+                channel,
+                packet,
+                qlen,
+            } => self.record_tx_start(now, *channel, packet.uid, *qlen),
+            TraceEvent::Arrive { node, packet } => self.record_arrive(now, *node, packet.uid),
+            TraceEvent::Deliver { agent, packet } => self.record_deliver(now, *agent, packet.uid),
+        }
+    }
+}
+
 /// A tracer that counts events by kind — useful in tests and as a cheap
 /// activity summary.
 #[derive(Debug, Default, Clone)]
@@ -203,7 +359,8 @@ impl QueueLengthTracer {
 impl Tracer for QueueLengthTracer {
     fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
         match event {
-            TraceEvent::Enqueue { channel, qlen, .. } | TraceEvent::TxStart { channel, qlen, .. }
+            TraceEvent::Enqueue { channel, qlen, .. }
+            | TraceEvent::TxStart { channel, qlen, .. }
                 if *channel == self.channel =>
             {
                 self.samples.push((now, *qlen));
@@ -285,6 +442,86 @@ mod tests {
         assert!(t.dump().contains("raw"));
         // Oldest line (t=0s) dropped.
         assert!(!t.lines[0].starts_with("0.000000s"));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let p = pkt();
+        let enq = TraceEvent::Enqueue {
+            channel: ChannelId(0),
+            packet: &p,
+            qlen: 1,
+        };
+        let arr = TraceEvent::Arrive {
+            node: NodeId(3),
+            packet: &p,
+        };
+        let mut ab = TraceDigest::new();
+        ab.trace(SimTime::from_secs(1), &enq);
+        ab.trace(SimTime::from_secs(1), &arr);
+        let mut ba = TraceDigest::new();
+        ba.trace(SimTime::from_secs(1), &arr);
+        ba.trace(SimTime::from_secs(1), &enq);
+        assert_ne!(ab.value(), ba.value(), "order must matter");
+        assert_eq!(ab.events(), 2);
+        assert_eq!((ab.enqueues, ab.arrivals), (1, 1));
+    }
+
+    #[test]
+    fn digest_separates_time_id_and_kind() {
+        let p = pkt();
+        let at = |t: u64| {
+            let mut d = TraceDigest::new();
+            d.trace(
+                SimTime::from_secs(t),
+                &TraceEvent::Deliver {
+                    agent: AgentId(1),
+                    packet: &p,
+                },
+            );
+            d.value()
+        };
+        assert_ne!(at(1), at(2), "time must be folded in");
+
+        let drop_with = |reason: DropReason| {
+            let mut d = TraceDigest::new();
+            d.trace(
+                SimTime::ZERO,
+                &TraceEvent::Drop {
+                    channel: ChannelId(0),
+                    packet: &p,
+                    reason,
+                    qlen: 0,
+                },
+            );
+            d.value()
+        };
+        assert_ne!(
+            drop_with(DropReason::EarlyDrop),
+            drop_with(DropReason::ForcedDrop),
+            "drop reason must be folded in"
+        );
+    }
+
+    #[test]
+    fn digest_identical_streams_match() {
+        let p = pkt();
+        let run = || {
+            let mut d = TraceDigest::new();
+            for t in 0..50 {
+                d.trace(
+                    SimTime::from_secs(t),
+                    &TraceEvent::Enqueue {
+                        channel: ChannelId((t % 3) as u32),
+                        packet: &p,
+                        qlen: t as usize,
+                    },
+                );
+            }
+            (d.value(), d.hex())
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().1.len(), 16, "canonical hex form is 16 digits");
     }
 
     #[test]

@@ -112,10 +112,8 @@ proptest! {
                 Enqueue::Dropped(..) => dropped += 1,
             }
             prop_assert!(q.len() <= limit);
-            if i % 3 == 0 {
-                if q.dequeue(SimTime::from_nanos(i * 100_000)).is_some() {
-                    accepted -= 1;
-                }
+            if i % 3 == 0 && q.dequeue(SimTime::from_nanos(i * 100_000)).is_some() {
+                accepted -= 1;
             }
         }
         prop_assert_eq!(accepted as usize, q.len());

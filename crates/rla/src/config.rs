@@ -151,7 +151,10 @@ impl RlaConfig {
             "awnd gain must be in (0, 1]"
         );
         assert!(self.max_burst >= 1, "burst limit must allow some sending");
-        assert!(!self.scan_interval.is_zero(), "scan interval must be positive");
+        assert!(
+            !self.scan_interval.is_zero(),
+            "scan interval must be positive"
+        );
     }
 }
 

@@ -86,11 +86,8 @@ impl RateRla {
         // First report from a new receiver: grow the tracker.
         self.receivers.push(receiver);
         self.processed.push(SimTime::ZERO);
-        let mut grown = TroubleTracker::new(
-            self.receivers.len(),
-            self.cfg.eta,
-            self.cfg.interval_gain,
-        );
+        let mut grown =
+            TroubleTracker::new(self.receivers.len(), self.cfg.eta, self.cfg.interval_gain);
         std::mem::swap(&mut grown, &mut self.trouble);
         // Replay nothing: histories restart, which only makes the count
         // conservative for a few intervals.
@@ -204,8 +201,7 @@ mod tests {
         let mut rate = 100.0;
         for tick in 1..=ticks {
             let now = SimTime::from_secs(tick);
-            let reports: Vec<ReceiverReport> =
-                (0..20).map(|i| report(i, 0.05, now)).collect();
+            let reports: Vec<ReceiverReport> = (0..20).map(|i| report(i, 0.05, now)).collect();
             rate = c.update(now, rate, &reports).clamp(1.0, 1e6);
         }
         let cuts = c.reductions();
@@ -223,8 +219,7 @@ mod tests {
             let mut rate = 50.0;
             for tick in 1..=50 {
                 let now = SimTime::from_secs(tick);
-                let reports: Vec<ReceiverReport> =
-                    (0..5).map(|i| report(i, 0.02, now)).collect();
+                let reports: Vec<ReceiverReport> = (0..5).map(|i| report(i, 0.02, now)).collect();
                 rate = c.update(now, rate, &reports);
             }
             (rate.to_bits(), c.reductions())

@@ -106,7 +106,11 @@ impl McastReceiver {
 impl Agent for McastReceiver {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         let Segment::McastData(data) = packet.segment else {
-            debug_assert!(false, "multicast receiver got {}", packet.segment.kind_str());
+            debug_assert!(
+                false,
+                "multicast receiver got {}",
+                packet.segment.kind_str()
+            );
             return;
         };
         self.stats.arrivals += 1;
@@ -118,7 +122,11 @@ impl Agent for McastReceiver {
             echo_timestamp: data.timestamp,
             urgent_rexmit: false,
         };
-        ctx.send(Dest::Agent(packet.src), self.ack_size, Segment::McastAck(ack));
+        ctx.send(
+            Dest::Agent(packet.src),
+            self.ack_size,
+            Segment::McastAck(ack),
+        );
     }
 
     fn as_any(&self) -> &dyn Any {

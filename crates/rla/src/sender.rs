@@ -345,10 +345,10 @@ impl RlaSender {
         }
 
         let n = self.trouble.troubled_count(now).max(1);
-        let pthresh =
-            self.cfg
-                .pthresh_policy
-                .pthresh(srtt.as_secs_f64(), self.srtt_max(), n);
+        let pthresh = self
+            .cfg
+            .pthresh_policy
+            .pthresh(srtt.as_secs_f64(), self.srtt_max(), n);
         let pi: f64 = ctx.rng().gen();
         if pi <= pthresh {
             self.cut_window(now);
@@ -536,6 +536,7 @@ impl RlaSender {
             r.rtt.sample(now.saturating_since(ack.echo_timestamp));
         }
 
+        let prior_cum = self.receivers[idx].scoreboard.cum_ack();
         let newly_lost = self.receivers[idx].scoreboard.on_ack(
             ack.cum_ack,
             &ack.sack,
@@ -547,6 +548,32 @@ impl RlaSender {
                 self.pending_rexmit.insert(seq);
             }
             self.note_congestion(idx, ctx);
+        }
+
+        // NewReno-style partial-ack continuation: when the send window has
+        // stalled and this ack advances the receiver's cumulative ack but
+        // the next head hole has already aged past its RTO, the hole
+        // cannot still be in flight — it is part of a multi-packet loss
+        // burst (e.g. a branch outage that has since healed). Repair it
+        // now, ack-clocked, instead of waiting out a fresh per-packet RTO;
+        // the receiver's silence timer keeps resetting on these very
+        // repair acks, so the timeout scan alone recovers such bursts at
+        // only one packet per RTO. The stalled-window guard keeps this
+        // path out of ordinary recovery, where dup-SACK evidence repairs
+        // holes long before they age anywhere near the RTO.
+        let window_exhausted = self.pipe() >= (self.cwnd as u64).max(1);
+        if window_exhausted && self.receivers[idx].scoreboard.cum_ack() > prior_cum {
+            if let Some((_, sent_at, _, retransmitted)) = self.receivers[idx].scoreboard.head_hole()
+            {
+                let rto = self.receivers[idx].rtt.rto();
+                if !retransmitted && now.saturating_since(sent_at) > rto {
+                    if let Some(seq) = self.receivers[idx].scoreboard.mark_head_lost() {
+                        self.stats.early_retransmits += 1;
+                        self.pending_rexmit.insert(seq);
+                        self.note_congestion(idx, ctx);
+                    }
+                }
+            }
         }
 
         self.advance_reach_all(ctx);
@@ -612,9 +639,10 @@ impl RlaSender {
         // ones stay pending for the remaining requesters.
         let pending: Vec<u64> = self.pending_rexmit.iter().copied().collect();
         for seq in pending {
-            let still_needed = self.receivers.iter().any(|r| {
-                !r.ejected && !r.scoreboard.is_received(seq) && r.scoreboard.is_lost(seq)
-            });
+            let still_needed = self
+                .receivers
+                .iter()
+                .any(|r| !r.ejected && !r.scoreboard.is_received(seq) && r.scoreboard.is_lost(seq));
             let still_in_flight = self.receivers.iter().any(|r| {
                 !r.ejected && !r.scoreboard.is_received(seq) && !r.scoreboard.is_lost(seq)
             });
@@ -707,11 +735,7 @@ impl Agent for RlaSender {
                 ejected: false,
             })
             .collect();
-        self.index_of = members
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
+        self.index_of = members.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         self.trouble = TroubleTracker::new(members.len(), self.cfg.eta, self.cfg.interval_gain);
         self.stats = RlaStats::new(now, self.cwnd, members.len());
         self.last_window_cut = now;

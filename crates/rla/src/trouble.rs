@@ -207,7 +207,10 @@ mod tests {
         for at in 100..200 {
             tr.record_signal(0, t(at as f64));
         }
-        assert!(!tr.is_troubled(1, t(200.0)), "silent receiver still counted");
+        assert!(
+            !tr.is_troubled(1, t(200.0)),
+            "silent receiver still counted"
+        );
         assert_eq!(tr.troubled_count(t(200.0)), 1);
     }
 

@@ -39,9 +39,8 @@ impl RttEstimator {
             Some(srtt) => {
                 let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
                 // rttvar <- 3/4 rttvar + 1/4 |err| ; srtt <- 7/8 srtt + 1/8 rtt
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4);
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() / 8) * 7 + rtt.as_nanos() / 8,
                 ));

@@ -21,7 +21,10 @@ fn main() {
     let result = scenario.run();
 
     let total: f64 = result.rla.iter().map(|r| r.throughput_pps).sum();
-    println!("\n{:>9} {:>12} {:>10} {:>8}", "session", "pkt/s", "share", "cwnd");
+    println!(
+        "\n{:>9} {:>12} {:>10} {:>8}",
+        "session", "pkt/s", "share", "cwnd"
+    );
     for (i, r) in result.rla.iter().enumerate() {
         println!(
             "{:>9} {:>12.1} {:>9.1}% {:>8.1}",
@@ -41,7 +44,10 @@ fn main() {
         .iter()
         .map(|r| r.throughput_pps)
         .fold(0.0, f64::max);
-    println!("\nmax/min across sessions: {:.2} (1.0 = perfect)", max / min);
+    println!(
+        "\nmax/min across sessions: {:.2} (1.0 = perfect)",
+        max / min
+    );
     println!(
         "competing TCP: worst {:.1}, best {:.1} pkt/s",
         result.worst_tcp().expect("tcp").throughput_pps,

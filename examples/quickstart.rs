@@ -51,7 +51,10 @@ fn main() {
     let now = engine.now();
     println!("\nRLA session:");
     println!("  throughput {:>6.1} pkt/s", rla.stats.throughput_pps(now));
-    println!("  avg window {:>6.1} packets", rla.stats.cwnd_avg.average(now));
+    println!(
+        "  avg window {:>6.1} packets",
+        rla.stats.cwnd_avg.average(now)
+    );
     println!(
         "  {} congestion signals -> {} window cuts ({} forced)",
         rla.stats.cong_signals,

@@ -27,10 +27,7 @@ fn main() {
         Some("red") => GatewayKind::Red,
         _ => GatewayKind::DropTail,
     };
-    let secs: f64 = args
-        .get(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300.0);
+    let secs: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(300.0);
 
     println!(
         "case {:?} ({}), {} gateways, {secs:.0} s",
@@ -46,15 +43,25 @@ fn main() {
         .run();
 
     let rla = &result.rla[0];
-    println!("\nRLA : {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  signals {}  cuts {} (forced {})",
-        rla.throughput_pps, rla.cwnd_avg, rla.rtt_avg,
-        rla.cong_signals, rla.window_cuts, rla.forced_cuts);
+    println!(
+        "\nRLA : {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  signals {}  cuts {} (forced {})",
+        rla.throughput_pps,
+        rla.cwnd_avg,
+        rla.rtt_avg,
+        rla.cong_signals,
+        rla.window_cuts,
+        rla.forced_cuts
+    );
     let w = result.worst_tcp().expect("tcp");
     let b = result.best_tcp().expect("tcp");
-    println!("WTCP: {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  cuts {}",
-        w.throughput_pps, w.cwnd_avg, w.rtt_avg, w.window_cuts);
-    println!("BTCP: {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  cuts {}",
-        b.throughput_pps, b.cwnd_avg, b.rtt_avg, b.window_cuts);
+    println!(
+        "WTCP: {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  cuts {}",
+        w.throughput_pps, w.cwnd_avg, w.rtt_avg, w.window_cuts
+    );
+    println!(
+        "BTCP: {:>7.1} pkt/s  cwnd {:>5.1}  rtt {:.3}s  cuts {}",
+        b.throughput_pps, b.cwnd_avg, b.rtt_avg, b.window_cuts
+    );
 
     let bounds = match gateway {
         GatewayKind::Red => FairnessBounds::theorem1_red(27),

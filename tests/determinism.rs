@@ -1,6 +1,8 @@
 //! Reproducibility: the whole stack is bit-deterministic per seed.
 
-use bounded_fairness::experiments::{CongestionCase, GatewayKind, TreeScenario};
+use bounded_fairness::experiments::{
+    run_parallel_with_jobs, CongestionCase, GatewayKind, TreeScenario,
+};
 use netsim::time::SimDuration;
 
 fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<u64>, String) {
@@ -13,7 +15,11 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<u64>, String) {
         r.rla[0].window_cuts,
         r.tcp.iter().map(|t| t.window_cuts).sum(),
         r.rla[0].cong_signals_per_receiver.clone(),
-        format!("{:.6}|{:.6}", r.rla[0].throughput_pps, r.avg_tcp_throughput()),
+        format!(
+            "{:.6}|{:.6}",
+            r.rla[0].throughput_pps,
+            r.avg_tcp_throughput()
+        ),
     )
 }
 
@@ -32,6 +38,50 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn trace_digest_identical_sequential_vs_pooled() {
+    // The tentpole guarantee: the worker pool returns the same packet
+    // event stream — not just the same headline metrics — as running
+    // each scenario inline, for any pool size.
+    let make = |seed| {
+        TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
+            .with_duration(SimDuration::from_secs(60))
+            .with_seed(seed)
+    };
+    let sequential: Vec<(u64, u64)> = (1..=3)
+        .map(|s| {
+            let r = make(s).run();
+            (r.trace_digest, r.trace_events)
+        })
+        .collect();
+    assert!(sequential[0].1 > 0, "a 60 s run must trace events");
+    assert_ne!(
+        sequential[0].0, sequential[1].0,
+        "different seeds must give different digests"
+    );
+    for jobs in [1, 2, 4] {
+        let pooled = run_parallel_with_jobs((1..=3).map(make).collect(), jobs);
+        let got: Vec<(u64, u64)> = pooled
+            .iter()
+            .map(|r| (r.trace_digest, r.trace_events))
+            .collect();
+        assert_eq!(got, sequential, "jobs = {jobs} changed the event stream");
+    }
+}
+
+#[test]
+fn trace_digest_stable_under_red() {
+    // RED draws from the engine RNG per enqueue; digests must still
+    // reproduce exactly.
+    let run = || {
+        TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::Red)
+            .with_duration(SimDuration::from_secs(60))
+            .run()
+            .trace_digest
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn determinism_holds_under_red_randomness() {
     // RED consumes RNG draws on a different schedule; determinism must
     // still hold exactly.
@@ -39,7 +89,11 @@ fn determinism_holds_under_red_randomness() {
         let r = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::Red)
             .with_duration(SimDuration::from_secs(60))
             .run();
-        (r.rla[0].cong_signals, r.rla[0].window_cuts, r.tcp[0].window_cuts)
+        (
+            r.rla[0].cong_signals,
+            r.rla[0].window_cuts,
+            r.tcp[0].window_cuts,
+        )
     };
     assert_eq!(run(), run());
 }

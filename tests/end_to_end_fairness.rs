@@ -34,7 +34,10 @@ fn droptail_cases_satisfy_theorem2() {
 
 #[test]
 fn red_cases_satisfy_theorem1() {
-    for case in [CongestionCase::Case1RootLink, CongestionCase::Case3AllLeaves] {
+    for case in [
+        CongestionCase::Case1RootLink,
+        CongestionCase::Case3AllLeaves,
+    ] {
         let r = quick(case, GatewayKind::Red, 150);
         let bounds = FairnessBounds::theorem1_red(27);
         let tcp = r.bottleneck_tcp_throughput();

@@ -1,0 +1,87 @@
+//! Golden-digest regression: two short paper scenarios pinned to
+//! committed manifests under `results/golden/`.
+//!
+//! The digests cover the *entire* packet-event stream (every enqueue,
+//! drop, transmission start, arrival and delivery with its timestamp), so
+//! any change to the engine, the queues, the transports or the RNG that
+//! shifts even one packet by one nanosecond fails these tests. Behavioural
+//! changes are fine — regenerate with
+//! `cargo test --test golden_digests -- --ignored regenerate` and commit
+//! the new manifests with an explanation.
+
+use bounded_fairness::experiments::manifest::scenario_manifest;
+use bounded_fairness::experiments::{CongestionCase, GatewayKind, ScenarioResult, TreeScenario};
+use netsim::time::SimDuration;
+
+fn run_scenario(gateway: GatewayKind) -> ScenarioResult {
+    TreeScenario::paper(CongestionCase::Case5OneLevel2, gateway)
+        .with_duration(SimDuration::from_secs(60))
+        .with_seed(1)
+        .run()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results/golden")
+        .join(format!("{name}.manifest.json"))
+}
+
+/// Pull a string or integer field out of the committed JSON without a
+/// parser: finds `"key": <value>` and returns the value, unquoted.
+fn extract(json: &str, key: &str) -> String {
+    let marker = format!("\"{key}\": ");
+    let at = json
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no {key} in manifest"));
+    let rest = &json[at + marker.len()..];
+    let raw = rest.split([',', '\n']).next().expect("value after key");
+    raw.trim().trim_matches('"').to_string()
+}
+
+fn check(name: &str, gateway: GatewayKind) {
+    let committed = std::fs::read_to_string(golden_path(name)).unwrap_or_else(|e| {
+        panic!("missing committed golden manifest {name}: {e}; regenerate with `cargo test --test golden_digests -- --ignored regenerate`")
+    });
+    let r = run_scenario(gateway);
+    assert_eq!(
+        format!("{:016x}", r.trace_digest),
+        extract(&committed, "trace_digest"),
+        "{name}: trace digest drifted from the committed manifest — if the \
+         behaviour change is intended, regenerate the goldens"
+    );
+    assert_eq!(
+        r.trace_events.to_string(),
+        extract(&committed, "trace_events"),
+        "{name}: event count drifted"
+    );
+    assert_eq!(r.seed.to_string(), extract(&committed, "seed"));
+}
+
+#[test]
+fn case5_droptail_matches_committed_manifest() {
+    check("case5_droptail_60s", GatewayKind::DropTail);
+}
+
+#[test]
+fn case5_red_matches_committed_manifest() {
+    check("case5_red_60s", GatewayKind::Red);
+}
+
+/// Rewrites the committed goldens from the current code. Run explicitly
+/// (`--ignored regenerate`) after an intended behavioural change.
+#[test]
+#[ignore]
+fn regenerate() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/golden");
+    std::fs::create_dir_all(&dir).expect("create results/golden");
+    for (name, gateway) in [
+        ("case5_droptail_60s", GatewayKind::DropTail),
+        ("case5_red_60s", GatewayKind::Red),
+    ] {
+        let r = run_scenario(gateway);
+        let json = scenario_manifest(name, SimDuration::from_secs(60), std::slice::from_ref(&r));
+        let path = dir.join(format!("{name}.manifest.json"));
+        std::fs::write(&path, json.pretty()).expect("write golden");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based invariants of the RED gateway (§1, §4's Theorem I
+//! substrate), alongside the engine invariants in `engine_invariants.rs`.
+//!
+//! Random configurations and random offered loads must never produce a
+//! drop probability outside [0, 1], a negative queue average, or an
+//! early/forced drop while the average sits below the minimum threshold.
+
+use netsim::id::AgentId;
+use netsim::packet::{Dest, Packet};
+use netsim::queue::{DropReason, Enqueue, QueueDiscipline, Red, RedConfig};
+use netsim::time::{SimDuration, SimTime};
+use netsim::wire::Segment;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn packet(uid: u64) -> Packet {
+    Packet {
+        uid,
+        src: AgentId(0),
+        dest: Dest::Agent(AgentId(1)),
+        size_bytes: 1000,
+        segment: Segment::Raw,
+        sent_at: SimTime::ZERO,
+    }
+}
+
+/// A randomized RED config: thresholds inside a buffer of 4..64 packets,
+/// NS2-ish weights, any legal max_p.
+fn config(limit: usize, min_frac: f64, gap_frac: f64, weight: f64, max_p: f64) -> RedConfig {
+    let min_th = (limit as f64 * min_frac).max(0.5);
+    let max_th = (min_th + (limit as f64 - min_th) * gap_frac).max(min_th + 0.5);
+    RedConfig {
+        limit,
+        min_th,
+        max_th,
+        weight,
+        max_p,
+        mean_pkt_time: SimDuration::from_micros(800),
+    }
+}
+
+/// Drive a queue with a random arrival/departure pattern; after every
+/// step check the invariants. `ops` encodes the workload: true = offer a
+/// packet, false = dequeue one. Time advances a random stride per step so
+/// idle aging paths are exercised too.
+fn drive(cfg: RedConfig, seed: u64, ops: &[bool], step_micros: u64) -> Result<(), TestCaseError> {
+    let mut q = Red::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = SimTime::ZERO;
+    for (i, &offer) in ops.iter().enumerate() {
+        now += SimDuration::from_micros(step_micros * ((i % 7) as u64 + 1));
+        if offer {
+            let outcome = q.enqueue(packet(i as u64), now, &mut rng);
+            if let Enqueue::Dropped(_, reason) = outcome {
+                // RED's own drops require the average to have reached the
+                // minimum threshold; only physical overflow may fire
+                // below it.
+                if matches!(reason, DropReason::EarlyDrop | DropReason::ForcedDrop) {
+                    prop_assert!(
+                        q.avg_queue() >= cfg.min_th,
+                        "{reason:?} below min_th: avg {} < {}",
+                        q.avg_queue(),
+                        cfg.min_th
+                    );
+                }
+                if matches!(reason, DropReason::ForcedDrop) {
+                    prop_assert!(
+                        q.avg_queue() >= cfg.max_th,
+                        "forced drop needs avg {} >= max_th {}",
+                        q.avg_queue(),
+                        cfg.max_th
+                    );
+                }
+            }
+        } else {
+            q.dequeue(now);
+        }
+        let p = q.drop_probability();
+        prop_assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} outside [0,1]"
+        );
+        prop_assert!(p.is_finite(), "drop probability must be finite");
+        prop_assert!(
+            q.avg_queue() >= 0.0 && q.avg_queue().is_finite(),
+            "EWMA average went negative or non-finite: {}",
+            q.avg_queue()
+        );
+        prop_assert!(
+            q.len() <= q.capacity(),
+            "buffer over capacity: {} > {}",
+            q.len(),
+            q.capacity()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn red_invariants_under_random_load(
+        seed in 0u64..10_000,
+        limit in 4usize..64,
+        min_frac in 0.05f64..0.6,
+        gap_frac in 0.1f64..1.0,
+        weight in 0.001f64..1.0,
+        max_p in 0.01f64..1.0,
+        ops in proptest::collection::vec(any::<bool>(), 1..400),
+        step_micros in 1u64..5_000,
+    ) {
+        drive(config(limit, min_frac, gap_frac, weight, max_p), seed, &ops, step_micros)?;
+    }
+
+    #[test]
+    fn red_never_drops_below_min_threshold_paper_config(
+        seed in 0u64..10_000,
+        burst in 1usize..4,
+    ) {
+        // The paper's gateway (min_th 5, w = 0.002): short bursts keep the
+        // average far below the threshold, so *nothing* may drop — not
+        // even overflow, since burst < limit.
+        let mut q = Red::new(RedConfig::paper());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for uid in 0..burst as u64 {
+            let got = q.enqueue(packet(uid), SimTime::from_millis(uid), &mut rng);
+            prop_assert!(
+                matches!(got, Enqueue::Accepted),
+                "drop below min threshold (avg {})",
+                q.avg_queue()
+            );
+        }
+        prop_assert!(q.avg_queue() < 5.0);
+        prop_assert_eq!(q.drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn red_drop_probability_monotone_in_average(
+        limit in 8usize..64,
+        min_frac in 0.05f64..0.5,
+        gap_frac in 0.2f64..1.0,
+        max_p in 0.01f64..1.0,
+    ) {
+        // With weight 1 the average tracks the queue exactly; pushing the
+        // queue longer must never lower the marking probability.
+        let cfg = config(limit, min_frac, gap_frac, 1.0, max_p);
+        let mut q = Red::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut last_p = 0.0f64;
+        for uid in 0..limit as u64 {
+            q.enqueue(packet(uid), SimTime::ZERO, &mut rng);
+            let p = q.drop_probability();
+            prop_assert!(
+                p >= last_p - 1e-12,
+                "probability fell from {last_p} to {p} as the queue grew"
+            );
+            last_p = p;
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset of the API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`]/
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs one warmup
+//! iteration, then `sample_size` timed iterations, and prints the mean
+//! wall-clock time per iteration (plus derived throughput when
+//! configured). There is no outlier analysis, HTML report, or saved
+//! baseline — this exists so `cargo bench` works without crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque sink preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (packets, events, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configure derived throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iterations: self.sample_size,
+        };
+        f(&mut b);
+        let total: Duration = b.samples.iter().sum();
+        let n = b.samples.len().max(1) as u32;
+        let mean = total / n;
+        let mut line = format!("  {}/{name}: {mean:?}/iter ({n} samples)", self.name);
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match self.throughput {
+                Some(Throughput::Elements(e)) => {
+                    line.push_str(&format!(", {:.3} Melem/s", e as f64 / secs / 1e6));
+                }
+                Some(Throughput::Bytes(bytes)) => {
+                    line.push_str(&format!(
+                        ", {:.3} MiB/s",
+                        bytes as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (matching the real API; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding one warmup call first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into one runnable group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}
