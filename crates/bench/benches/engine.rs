@@ -1,12 +1,14 @@
-//! Microbenchmarks of the simulation substrate: the event calendar, the
-//! two queue disciplines, and raw end-to-end packet throughput.
+//! Microbenchmarks of the simulation substrate: the event calendar (timer
+//! wheel vs the reference binary heap), the two queue disciplines, and raw
+//! end-to-end packet throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netsim::agent::Sink;
-use netsim::event::{Calendar, EventKind};
+use netsim::arena::PacketArena;
+use netsim::event::{Calendar, EventKind, HeapCalendar};
 use netsim::id::AgentId;
 use netsim::packet::Dest;
 use netsim::prelude::*;
@@ -16,11 +18,34 @@ use netsim::wire::Segment;
 fn bench_calendar(c: &mut Criterion) {
     let mut g = c.benchmark_group("calendar");
     g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
+    // Same workload on the production wheel and the retired heap, so the
+    // tentpole speedup stays visible in one report.
+    g.bench_function("wheel_push_pop_10k", |b| {
         b.iter(|| {
             let mut cal = Calendar::new();
             for i in 0..10_000u64 {
                 // Pseudo-random firing times without Instant/rand overhead.
+                let t = (i * 2654435761) % 1_000_000;
+                cal.schedule(
+                    SimTime::from_nanos(t),
+                    EventKind::Timer {
+                        agent: AgentId(0),
+                        token: i,
+                    },
+                );
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(e) = cal.pop() {
+                assert!(e.at >= last);
+                last = e.at;
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("heap_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal = HeapCalendar::new();
+            for i in 0..10_000u64 {
                 let t = (i * 2654435761) % 1_000_000;
                 cal.schedule(
                     SimTime::from_nanos(t),
@@ -58,11 +83,19 @@ fn bench_queues(c: &mut Criterion) {
     g.bench_function("droptail_enq_deq_1k", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
+            let mut arena = PacketArena::new();
             let mut q = DropTail::new(64);
             for i in 0..1000u64 {
-                let _ = q.enqueue(packet(i), SimTime::from_nanos(i), &mut rng);
+                match q.enqueue(arena.insert(packet(i)), SimTime::from_nanos(i), &mut rng) {
+                    netsim::queue::Enqueue::Dropped(h, _) => {
+                        arena.remove(h);
+                    }
+                    netsim::queue::Enqueue::Accepted => {}
+                }
                 if i % 2 == 0 {
-                    black_box(q.dequeue(SimTime::from_nanos(i)));
+                    if let Some(h) = q.dequeue(SimTime::from_nanos(i)) {
+                        black_box(arena.remove(h));
+                    }
                 }
             }
         })
@@ -70,11 +103,23 @@ fn bench_queues(c: &mut Criterion) {
     g.bench_function("red_enq_deq_1k", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
+            let mut arena = PacketArena::new();
             let mut q = Red::new(RedConfig::paper());
             for i in 0..1000u64 {
-                let _ = q.enqueue(packet(i), SimTime::from_nanos(i * 1000), &mut rng);
+                match q.enqueue(
+                    arena.insert(packet(i)),
+                    SimTime::from_nanos(i * 1000),
+                    &mut rng,
+                ) {
+                    netsim::queue::Enqueue::Dropped(h, _) => {
+                        arena.remove(h);
+                    }
+                    netsim::queue::Enqueue::Accepted => {}
+                }
                 if i % 2 == 0 {
-                    black_box(q.dequeue(SimTime::from_nanos(i * 1000)));
+                    if let Some(h) = q.dequeue(SimTime::from_nanos(i * 1000)) {
+                        black_box(arena.remove(h));
+                    }
                 }
             }
         })

@@ -14,22 +14,21 @@
 //!   unequal-RTT topology.
 
 use experiments::manifest::{scenario_entry, write_manifest};
-use experiments::{
-    base_seed, run_duration, run_parallel, CongestionCase, GatewayKind, Json, TreeScenario,
-};
-use netsim::time::SimDuration;
+use experiments::prelude::*;
 use rla::{PthreshPolicy, RlaConfig};
 
 fn scenario(case: CongestionCase, cfg: RlaConfig, duration: SimDuration) -> TreeScenario {
-    let mut s = TreeScenario::paper(case, GatewayKind::DropTail)
+    ScenarioSpec::paper(case)
+        .with_rla_config(cfg)
         .with_duration(duration)
-        .with_seed(base_seed());
-    s.rla_config = cfg;
-    s
+        .with_seed(cli::base_seed())
+        .build()
 }
 
 fn main() {
-    let duration = SimDuration::from_secs_f64((run_duration().as_secs_f64() / 5.0).max(120.0));
+    // A fifth of the paper budget per variant keeps the 8-run sweep
+    // inside one paper-run's budget.
+    let duration = cli::scaled_duration(5.0, 120.0);
     let base = CongestionCase::Case3AllLeaves;
 
     let rows: Vec<(String, TreeScenario)> = vec![

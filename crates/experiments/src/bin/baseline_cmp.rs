@@ -8,6 +8,7 @@
 //! and the controller starves, too high and it crushes TCP.
 
 use baselines::{Ltrc, LtrcConfig, Mbfc, MbfcConfig, RateConfig, RateReceiver, RateSender};
+use experiments::prelude::*;
 use netsim::prelude::*;
 use rla::{McastReceiver, RlaConfig, RlaSender};
 use rla::{RateRla, RateRlaConfig};
@@ -133,7 +134,7 @@ fn contest(controller: Controller, seed: u64) -> (f64, f64, u64) {
     engine.set_send_overhead(mc_tx, overhead);
     engine.start_agent_at(tcp_tx, SimTime::ZERO);
     engine.start_agent_at(mc_tx, SimTime::from_millis(711));
-    let duration = experiments::run_duration().as_secs_f64().min(1000.0);
+    let duration = cli::capped_duration(1000.0).as_secs_f64();
     engine.run_until(SimTime::from_secs_f64(duration));
 
     let mc = match rxs {
@@ -191,7 +192,7 @@ fn main() {
     ];
     let mut run_entries = Vec::new();
     for (label, ctl) in rows {
-        let (mc, tcp, digest) = contest(ctl, experiments::base_seed());
+        let (mc, tcp, digest) = contest(ctl, cli::base_seed());
         println!(
             "{:<34} {:>10.1} {:>10.1} {:>10.2}",
             label,
@@ -199,17 +200,17 @@ fn main() {
             tcp,
             mc / tcp.max(1e-9)
         );
-        run_entries.push(experiments::Json::obj(vec![
+        run_entries.push(Json::obj(vec![
             ("controller", label.as_str().into()),
-            ("seed", experiments::base_seed().into()),
+            ("seed", cli::base_seed().into()),
             ("mcast_pps", mc.into()),
             ("tcp_pps", tcp.into()),
             ("trace_digest", format!("{digest:016x}").into()),
         ]));
     }
-    let manifest = experiments::Json::obj(vec![
+    let manifest = Json::obj(vec![
         ("binary", "baseline_cmp".into()),
-        ("runs", experiments::Json::Arr(run_entries)),
+        ("runs", Json::Arr(run_entries)),
     ]);
     match experiments::manifest::write_manifest("baseline_cmp", &manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),

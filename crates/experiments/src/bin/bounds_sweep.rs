@@ -8,6 +8,7 @@
 //! loss model): the worst branch at `p = 2%`, the rest at `p = 0.2%`
 //! (inside the η = 20 margin, so they count as troubled).
 
+use experiments::prelude::*;
 use experiments::star::{build_star, BranchSpec};
 use netsim::prelude::*;
 use rla::{McastReceiver, RlaConfig, RlaSender};
@@ -70,7 +71,7 @@ fn point(n: usize, seed: u64, secs: u64) -> (f64, f64, f64, u64) {
 }
 
 fn main() {
-    let secs = (experiments::run_duration().as_secs_f64() / 5.0).max(200.0) as u64;
+    let secs = cli::scaled_duration(5.0, 200.0).as_secs_f64() as u64;
     println!("Essential-fairness ratio vs receiver count (unbalanced congestion)");
     println!("worst branch p = 2%, others p = 0.2% (troubled within η = 20)");
     println!(
@@ -87,11 +88,11 @@ fn main() {
         let mut digests = Vec::new();
         const SEEDS: u64 = 3;
         for s in 0..SEEDS {
-            let (a, b, w, d) = point(n, experiments::base_seed() + s, secs);
+            let (a, b, w, d) = point(n, cli::base_seed() + s, secs);
             rla += a;
             tcp += b;
             cwnd += w;
-            digests.push(experiments::Json::from(format!("{d:016x}")));
+            digests.push(Json::from(format!("{d:016x}")));
         }
         rla /= SEEDS as f64;
         tcp /= SEEDS as f64;
@@ -106,19 +107,19 @@ fn main() {
             (3.0 * n as f64).sqrt(),
             2.0 * n as f64
         );
-        run_entries.push(experiments::Json::obj(vec![
+        run_entries.push(Json::obj(vec![
             ("receivers", n.into()),
-            ("base_seed", experiments::base_seed().into()),
+            ("base_seed", cli::base_seed().into()),
             ("rla_pps", rla.into()),
             ("wtcp_pps", tcp.into()),
             ("ratio", (rla / tcp).into()),
-            ("trace_digests", experiments::Json::Arr(digests)),
+            ("trace_digests", Json::Arr(digests)),
         ]));
     }
-    let manifest = experiments::Json::obj(vec![
+    let manifest = Json::obj(vec![
         ("binary", "bounds_sweep".into()),
         ("duration_secs", (secs as f64).into()),
-        ("runs", experiments::Json::Arr(run_entries)),
+        ("runs", Json::Arr(run_entries)),
     ]);
     match experiments::manifest::write_manifest("bounds_sweep", &manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),

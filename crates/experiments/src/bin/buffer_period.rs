@@ -14,13 +14,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use experiments::prelude::*;
 use netsim::prelude::*;
 use netsim::trace::QueueLengthTracer;
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
 fn main() {
     // 100 pkt/s bottleneck, 50 ms one-way => RTT 0.1 s, BDP 10 < buffer 20.
-    let mut engine = Engine::new(experiments::base_seed());
+    let mut engine = Engine::new(cli::base_seed());
     let a = engine.add_node("src");
     let b = engine.add_node("dst");
     let (down, _) = engine.add_link(
@@ -37,7 +38,7 @@ fn main() {
 
     let tracer = Rc::new(RefCell::new(QueueLengthTracer::new(down)));
     engine.set_tracer(tracer.clone());
-    let duration = experiments::run_duration().as_secs_f64().min(600.0);
+    let duration = cli::capped_duration(600.0).as_secs_f64();
     engine.run_until(SimTime::from_secs_f64(duration));
 
     let trace = tracer.borrow();
@@ -104,9 +105,9 @@ fn main() {
         mean(&full_periods) / (2.0 * rtt)
     );
     println!("drops recorded at the gateway: {}", trace.drops.len());
-    let manifest = experiments::Json::obj(vec![
+    let manifest = Json::obj(vec![
         ("binary", "buffer_period".into()),
-        ("seed", experiments::base_seed().into()),
+        ("seed", cli::base_seed().into()),
         ("duration_secs", duration.into()),
         (
             "trace_digest",

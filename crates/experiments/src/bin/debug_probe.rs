@@ -1,23 +1,24 @@
 //! Diagnostic probe: periodic dump of RLA sender internals in a scenario.
 //! Not part of the paper's artifact set; kept for development triage.
 
-use experiments::{CongestionCase, GatewayKind, TreeScenario};
-use netsim::time::{SimDuration, SimTime};
+use experiments::prelude::*;
 use rla::RlaSender;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let case = match args.get(1).map(|s| s.as_str()) {
-        Some("1") => CongestionCase::Case1RootLink,
-        Some("3") => CongestionCase::Case3AllLeaves,
-        Some("5") => CongestionCase::Case5OneLevel2,
-        _ => CongestionCase::Case3AllLeaves,
-    };
-    let gw = match args.get(2).map(|s| s.as_str()) {
-        Some("red") => GatewayKind::Red,
-        _ => GatewayKind::DropTail,
-    };
-    let scenario = TreeScenario::paper(case, gw).with_duration(SimDuration::from_secs(120));
+    let case = args
+        .get(1)
+        .and_then(|s| cli::parse_case(s))
+        .unwrap_or(CongestionCase::Case3AllLeaves);
+    let gw = args
+        .get(2)
+        .and_then(|s| cli::parse_gateway(s))
+        .unwrap_or(GatewayKind::DropTail);
+    let scenario = ScenarioSpec::paper(case)
+        .with_gateway(gw)
+        .with_duration(SimDuration::from_secs(120))
+        .with_seed(cli::base_seed())
+        .build();
     let mut world = scenario.build();
     let sender = world.rla_senders[0];
     for step in 1..=24 {

@@ -7,6 +7,7 @@
 use std::fmt::Write as _;
 
 use analysis::{mahdavi_floyd_pps, pa_window, pa_window_approx, simulate_tcp_window};
+use experiments::prelude::*;
 
 fn main() {
     let mut out = String::new();
@@ -36,7 +37,7 @@ fn main() {
         );
     }
     print!("{out}");
-    experiments::emit_analysis_manifest("eq1", &out, vec![("monte_carlo_seed", 42u64.into())]);
+    emit_analysis_manifest("eq1", &out, vec![("monte_carlo_seed", 42u64.into())]);
     println!("\nThe Monte-Carlo time average tracks the closed form (ratio ≈ 1),");
     println!("and both scale as 1/√p — the relation every §4 bound builds on.");
 }

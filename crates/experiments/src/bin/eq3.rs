@@ -12,6 +12,7 @@ use analysis::{
     eq3_two_receivers, pa_window, proposition_bounds, rla_window_common, rla_window_independent,
     simulate_rla_window,
 };
+use experiments::prelude::*;
 
 fn main() {
     let mut out = String::new();
@@ -89,6 +90,6 @@ fn main() {
         let _ = writeln!(out, "  n = {:>2}: ratio {:.3}", n, common / indep);
     }
     print!("{out}");
-    experiments::emit_analysis_manifest("eq3", &out, vec![("monte_carlo_seed", 7u64.into())]);
+    emit_analysis_manifest("eq3", &out, vec![("monte_carlo_seed", 7u64.into())]);
     println!("\n(the same ordering shows up in figure 7: case 1 > case 2 > case 3)");
 }

@@ -7,23 +7,21 @@
 //! compensating TCP's own bias toward short-RTT connections. Two
 //! bottleneck placements: all level-2 links, all level-3 links.
 
+use experiments::prelude::*;
 use experiments::tables::render_fig10_table;
-use experiments::{
-    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
-    TreeScenario,
-};
 
 fn main() {
-    let duration = run_duration();
+    let duration = cli::run_duration();
     let scenarios: Vec<TreeScenario> = [
         CongestionCase::Fig10AllLevel2,
         CongestionCase::Fig10AllLevel3,
     ]
     .iter()
     .map(|&case| {
-        TreeScenario::paper(case, GatewayKind::DropTail)
+        ScenarioSpec::paper(case)
             .with_duration(duration)
-            .with_seed(base_seed())
+            .with_seed(cli::base_seed())
+            .build()
     })
     .collect();
     eprintln!(

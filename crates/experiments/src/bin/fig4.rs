@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 
 use analysis::particle::drift_field;
 use experiments::plots::render_drift_field;
+use experiments::prelude::*;
 
 fn main() {
     let n = 3;
@@ -33,7 +34,7 @@ fn main() {
         let _ = writeln!(out, "{},{},{:.4},{:.4}", v.w1, v.w2, v.dx, v.dy);
     }
     print!("{out}");
-    experiments::emit_analysis_manifest(
+    emit_analysis_manifest(
         "fig4",
         &out,
         vec![

@@ -13,6 +13,7 @@
 
 use analysis::particle::simulate_particle;
 use experiments::plots::render_density;
+use experiments::prelude::*;
 use netsim::prelude::*;
 use rla::{McastReceiver, RlaConfig, RlaSender};
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
@@ -44,7 +45,7 @@ fn particle_view() -> experiments::Json {
 fn full_sim_view() -> experiments::Json {
     // Flat star: S -- R_i over 27 independent paths, BDP = 60 packets:
     // 600 pkt/s (4.8 Mbps) with 50 ms one-way delay (RTT 0.1 s).
-    let mut engine = Engine::new(base_seed());
+    let mut engine = Engine::new(cli::base_seed());
     let queue = QueueConfig::paper_droptail();
     let star = experiments::build_star(
         &mut engine,
@@ -85,7 +86,7 @@ fn full_sim_view() -> experiments::Json {
     }
 
     // Sample (cwnd1, cwnd2) every 0.2 s after warmup.
-    let duration = run_duration_secs().min(1200.0);
+    let duration = cli::capped_duration(1200.0).as_secs_f64();
     let warmup = 50.0f64.min(duration / 4.0);
     engine.run_until(SimTime::from_secs_f64(warmup));
     let grid = 60usize;
@@ -126,7 +127,7 @@ fn full_sim_view() -> experiments::Json {
     println!("paper reference: density centred at (20, 20)");
     experiments::Json::obj(vec![
         ("view", "full-sim".into()),
-        ("seed", base_seed().into()),
+        ("seed", cli::base_seed().into()),
         ("duration_secs", duration.into()),
         (
             "trace_digest",
@@ -136,14 +137,6 @@ fn full_sim_view() -> experiments::Json {
         ("mean_w1", stats.mean_w1.into()),
         ("mean_w2", stats.mean_w2.into()),
     ])
-}
-
-fn base_seed() -> u64 {
-    experiments::base_seed()
-}
-
-fn run_duration_secs() -> f64 {
-    experiments::run_duration().as_secs_f64()
 }
 
 fn main() {

@@ -7,20 +7,18 @@
 //! same congestion frequency (§3.1's macro-argument); in the unbalanced
 //! cases 4–5 the counts diverge because the window sizes differ.
 
+use experiments::prelude::*;
 use experiments::tables::render_signal_table;
-use experiments::{
-    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
-    TreeScenario,
-};
 
 fn main() {
-    let duration = run_duration();
+    let duration = cli::run_duration();
     let scenarios: Vec<TreeScenario> = CongestionCase::FIGURE7_CASES
         .iter()
         .map(|&case| {
-            TreeScenario::paper(case, GatewayKind::DropTail)
+            ScenarioSpec::paper(case)
                 .with_duration(duration)
-                .with_seed(base_seed())
+                .with_seed(cli::base_seed())
+                .build()
         })
         .collect();
     eprintln!(

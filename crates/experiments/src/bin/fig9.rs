@@ -5,20 +5,19 @@
 //! itself. Fairness should tighten toward absolute, most visibly in
 //! case 1.
 
+use experiments::prelude::*;
 use experiments::tables::render_throughput_table;
-use experiments::{
-    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
-    TreeScenario,
-};
 
 fn main() {
-    let duration = run_duration();
+    let duration = cli::run_duration();
     let scenarios: Vec<TreeScenario> = CongestionCase::FIGURE7_CASES
         .iter()
         .map(|&case| {
-            TreeScenario::paper(case, GatewayKind::Red)
+            ScenarioSpec::paper(case)
+                .with_gateway(GatewayKind::Red)
                 .with_duration(duration)
-                .with_seed(base_seed())
+                .with_seed(cli::base_seed())
+                .build()
         })
         .collect();
     eprintln!(

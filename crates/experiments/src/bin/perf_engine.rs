@@ -1,0 +1,70 @@
+//! Engine throughput on the paper's workload: wall-clocks the fig-7
+//! drop-tail scenario (case 1, every gateway drop-tail) and reports
+//! simulator events per wall-second.
+//!
+//! The number this prints is the repo's headline perf metric: the run
+//! manifest (`BENCH_engine.manifest.json`) records it together with the
+//! trace digest, so a perf regression *and* a behaviour change are both
+//! one `git diff` away. Set `RLA_BENCH_BASELINE` (events/sec) to a
+//! previously recorded figure to get a speedup ratio in the manifest.
+//!
+//! Honours `RLA_DURATION_SECS` (default 60 s here — this is a bench, not
+//! a table regeneration) and `RLA_SEED`.
+
+use std::time::Instant;
+
+use experiments::manifest::write_manifest;
+use experiments::prelude::*;
+
+fn main() {
+    let duration = cli::duration_or(SimDuration::from_secs(60));
+    let spec = ScenarioSpec::paper(CongestionCase::Case1RootLink)
+        .with_gateway(GatewayKind::DropTail)
+        .with_duration(duration)
+        .with_seed(cli::base_seed());
+    eprintln!(
+        "perf_engine: fig-7 case-1 drop-tail, {:.0} s simulated...",
+        duration.as_secs_f64()
+    );
+
+    let scenario = spec.build();
+    let mut world = scenario.build();
+    let wall = Instant::now();
+    let result = world.run(&scenario);
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let events = result.trace_events;
+    let events_per_sec = events as f64 / wall_secs;
+    println!("simulated          {:>12.0} s", duration.as_secs_f64());
+    println!("packet events      {events:>12}");
+    println!("wall clock         {wall_secs:>12.2} s");
+    println!("events / wall-sec  {events_per_sec:>12.0}");
+
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("binary", "perf_engine".into()),
+        ("scenario", "fig7 case1 drop-tail".into()),
+        ("duration_secs", duration.as_secs_f64().into()),
+        ("seed", result.seed.into()),
+        (
+            "trace_digest",
+            format!("{:016x}", result.trace_digest).into(),
+        ),
+        ("trace_events", events.into()),
+        ("wall_secs", wall_secs.into()),
+        ("events_per_sec", events_per_sec.into()),
+    ];
+    let baseline = std::env::var("RLA_BENCH_BASELINE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    if let Some(base) = baseline {
+        let speedup = events_per_sec / base;
+        println!("baseline           {base:>12.0}");
+        println!("speedup            {speedup:>12.2}x");
+        fields.push(("baseline_events_per_sec", base.into()));
+        fields.push(("speedup", speedup.into()));
+    }
+    match write_manifest("BENCH_engine", &Json::obj(fields)) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write BENCH_engine.manifest.json: {e}"),
+    }
+}

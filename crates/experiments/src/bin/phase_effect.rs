@@ -7,6 +7,7 @@
 //! Adding a uniform random processing time up to one bottleneck service
 //! time (the paper's remedy) — or switching to RED — restores fairness.
 
+use experiments::prelude::*;
 use netsim::prelude::*;
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
 
@@ -43,7 +44,7 @@ fn contest(queue: &QueueConfig, overhead: SimDuration, seed: u64) -> (f64, f64, 
     }
     engine.start_agent_at(tx1, SimTime::ZERO);
     engine.start_agent_at(tx2, SimTime::from_millis(503));
-    let duration = experiments::run_duration().as_secs_f64().min(1000.0);
+    let duration = cli::capped_duration(1000.0).as_secs_f64();
     engine.run_until(SimTime::from_secs_f64(duration));
     let d1 = engine
         .agent_as::<TcpReceiver>(rx1)
@@ -96,11 +97,11 @@ fn main() {
         let mut digests = Vec::new();
         const SEEDS: u64 = 5;
         for seed in 0..SEEDS {
-            let (t1, t2, d) = contest(&queue, overhead, experiments::base_seed() + seed);
+            let (t1, t2, d) = contest(&queue, overhead, cli::base_seed() + seed);
             worst_ratio = worst_ratio.max(t1.max(t2) / t1.min(t2).max(1e-9));
             t1_acc += t1;
             t2_acc += t2;
-            digests.push(experiments::Json::from(format!("{d:016x}")));
+            digests.push(Json::from(format!("{d:016x}")));
         }
         println!(
             "{:<44} {:>9.1} {:>9.1} {:>9.2}",
@@ -109,19 +110,19 @@ fn main() {
             t2_acc / SEEDS as f64,
             worst_ratio
         );
-        run_entries.push(experiments::Json::obj(vec![
+        run_entries.push(Json::obj(vec![
             ("configuration", label.into()),
-            ("base_seed", experiments::base_seed().into()),
+            ("base_seed", cli::base_seed().into()),
             ("flow1_pps", (t1_acc / SEEDS as f64).into()),
             ("flow2_pps", (t2_acc / SEEDS as f64).into()),
             ("worst_ratio", worst_ratio.into()),
-            ("trace_digests", experiments::Json::Arr(digests)),
+            ("trace_digests", Json::Arr(digests)),
         ]));
         summary.push((label, worst_ratio));
     }
-    let manifest = experiments::Json::obj(vec![
+    let manifest = Json::obj(vec![
         ("binary", "phase_effect".into()),
-        ("runs", experiments::Json::Arr(run_entries)),
+        ("runs", Json::Arr(run_entries)),
     ]);
     match experiments::manifest::write_manifest("phase_effect", &manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),

@@ -5,21 +5,19 @@
 //! reports 65.1 / 65.9 pkt/s and average windows 19.9 / 20.1 — the
 //! multicast-fairness property of §4.4 realized in the full simulator.
 
-use experiments::{
-    base_seed, emit_scenario_manifest, run_duration, CongestionCase, GatewayKind, TreeScenario,
-};
+use experiments::prelude::*;
 
 fn main() {
-    let duration = run_duration();
-    let mut scenario = TreeScenario::paper(CongestionCase::Case3AllLeaves, GatewayKind::DropTail)
+    let duration = cli::run_duration();
+    let spec = ScenarioSpec::paper(CongestionCase::Case3AllLeaves)
+        .with_sessions(2)
         .with_duration(duration)
-        .with_seed(base_seed());
-    scenario.rla_sessions = 2;
+        .with_seed(cli::base_seed());
     eprintln!(
         "section 5.2: two overlapping RLA sessions, case-3 topology, {:.0} s...",
         duration.as_secs_f64()
     );
-    let r = scenario.run();
+    let r = spec.run();
     emit_scenario_manifest("sec52", duration, std::slice::from_ref(&r));
 
     println!("Section 5.2 — two overlapping multicast sessions (case-3 topology)");

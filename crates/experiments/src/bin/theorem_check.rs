@@ -8,23 +8,21 @@
 //! far tighter (`a ≈ 1`, `b ≈ 3` in §5's setups) is reported alongside.
 
 use analysis::{FairnessBounds, FairnessCheck};
-use experiments::{
-    base_seed, emit_scenario_manifest, run_duration, run_parallel, CongestionCase, GatewayKind,
-    TreeScenario,
-};
-use netsim::time::SimDuration;
+use experiments::prelude::*;
 
 fn main() {
     // Theorem sweeps run both gateway types; cap each run at a fifth of
     // the paper budget so the 10-run sweep stays tractable.
-    let duration = SimDuration::from_secs_f64((run_duration().as_secs_f64() / 5.0).max(120.0));
+    let duration = cli::scaled_duration(5.0, 120.0);
     let mut scenarios = Vec::new();
     for &gw in &[GatewayKind::Red, GatewayKind::DropTail] {
         for &case in &CongestionCase::FIGURE7_CASES {
             scenarios.push(
-                TreeScenario::paper(case, gw)
+                ScenarioSpec::paper(case)
+                    .with_gateway(gw)
                     .with_duration(duration)
-                    .with_seed(base_seed()),
+                    .with_seed(cli::base_seed())
+                    .build(),
             );
         }
     }

@@ -22,23 +22,55 @@
 //! | `baseline_cmp`  | §1             | LTRC/MBFC vs RLA fairness to TCP |
 //!
 //! Run lengths follow the paper (3000 s) unless `RLA_DURATION_SECS` says
-//! otherwise.
+//! otherwise; every binary reads its knobs through [`cli`] and describes
+//! its scenarios with [`ScenarioSpec`] (see [`prelude`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod manifest;
 pub mod metrics;
 pub mod plots;
 pub mod runner;
 pub mod scenario;
+pub mod spec;
 pub mod star;
 pub mod tables;
 pub mod tree;
 
 pub use manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
 pub use metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
-pub use runner::{base_seed, job_count, run_duration, run_parallel, run_parallel_with_jobs};
+pub use runner::{run_parallel, run_parallel_with_jobs};
 pub use scenario::{GatewayKind, ScenarioWorld, TreeScenario};
+pub use spec::ScenarioSpec;
 pub use star::{build_star, BranchSpec, Star};
 pub use tree::{build_tree, CongestionCase, TertiaryTree};
+
+/// One-stop imports for experiment binaries.
+///
+/// ```no_run
+/// use experiments::prelude::*;
+///
+/// let rows: Vec<_> = [CongestionCase::Case1RootLink]
+///     .iter()
+///     .map(|&case| {
+///         ScenarioSpec::paper(case)
+///             .with_gateway(GatewayKind::Red)
+///             .with_duration(cli::run_duration())
+///             .with_seed(cli::base_seed())
+///             .run()
+///     })
+///     .collect();
+/// emit_scenario_manifest("example", cli::run_duration(), &rows);
+/// ```
+pub mod prelude {
+    pub use crate::cli;
+    pub use crate::manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
+    pub use crate::metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
+    pub use crate::runner::{run_parallel, run_parallel_with_jobs};
+    pub use crate::scenario::{GatewayKind, ScenarioWorld, TreeScenario};
+    pub use crate::spec::ScenarioSpec;
+    pub use crate::tree::{CongestionCase, TertiaryTree};
+    pub use netsim::time::{SimDuration, SimTime};
+}

@@ -1,13 +1,7 @@
 //! Execution helpers for the experiment binaries.
 //!
-//! Paper-length runs are 3000 simulated seconds per case; the regenerator
-//! binaries accept a scale factor so CI and quick looks stay cheap:
-//!
-//! * `RLA_DURATION_SECS` — simulated seconds per run (default 3000, the
-//!   paper's length).
-//! * `RLA_SEED` — base RNG seed (default 1).
-//! * `RLA_JOBS` — worker threads for scenario sweeps (default: the
-//!   machine's available parallelism).
+//! Environment knobs (`RLA_DURATION_SECS`, `RLA_SEED`, `RLA_JOBS`) are
+//! parsed in [`crate::cli`]; this module only runs the batches.
 //!
 //! Independent runs execute on a fixed-size worker pool (the engine
 //! itself is single-threaded for determinism). Because every scenario is
@@ -21,45 +15,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
 
-use netsim::time::SimDuration;
-
+use crate::cli::job_count;
 use crate::metrics::ScenarioResult;
 use crate::scenario::TreeScenario;
 
-/// Simulated duration for paper-table runs, honouring
-/// `RLA_DURATION_SECS`.
-pub fn run_duration() -> SimDuration {
-    let secs = std::env::var("RLA_DURATION_SECS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(3000.0);
-    SimDuration::from_secs_f64(secs.max(60.0))
-}
-
-/// Base seed, honouring `RLA_SEED`.
-pub fn base_seed() -> u64 {
-    std::env::var("RLA_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
-}
-
-/// Worker count for scenario sweeps: `RLA_JOBS` if set (floor 1),
-/// otherwise the machine's available parallelism.
-pub fn job_count() -> usize {
-    std::env::var("RLA_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or_else(|| {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// Run scenarios on a fixed-size worker pool (see [`job_count`]) and
-/// return the results in input order.
+/// Run scenarios on a fixed-size worker pool (see
+/// [`job_count`](crate::cli::job_count)) and return the results in input
+/// order.
 ///
 /// Panics propagate *after* every other scenario has finished, with the
 /// index and label of each failed scenario, so one bad configuration in
@@ -135,6 +97,7 @@ mod tests {
     use super::*;
     use crate::scenario::GatewayKind;
     use crate::tree::CongestionCase;
+    use netsim::time::SimDuration;
 
     fn make() -> TreeScenario {
         TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
@@ -164,18 +127,6 @@ mod tests {
         let results = run_parallel_with_jobs(batch, 2);
         let got: Vec<u64> = results.iter().map(|r| r.seed).collect();
         assert_eq!(got, expected);
-    }
-
-    #[test]
-    fn job_count_is_positive() {
-        assert!(job_count() >= 1);
-    }
-
-    #[test]
-    fn duration_env_floor() {
-        // Can't set env vars safely in parallel tests; just check default.
-        let d = run_duration();
-        assert!(d >= SimDuration::from_secs(60));
     }
 
     #[test]

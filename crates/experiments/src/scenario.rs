@@ -84,10 +84,15 @@ impl TreeScenario {
     }
 
     /// Same scenario scaled to a shorter run (tests, benches). The warmup
-    /// shrinks proportionally but never below 20 s.
+    /// shrinks proportionally but never below 20 s — unless that floor
+    /// would reach the end of the run, in which case a third of the
+    /// duration is discarded instead so very short runs stay valid.
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
-        self.warmup =
-            SimDuration::from_secs_f64((duration.as_secs_f64() / 30.0).clamp(20.0, 100.0));
+        let mut warmup = (duration.as_secs_f64() / 30.0).clamp(20.0, 100.0);
+        if warmup >= duration.as_secs_f64() {
+            warmup = duration.as_secs_f64() / 3.0;
+        }
+        self.warmup = SimDuration::from_secs_f64(warmup);
         self.duration = duration;
         self
     }
@@ -325,6 +330,32 @@ mod tests {
         TreeScenario::paper(case, gateway)
             .with_duration(SimDuration::from_secs(120))
             .run()
+    }
+
+    #[test]
+    fn short_durations_keep_warmup_inside_the_run() {
+        // Regression: durations ≤ 20 s used to clamp warmup to 20 s and
+        // trip build()'s `warmup < duration` assertion.
+        for secs in [5u64, 10, 20, 21, 60, 120, 3000] {
+            let s = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::DropTail)
+                .with_duration(SimDuration::from_secs(secs));
+            assert!(
+                s.warmup < s.duration,
+                "duration {secs}s got warmup {:?}",
+                s.warmup
+            );
+        }
+        // The longstanding values are unchanged (golden digests depend on
+        // the 60 s case).
+        let s = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::DropTail)
+            .with_duration(SimDuration::from_secs(60));
+        assert_eq!(s.warmup, SimDuration::from_secs(20));
+        let s = s.with_duration(SimDuration::from_secs(3000));
+        assert_eq!(s.warmup, SimDuration::from_secs(100));
+        // And a short run actually builds and starts.
+        let _ = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::DropTail)
+            .with_duration(SimDuration::from_secs(15))
+            .build();
     }
 
     #[test]

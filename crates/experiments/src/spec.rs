@@ -1,0 +1,182 @@
+//! Declarative scenario construction: [`ScenarioSpec`].
+//!
+//! The experiment binaries used to hand-mutate [`TreeScenario`] fields
+//! (`s.rla_sessions = 2`, `s.rla_config = cfg`), which silently bypassed
+//! the invariants `TreeScenario::paper` establishes — most visibly the
+//! case-dependent pthresh policy. `ScenarioSpec` is an order-independent
+//! builder: overrides are recorded, and [`ScenarioSpec::build`] applies
+//! them in one fixed sequence on top of the paper defaults, so
+//! `.with_seed(7).with_duration(d)` and `.with_duration(d).with_seed(7)`
+//! produce byte-identical scenarios.
+
+use netsim::time::SimDuration;
+
+use rla::RlaConfig;
+
+use crate::metrics::ScenarioResult;
+use crate::scenario::{GatewayKind, TreeScenario};
+use crate::tree::CongestionCase;
+
+/// A declarative description of one tree-scenario run.
+///
+/// Construct with [`ScenarioSpec::paper`], layer overrides with the
+/// `with_*` methods, then [`build`](ScenarioSpec::build) a
+/// [`TreeScenario`] or [`run`](ScenarioSpec::run) it directly.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    case: CongestionCase,
+    gateway: GatewayKind,
+    sessions: usize,
+    seed: Option<u64>,
+    duration: Option<SimDuration>,
+    rla_config: Option<RlaConfig>,
+}
+
+impl ScenarioSpec {
+    /// Paper defaults for `case`: drop-tail gateways, one RLA session,
+    /// 3000 s / 100 s warmup, seed 1, case-appropriate pthresh policy.
+    pub fn paper(case: CongestionCase) -> Self {
+        ScenarioSpec {
+            case,
+            gateway: GatewayKind::DropTail,
+            sessions: 1,
+            seed: None,
+            duration: None,
+            rla_config: None,
+        }
+    }
+
+    /// Gateway type on every link (default: drop-tail).
+    pub fn with_gateway(mut self, gateway: GatewayKind) -> Self {
+        self.gateway = gateway;
+        self
+    }
+
+    /// Number of overlapping RLA sessions (default 1; §5.2 uses 2).
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        assert!(sessions >= 1, "need at least one RLA session");
+        self.sessions = sessions;
+        self
+    }
+
+    /// Override the RNG seed (default: the paper's seed 1).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Override the simulated run length; warmup rescales with it
+    /// (see [`TreeScenario::with_duration`]).
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Replace the RLA sender configuration wholesale (ablations).
+    ///
+    /// Omitting this keeps the paper's case-dependent default — notably
+    /// the RTT-scaled pthresh policy for the figure-10 cases — so only
+    /// set it when the experiment really sweeps the RLA parameters.
+    pub fn with_rla_config(mut self, config: RlaConfig) -> Self {
+        self.rla_config = Some(config);
+        self
+    }
+
+    /// The congestion case this spec describes.
+    pub fn case(&self) -> CongestionCase {
+        self.case
+    }
+
+    /// The gateway kind this spec describes.
+    pub fn gateway(&self) -> GatewayKind {
+        self.gateway
+    }
+
+    /// Materialize the [`TreeScenario`]. Overrides are applied in a fixed
+    /// order, so the builder-call order never matters.
+    pub fn build(&self) -> TreeScenario {
+        let mut s = TreeScenario::paper(self.case, self.gateway);
+        if let Some(d) = self.duration {
+            s = s.with_duration(d);
+        }
+        if let Some(seed) = self.seed {
+            s = s.with_seed(seed);
+        }
+        s.rla_sessions = self.sessions;
+        if let Some(cfg) = &self.rla_config {
+            s.rla_config = cfg.clone();
+        }
+        s
+    }
+
+    /// Build, run and measure in one step.
+    pub fn run(&self) -> ScenarioResult {
+        self.build().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rla::PthreshPolicy;
+
+    #[test]
+    fn builder_order_does_not_matter() {
+        let d = SimDuration::from_secs(90);
+        let a = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_seed(7)
+            .with_duration(d)
+            .with_gateway(GatewayKind::Red)
+            .build();
+        let b = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_gateway(GatewayKind::Red)
+            .with_duration(d)
+            .with_seed(7)
+            .build();
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.warmup, b.warmup);
+        assert_eq!(a.gateway, b.gateway);
+    }
+
+    #[test]
+    fn matches_hand_built_tree_scenario() {
+        let d = SimDuration::from_secs(60);
+        let via_spec = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(d)
+            .with_seed(1)
+            .build();
+        let by_hand = TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
+            .with_duration(d)
+            .with_seed(1);
+        assert_eq!(via_spec.seed, by_hand.seed);
+        assert_eq!(via_spec.duration, by_hand.duration);
+        assert_eq!(via_spec.warmup, by_hand.warmup);
+        assert_eq!(via_spec.rla_sessions, by_hand.rla_sessions);
+    }
+
+    #[test]
+    fn paper_pthresh_policy_survives_other_overrides() {
+        let s = ScenarioSpec::paper(CongestionCase::Case1RootLink)
+            .with_sessions(2)
+            .with_duration(SimDuration::from_secs(60))
+            .build();
+        assert_eq!(s.rla_sessions, 2);
+        assert_eq!(s.rla_config.pthresh_policy, PthreshPolicy::Equal);
+        let g3 = ScenarioSpec::paper(CongestionCase::Fig10AllLevel2).build();
+        assert_ne!(g3.rla_config.pthresh_policy, PthreshPolicy::Equal);
+    }
+
+    #[test]
+    fn rla_config_override_replaces_wholesale() {
+        let cfg = RlaConfig {
+            eta: 0.42,
+            ..RlaConfig::default()
+        };
+        let s = ScenarioSpec::paper(CongestionCase::Case2AllLevel3)
+            .with_rla_config(cfg.clone())
+            .build();
+        assert_eq!(s.rla_config.eta, cfg.eta);
+        assert_eq!(s.rla_config.pthresh_policy, cfg.pthresh_policy);
+    }
+}

@@ -8,6 +8,13 @@
 //!
 //! Determinism: a single seeded RNG, integer time, and FIFO tie-breaking in
 //! the calendar make runs bit-reproducible for a given seed.
+//!
+//! Hot path: packets live in a [`PacketArena`] and move through the
+//! calendar, queues and multicast fan-out as copyable [`PacketHandle`]s;
+//! the packet struct itself is only touched at injection, at trace points,
+//! and at delivery (where it leaves the arena by value). The calendar is a
+//! hierarchical timer wheel ([`Calendar`]) driven through
+//! `pop_before(deadline)`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -16,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::agent::Agent;
+use crate::arena::{PacketArena, PacketHandle};
 use crate::event::{Calendar, EventKind};
 use crate::fault::FaultInjector;
 use crate::id::{AgentId, ChannelId, GroupId, NodeId};
@@ -57,6 +65,13 @@ pub struct World {
     /// Always-on fingerprint of the packet-event stream (see
     /// [`TraceDigest`]); the substrate of the digest-regression layer.
     digest: TraceDigest,
+    /// Every in-flight packet's single home; events and queues hold
+    /// [`PacketHandle`]s into it.
+    arena: PacketArena,
+    /// Reusable buffers for multicast fan-out (avoids a pair of Vec
+    /// allocations per group arrival).
+    fwd_scratch: Vec<ChannelId>,
+    member_scratch: Vec<AgentId>,
 }
 
 impl World {
@@ -72,6 +87,9 @@ impl World {
             next_uid: 0,
             tracer: None,
             digest: TraceDigest::new(),
+            arena: PacketArena::new(),
+            fwd_scratch: Vec::new(),
+            member_scratch: Vec::new(),
         }
     }
 
@@ -125,6 +143,12 @@ impl World {
         &self.digest
     }
 
+    /// The packet arena (diagnostics: live packet population, peak
+    /// capacity).
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
     fn alloc_uid(&mut self) -> u64 {
         let uid = self.next_uid;
         self.next_uid += 1;
@@ -137,11 +161,15 @@ impl World {
         }
     }
 
-    /// Inject `packet` at `channel`: fault-check, then transmit immediately
-    /// if the transmitter is idle, otherwise enqueue.
-    fn offer(&mut self, channel: ChannelId, packet: Packet) {
+    /// Inject the packet behind `handle` at `channel`: fault-check, then
+    /// transmit immediately if the transmitter is idle, otherwise enqueue.
+    /// On any drop the arena slot is freed here.
+    fn offer(&mut self, channel: ChannelId, handle: PacketHandle) {
         let now = self.now;
-        let is_data = packet.segment.is_data();
+        let (uid, is_data) = {
+            let p = self.arena.get(handle);
+            (p.uid, p.segment.is_data())
+        };
         let ch = &mut self.channels[channel.index()];
         ch.stats.offered += 1;
 
@@ -149,19 +177,17 @@ impl World {
             if fault.should_drop(is_data, &mut self.rng) {
                 ch.stats.record_drop(crate::queue::DropReason::Fault);
                 let qlen = ch.queue.len();
-                self.digest.record_drop(
-                    now,
-                    channel,
-                    packet.uid,
-                    crate::queue::DropReason::Fault,
-                    qlen,
-                );
-                self.trace(&TraceEvent::Drop {
-                    channel,
-                    packet: &packet,
-                    reason: crate::queue::DropReason::Fault,
-                    qlen,
-                });
+                self.digest
+                    .record_drop(now, channel, uid, crate::queue::DropReason::Fault, qlen);
+                if self.tracer.is_some() {
+                    self.trace(&TraceEvent::Drop {
+                        channel,
+                        packet: self.arena.get(handle),
+                        reason: crate::queue::DropReason::Fault,
+                        qlen,
+                    });
+                }
+                self.arena.remove(handle);
                 return;
             }
         }
@@ -170,71 +196,86 @@ impl World {
         if !ch.busy {
             debug_assert!(ch.queue.is_empty(), "idle transmitter with queued packets");
             ch.stats.accepted += 1;
-            self.start_tx(channel, packet);
+            self.start_tx(channel, handle);
         } else {
-            // Keep a copy for the trace when a tracer is installed; the
-            // queue takes ownership on acceptance. The always-on digest
-            // only needs the uid, captured before the handoff.
-            let uid = packet.uid;
-            let snapshot = self.tracer.as_ref().map(|_| packet.clone());
-            match ch.queue.enqueue(packet, now, &mut self.rng) {
+            match ch.queue.enqueue(handle, now, &mut self.rng) {
                 Enqueue::Accepted => {
                     ch.stats.accepted += 1;
                     let qlen = ch.queue.len();
                     ch.stats.record_qlen(now, qlen);
                     self.digest.record_enqueue(now, channel, uid, qlen);
-                    if let Some(p) = &snapshot {
+                    if self.tracer.is_some() {
                         self.trace(&TraceEvent::Enqueue {
                             channel,
-                            packet: p,
+                            packet: self.arena.get(handle),
                             qlen,
                         });
                     }
                 }
-                Enqueue::Dropped(packet, reason) => {
+                Enqueue::Dropped(handle, reason) => {
                     ch.stats.record_drop(reason);
                     let qlen = ch.queue.len();
                     self.digest.record_drop(now, channel, uid, reason, qlen);
-                    self.trace(&TraceEvent::Drop {
-                        channel,
-                        packet: &packet,
-                        reason,
-                        qlen,
-                    });
+                    if self.tracer.is_some() {
+                        self.trace(&TraceEvent::Drop {
+                            channel,
+                            packet: self.arena.get(handle),
+                            reason,
+                            qlen,
+                        });
+                    }
+                    self.arena.remove(handle);
                 }
             }
         }
     }
 
-    /// Begin transmitting `packet` on `channel`.
-    fn start_tx(&mut self, channel: ChannelId, packet: Packet) {
+    /// Begin transmitting the packet behind `handle` on `channel`.
+    fn start_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
         let now = self.now;
+        let (uid, size_bytes) = {
+            let p = self.arena.get(handle);
+            (p.uid, p.size_bytes)
+        };
         let ch = &mut self.channels[channel.index()];
         debug_assert!(!ch.busy, "transmitter already busy");
         ch.busy = true;
-        let service = ch.service_time(packet.size_bytes);
+        let service = ch.service_time(size_bytes);
         ch.stats.record_busy(service);
         let qlen = ch.queue.len();
-        self.digest.record_tx_start(now, channel, packet.uid, qlen);
-        self.trace(&TraceEvent::TxStart {
-            channel,
-            packet: &packet,
-            qlen,
-        });
-        self.calendar
-            .schedule(now + service, EventKind::TxComplete { channel, packet });
+        self.digest.record_tx_start(now, channel, uid, qlen);
+        if self.tracer.is_some() {
+            self.trace(&TraceEvent::TxStart {
+                channel,
+                packet: self.arena.get(handle),
+                qlen,
+            });
+        }
+        self.calendar.schedule(
+            now + service,
+            EventKind::TxComplete {
+                channel,
+                packet: handle,
+            },
+        );
     }
 
-    /// The transmitter on `channel` finished serializing `packet`.
-    fn complete_tx(&mut self, channel: ChannelId, packet: Packet) {
+    /// The transmitter on `channel` finished serializing the packet.
+    fn complete_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
         let now = self.now;
+        let size_bytes = self.arena.get(handle).size_bytes;
         let ch = &mut self.channels[channel.index()];
         ch.stats.transmitted += 1;
-        ch.stats.bytes_transmitted += packet.size_bytes as u64;
+        ch.stats.bytes_transmitted += size_bytes as u64;
         let to = ch.to;
         let delay = ch.prop_delay;
-        self.calendar
-            .schedule(now + delay, EventKind::Arrive { node: to, packet });
+        self.calendar.schedule(
+            now + delay,
+            EventKind::Arrive {
+                node: to,
+                packet: handle,
+            },
+        );
 
         // Pull the next packet out of the buffer, if any.
         let ch = &mut self.channels[channel.index()];
@@ -290,9 +331,14 @@ impl<'w> Context<'w> {
             segment,
             sent_at: self.world.now,
         };
-        self.world
-            .calendar
-            .schedule(at, EventKind::Arrive { node, packet });
+        let handle = self.world.arena.insert(packet);
+        self.world.calendar.schedule(
+            at,
+            EventKind::Arrive {
+                node,
+                packet: handle,
+            },
+        );
         uid
     }
 
@@ -556,11 +602,7 @@ impl Engine {
     /// Run until the calendar is exhausted or `deadline` is reached; the
     /// clock ends at exactly `deadline` if the calendar outlives it.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(at) = self.world.calendar.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let event = self.world.calendar.pop().expect("peeked event vanished");
+        while let Some(event) = self.world.calendar.pop_before(deadline) {
             debug_assert!(event.at >= self.world.now, "time ran backwards");
             self.world.now = event.at;
             self.dispatch(event.kind);
@@ -597,56 +639,91 @@ impl Engine {
         }
     }
 
-    fn arrive(&mut self, node: NodeId, packet: Packet) {
-        self.world
-            .digest
-            .record_arrive(self.world.now, node, packet.uid);
-        self.world.trace(&TraceEvent::Arrive {
-            node,
-            packet: &packet,
-        });
-        match packet.dest {
+    fn arrive(&mut self, node: NodeId, handle: PacketHandle) {
+        let (uid, dest) = {
+            let p = self.world.arena.get(handle);
+            (p.uid, p.dest)
+        };
+        self.world.digest.record_arrive(self.world.now, node, uid);
+        if self.world.tracer.is_some() {
+            self.world.trace(&TraceEvent::Arrive {
+                node,
+                packet: self.world.arena.get(handle),
+            });
+        }
+        match dest {
             Dest::Agent(agent) => {
                 let target_node = self.world.agent_meta[agent.index()].node;
                 if target_node == node {
-                    self.deliver(agent, packet);
+                    self.deliver(agent, handle);
                 } else {
                     let ch = self.world.nodes[node.index()]
                         .route_to(target_node)
                         .unwrap_or_else(|| {
                             panic!("no route from {node} toward {target_node} for {agent}")
                         });
-                    self.world.offer(ch, packet);
+                    self.world.offer(ch, handle);
                 }
             }
             Dest::Group(group) => {
+                // Fan out through reusable scratch buffers; replicate via
+                // the arena, letting the last copy reuse the original slot.
+                let mut forwards = std::mem::take(&mut self.world.fwd_scratch);
+                let mut locals = std::mem::take(&mut self.world.member_scratch);
+                forwards.clear();
+                locals.clear();
                 let g = &self.world.groups[group.index()];
                 debug_assert!(
                     g.root.is_some(),
                     "group packet before build_group_tree was called"
                 );
-                let forwards: Vec<ChannelId> =
-                    g.forward.get(node.index()).cloned().unwrap_or_default();
-                let locals: Vec<AgentId> =
-                    g.members_at.get(node.index()).cloned().unwrap_or_default();
-                for ch in forwards {
-                    self.world.offer(ch, packet.clone());
+                if let Some(f) = g.forward.get(node.index()) {
+                    forwards.extend_from_slice(f);
                 }
-                for agent in locals {
-                    self.deliver(agent, packet.clone());
+                if let Some(m) = g.members_at.get(node.index()) {
+                    locals.extend_from_slice(m);
                 }
+                let total = forwards.len() + locals.len();
+                let mut k = 0;
+                for &ch in &forwards {
+                    k += 1;
+                    let h = if k == total {
+                        handle
+                    } else {
+                        self.world.arena.duplicate(handle)
+                    };
+                    self.world.offer(ch, h);
+                }
+                for &agent in &locals {
+                    k += 1;
+                    let h = if k == total {
+                        handle
+                    } else {
+                        self.world.arena.duplicate(handle)
+                    };
+                    self.deliver(agent, h);
+                }
+                if total == 0 {
+                    // A tree node with nothing downstream: the packet ends
+                    // here.
+                    self.world.arena.remove(handle);
+                }
+                self.world.fwd_scratch = forwards;
+                self.world.member_scratch = locals;
             }
         }
     }
 
-    fn deliver(&mut self, agent: AgentId, packet: Packet) {
-        self.world
-            .digest
-            .record_deliver(self.world.now, agent, packet.uid);
-        self.world.trace(&TraceEvent::Deliver {
-            agent,
-            packet: &packet,
-        });
+    fn deliver(&mut self, agent: AgentId, handle: PacketHandle) {
+        let uid = self.world.arena.get(handle).uid;
+        self.world.digest.record_deliver(self.world.now, agent, uid);
+        if self.world.tracer.is_some() {
+            self.world.trace(&TraceEvent::Deliver {
+                agent,
+                packet: self.world.arena.get(handle),
+            });
+        }
+        let packet = self.world.arena.remove(handle);
         let mut ctx = Context {
             world: &mut self.world,
             agent,

@@ -1,21 +1,60 @@
-//! The event calendar: a deterministic priority queue of future events.
+//! The event calendar: a hierarchical timer wheel with a FIFO-preserving
+//! overflow heap.
+//!
+//! The calendar dispatches events in strict `(time, seq)` order — `seq` is
+//! a monotone schedule counter, so same-instant events fire in insertion
+//! (FIFO) order. The previous implementation was a binary heap, paying
+//! `O(log n)` compares per operation with poor locality; the wheel does
+//! `O(1)` bucket pushes and amortizes ordering work into per-slot sorts of
+//! a few events each.
+//!
+//! # Layout
+//!
+//! Four levels of 64 slots each, with slot widths of 2^10, 2^16, 2^22 and
+//! 2^28 ns (~1 µs, ~65 µs, ~4.2 ms, ~268 ms); level *l* spans 64 slots =
+//! 2^(10+6·l+6) ns, so the whole wheel covers 2^34 ns ≈ 17 s ahead of the
+//! cursor. Events beyond that horizon (long timers, `SimTime::MAX`
+//! sentinels) wait in a binary-heap overflow ordered by the same
+//! `(time, seq)` key and migrate into the wheel when the cursor
+//! approaches.
+//!
+//! Levels are *absolutely* indexed: level *l* covers the window
+//! `[align(cur, span_l), align(cur, span_l) + span_l)` and an event at `t`
+//! lives in slot `(t >> shift_l) & 63` of the first level whose window
+//! contains `t`. Because the cursor `cur` is always a multiple of the
+//! level-0 slot width, each slot holds events of exactly one absolute
+//! window — there is no wrap-around ambiguity to resolve at drain time.
+//!
+//! # Dispatch
+//!
+//! `cur` splits time: every pending event at `t < cur` sits pre-sorted in
+//! the `ready` queue; everything else is in the wheel or the overflow.
+//! Refilling `ready` repeatedly takes the earliest occupied slot across
+//! levels (occupancy is one bitmap word per level): a level-0 slot is
+//! sorted by `(time, seq)` and drained into `ready`; a higher-level slot is
+//! cascaded down a level; the overflow migrates when its head precedes
+//! every occupied slot. Events scheduled below `cur` (an agent scheduling
+//! at `now` while its slot is being dispatched) are merge-inserted into
+//! `ready` at their `(time, seq)` position, which keeps the global dispatch
+//! order identical to the binary heap's — the digest-equality tests pin
+//! exactly that.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::arena::PacketHandle;
 use crate::id::{AgentId, ChannelId, NodeId};
-use crate::packet::Packet;
 use crate::time::SimTime;
 
 /// What happens when an event fires.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     /// A channel finished serializing the packet it was transmitting.
     TxComplete {
         /// The transmitting channel.
         channel: ChannelId,
         /// The packet that just left the transmitter.
-        packet: Packet,
+        packet: PacketHandle,
     },
     /// A packet arrives at a node (after propagation, or injected locally
     /// by an agent on that node).
@@ -23,7 +62,7 @@ pub enum EventKind {
         /// The node the packet arrives at.
         node: NodeId,
         /// The arriving packet.
-        packet: Packet,
+        packet: PacketHandle,
     },
     /// An agent timer expires.
     Timer {
@@ -41,7 +80,7 @@ pub enum EventKind {
 }
 
 /// A scheduled event.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// When the event fires.
     pub at: SimTime,
@@ -73,14 +112,223 @@ impl Ord for Event {
     }
 }
 
-/// The future event list.
-#[derive(Debug, Default)]
+/// Number of wheel levels.
+const LEVELS: usize = 4;
+/// log2(slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// log2(slot width in ns) per level.
+const SHIFT: [u32; LEVELS] = [10, 16, 22, 28];
+
+/// Width in nanoseconds of the whole level-`l` window (64 slots).
+const fn span(l: usize) -> u64 {
+    1 << (SHIFT[l] + SLOT_BITS)
+}
+
+/// The future event list: hierarchical timer wheel + overflow heap.
+#[derive(Debug)]
 pub struct Calendar {
+    /// `LEVELS * SLOTS` buckets, indexed `(level << SLOT_BITS) | slot`.
+    slots: Vec<Vec<Event>>,
+    /// One occupancy bit per slot, per level.
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel horizon, min-ordered by `(time, seq)`.
+    overflow: BinaryHeap<Event>,
+    /// Events already extracted and sorted, all at times `< cur`.
+    ready: VecDeque<Event>,
+    /// The drain cursor, in ns; always a multiple of the level-0 slot
+    /// width. Every pending event below it is in `ready`.
+    cur: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Calendar {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            cur: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let e = Event { at, seq, kind };
+        if at.as_nanos() < self.cur {
+            // The slot covering `at` has already been drained: merge into
+            // `ready`. This event has the largest seq so far, so its
+            // position is right after every event at the same or an
+            // earlier time — exactly where the heap would have popped it.
+            let pos = self.ready.partition_point(|x| x.at <= at);
+            self.ready.insert(pos, e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// File an event at `t >= cur` into the first level whose current
+    /// window contains it, or the overflow past the horizon.
+    fn place(&mut self, e: Event) {
+        let t = e.at.as_nanos();
+        debug_assert!(t >= self.cur, "place() below the cursor");
+        for (l, &shift) in SHIFT.iter().enumerate() {
+            let base = self.cur & !(span(l) - 1);
+            if t - base < span(l) {
+                let slot = ((t >> shift) & (SLOTS as u64 - 1)) as usize;
+                self.slots[(l << SLOT_BITS) | slot].push(e);
+                self.occupied[l] |= 1 << slot;
+                return;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    /// The earliest occupied slot at or after the cursor: `(level, window
+    /// start in ns)`. Ties between levels go to the *higher* level so
+    /// cascades happen before drains of the same instant.
+    fn earliest_slot(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (l, &shift) in SHIFT.iter().enumerate() {
+            let occ = self.occupied[l];
+            if occ == 0 {
+                continue;
+            }
+            let i_cur = (self.cur >> shift) & (SLOTS as u64 - 1);
+            let masked = occ & !((1u64 << i_cur) - 1);
+            debug_assert!(masked != 0, "occupied slot behind the cursor");
+            let slot = masked.trailing_zeros() as u64;
+            let base = self.cur & !(span(l) - 1);
+            let start = base | (slot << shift);
+            if best.is_none_or(|(_, s)| start <= s) {
+                best = Some((l, start));
+            }
+        }
+        best
+    }
+
+    /// Move events into `ready` until it can serve the next event, without
+    /// committing the cursor past `deadline`'s slot. Returns `false` when
+    /// nothing is pending at or before `deadline`.
+    fn refill(&mut self, deadline: SimTime) -> bool {
+        loop {
+            if let Some(front) = self.ready.front() {
+                return front.at <= deadline;
+            }
+            let best = self.earliest_slot();
+            // Migrate the overflow when its head precedes (or ties) every
+            // occupied slot: the head's events may belong in that slot.
+            if let Some(head) = self.overflow.peek() {
+                let t = head.at.as_nanos();
+                if best.is_none_or(|(_, start)| t <= start) {
+                    if head.at > deadline {
+                        return false;
+                    }
+                    // Jump the cursor to the head's level-0 slot (no wheel
+                    // event lies below it), then pull everything now within
+                    // the top-level window into the wheel.
+                    self.cur = self.cur.max(t & !((1 << SHIFT[0]) - 1));
+                    let top_base = self.cur & !(span(LEVELS - 1) - 1);
+                    while let Some(head) = self.overflow.peek() {
+                        if head.at.as_nanos() - top_base < span(LEVELS - 1) {
+                            let e = self.overflow.pop().expect("peeked event vanished");
+                            self.place(e);
+                        } else {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            }
+            let Some((l, start)) = best else {
+                return false; // calendar empty
+            };
+            if SimTime::from_nanos(start) > deadline {
+                return false; // next event past the deadline; don't commit
+            }
+            let slot = ((start >> SHIFT[l]) & (SLOTS as u64 - 1)) as usize;
+            let idx = (l << SLOT_BITS) | slot;
+            let mut bucket = std::mem::take(&mut self.slots[idx]);
+            self.occupied[l] &= !(1 << slot);
+            if l == 0 {
+                // Drain: this slot's window is fully behind the new cursor
+                // (saturating only at the `SimTime::MAX` sentinel slot).
+                self.cur = start.saturating_add(1 << SHIFT[0]);
+                bucket.sort_unstable_by_key(|e| (e.at, e.seq));
+                self.ready.extend(bucket.drain(..));
+            } else {
+                // Cascade one slot down a level. Each event lands at level
+                // < l because the slot's window is exactly one level-(l-1)
+                // window.
+                self.cur = self.cur.max(start);
+                for e in bucket.drain(..) {
+                    self.place(e);
+                }
+            }
+            // Hand the (now empty) buffer back so its capacity is reused.
+            self.slots[idx] = bucket;
+        }
+    }
+
+    /// Remove and return the next event if it fires at or before
+    /// `deadline`, in (time, insertion) order.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event> {
+        if !self.refill(deadline) {
+            return None;
+        }
+        self.len -= 1;
+        self.ready.pop_front()
+    }
+
+    /// Remove and return the next event in (time, insertion) order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// The firing time of the next event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.refill(SimTime::MAX) {
+            return None;
+        }
+        self.ready.front().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The previous binary-heap calendar, kept as the *reference
+/// implementation*: property tests check that the wheel dispatches in
+/// exactly this order, and the engine bench compares both.
+#[derive(Debug, Default)]
+pub struct HeapCalendar {
     heap: BinaryHeap<Event>,
     next_seq: u64,
 }
 
-impl Calendar {
+impl HeapCalendar {
     /// An empty calendar.
     pub fn new() -> Self {
         Self::default()
@@ -96,6 +344,16 @@ impl Calendar {
     /// Remove and return the next event in (time, insertion) order.
     pub fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
+    }
+
+    /// Remove and return the next event if it fires at or before
+    /// `deadline` (API parity with [`Calendar`]).
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.at <= deadline) {
+            self.heap.pop()
+        } else {
+            None
+        }
     }
 
     /// The firing time of the next event without removing it.
@@ -125,6 +383,13 @@ mod tests {
         }
     }
 
+    fn token_of(e: &Event) -> u64 {
+        match e.kind {
+            EventKind::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut cal = Calendar::new();
@@ -132,10 +397,7 @@ mod tests {
         cal.schedule(SimTime::from_secs(1), timer(0, 1));
         cal.schedule(SimTime::from_secs(2), timer(0, 2));
         let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
+            .map(|e| token_of(&e))
             .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -148,10 +410,7 @@ mod tests {
             cal.schedule(t, timer(0, token));
         }
         let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
+            .map(|e| token_of(&e))
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
@@ -166,5 +425,86 @@ mod tests {
         let e = cal.pop().unwrap();
         assert_eq!(e.at, SimTime::from_secs(5));
         assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn matches_heap_reference_on_mixed_schedule() {
+        // Times spanning every wheel level and the overflow, with repeats.
+        let times: Vec<u64> = (0..500)
+            .map(|i: u64| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (1 << 38))
+            .chain((0..50).map(|i| i % 7)) // clustered near zero
+            .chain(std::iter::repeat_n(123_456_789, 20)) // heavy tie
+            .collect();
+        let mut wheel = Calendar::new();
+        let mut heap = HeapCalendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(SimTime::from_nanos(t), timer(0, i as u64));
+            heap.schedule(SimTime::from_nanos(t), timer(0, i as u64));
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.at, a.seq), (b.at, b.seq));
+                }
+                _ => panic!("wheel and heap disagree on event count"),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_preserves_order() {
+        // Schedule while draining, including events at the exact time of
+        // the event just popped (the "agent schedules at now" pattern).
+        let mut cal = Calendar::new();
+        for i in 0..10u64 {
+            cal.schedule(SimTime::from_nanos(i * 100), timer(0, i));
+        }
+        let mut seen = Vec::new();
+        let mut extra = 100u64;
+        while let Some(e) = cal.pop() {
+            seen.push((e.at, e.seq));
+            if extra < 105 {
+                // At `now` — lands below the cursor, merged into ready.
+                cal.schedule(e.at, timer(0, extra));
+                // Slightly later.
+                cal.schedule(
+                    e.at + crate::time::SimDuration::from_nanos(37),
+                    timer(0, extra + 50),
+                );
+                extra += 1;
+            }
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "dispatch order must be (time, seq)");
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn far_future_sentinel_stays_in_overflow() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::MAX, timer(0, 99));
+        cal.schedule(SimTime::from_nanos(5), timer(0, 1));
+        // A bounded pop must not chase the sentinel.
+        let e = cal.pop_before(SimTime::from_secs(1)).unwrap();
+        assert_eq!(token_of(&e), 1);
+        assert!(cal.pop_before(SimTime::from_secs(1)).is_none());
+        // Scheduling after the bounded pop still dispatches in order.
+        cal.schedule(SimTime::from_nanos(7), timer(0, 2));
+        assert_eq!(token_of(&cal.pop_before(SimTime::from_secs(1)).unwrap()), 2);
+        assert_eq!(cal.len(), 1);
+        // The sentinel is still reachable with an unbounded pop.
+        assert_eq!(token_of(&cal.pop().unwrap()), 99);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_exactly() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_nanos(1000), timer(0, 1));
+        assert!(cal.pop_before(SimTime::from_nanos(999)).is_none());
+        assert!(cal.pop_before(SimTime::from_nanos(1000)).is_some());
     }
 }

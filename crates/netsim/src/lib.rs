@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod arena;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -67,6 +68,7 @@ pub mod wire;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::agent::Agent;
+    pub use crate::arena::{PacketArena, PacketHandle};
     pub use crate::engine::{Context, Engine, World};
     pub use crate::fault::FaultInjector;
     pub use crate::id::{AgentId, ChannelId, GroupId, NodeId};
@@ -74,5 +76,5 @@ pub mod prelude {
     pub use crate::queue::{QueueConfig, RedConfig};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::TraceDigest;
-    pub use crate::wire::{SackBlock, Segment};
+    pub use crate::wire::{SackBlock, SackList, Segment};
 }

@@ -19,8 +19,10 @@ pub enum Dest {
 ///
 /// Packets are plain values; the engine moves them through queues and
 /// events by value. `uid` is globally unique within a run and is what drop
-/// traces and loss detection key on.
-#[derive(Debug, Clone, PartialEq)]
+/// traces and loss detection key on. Since [`Segment`] is `Copy`, a packet
+/// is a flat `Copy` value too: arena replication and trace snapshots are
+/// pure `memcpy`, and freeing a slot runs no drop glue.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Globally unique packet id (assigned by the engine at send time).
     pub uid: u64,

@@ -1,18 +1,15 @@
 //! FIFO drop-tail queue — the dominant router type in the 1998 Internet.
 
-use std::collections::VecDeque;
-
 use rand::rngs::StdRng;
 
-use super::{DropReason, Enqueue, QueueDiscipline};
-use crate::packet::Packet;
+use super::{DropReason, Enqueue, HandleRing, QueueDiscipline};
+use crate::arena::PacketHandle;
 use crate::time::SimTime;
 
 /// A finite FIFO buffer: arrivals beyond the limit are discarded.
 #[derive(Debug)]
 pub struct DropTail {
-    buf: VecDeque<Packet>,
-    limit: usize,
+    buf: HandleRing,
 }
 
 impl DropTail {
@@ -20,23 +17,22 @@ impl DropTail {
     pub fn new(limit: usize) -> Self {
         assert!(limit > 0, "drop-tail queue needs at least one slot");
         DropTail {
-            buf: VecDeque::with_capacity(limit),
-            limit,
+            buf: HandleRing::new(limit),
         }
     }
 }
 
 impl QueueDiscipline for DropTail {
-    fn enqueue(&mut self, packet: Packet, _now: SimTime, _rng: &mut StdRng) -> Enqueue {
-        if self.buf.len() >= self.limit {
-            Enqueue::Dropped(packet, DropReason::BufferOverflow)
+    fn enqueue(&mut self, handle: PacketHandle, _now: SimTime, _rng: &mut StdRng) -> Enqueue {
+        if self.buf.len() >= self.buf.capacity() {
+            Enqueue::Dropped(handle, DropReason::BufferOverflow)
         } else {
-            self.buf.push_back(packet);
+            self.buf.push_back(handle);
             Enqueue::Accepted
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<PacketHandle> {
         self.buf.pop_front()
     }
 
@@ -45,13 +41,14 @@ impl QueueDiscipline for DropTail {
     }
 
     fn capacity(&self) -> usize {
-        self.limit
+        self.buf.capacity()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::PacketArena;
     use crate::queue::test_packet;
     use rand::SeedableRng;
 
@@ -61,47 +58,55 @@ mod tests {
 
     #[test]
     fn fifo_order() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(4);
         let mut r = rng();
         for uid in 0..4 {
+            let h = arena.insert(test_packet(uid));
             assert!(matches!(
-                q.enqueue(test_packet(uid), SimTime::ZERO, &mut r),
+                q.enqueue(h, SimTime::ZERO, &mut r),
                 Enqueue::Accepted
             ));
         }
         for uid in 0..4 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, uid);
+            let h = q.dequeue(SimTime::ZERO).unwrap();
+            assert_eq!(arena.get(h).uid, uid);
         }
         assert!(q.dequeue(SimTime::ZERO).is_none());
     }
 
     #[test]
     fn drops_when_full() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(2);
         let mut r = rng();
-        q.enqueue(test_packet(0), SimTime::ZERO, &mut r);
-        q.enqueue(test_packet(1), SimTime::ZERO, &mut r);
-        match q.enqueue(test_packet(2), SimTime::ZERO, &mut r) {
-            Enqueue::Dropped(p, DropReason::BufferOverflow) => assert_eq!(p.uid, 2),
+        q.enqueue(arena.insert(test_packet(0)), SimTime::ZERO, &mut r);
+        q.enqueue(arena.insert(test_packet(1)), SimTime::ZERO, &mut r);
+        match q.enqueue(arena.insert(test_packet(2)), SimTime::ZERO, &mut r) {
+            Enqueue::Dropped(h, DropReason::BufferOverflow) => {
+                assert_eq!(arena.remove(h).uid, 2);
+            }
             other => panic!("expected overflow drop, got {other:?}"),
         }
         // Earlier arrivals are untouched.
         assert_eq!(q.len(), 2);
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 0);
+        let h = q.dequeue(SimTime::ZERO).unwrap();
+        assert_eq!(arena.get(h).uid, 0);
     }
 
     #[test]
     fn frees_slot_after_dequeue() {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(1);
         let mut r = rng();
-        q.enqueue(test_packet(0), SimTime::ZERO, &mut r);
+        q.enqueue(arena.insert(test_packet(0)), SimTime::ZERO, &mut r);
         assert!(matches!(
-            q.enqueue(test_packet(1), SimTime::ZERO, &mut r),
+            q.enqueue(arena.insert(test_packet(1)), SimTime::ZERO, &mut r),
             Enqueue::Dropped(..)
         ));
         q.dequeue(SimTime::ZERO);
         assert!(matches!(
-            q.enqueue(test_packet(2), SimTime::ZERO, &mut r),
+            q.enqueue(arena.insert(test_packet(2)), SimTime::ZERO, &mut r),
             Enqueue::Accepted
         ));
     }

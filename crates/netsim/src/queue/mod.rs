@@ -5,16 +5,25 @@
 //! buffers (the common case) and **RED** gateways (Floyd & Jacobson 1993).
 //! Both are implemented here behind one trait so a link can be configured
 //! with either.
+//!
+//! Queues buffer [`PacketHandle`]s into the engine's
+//! [`PacketArena`](crate::arena::PacketArena) rather than packets by value:
+//! admission is decided purely from queue state (lengths, averages, RNG),
+//! never from packet contents, so the discipline only ever moves an 8-byte
+//! handle. Storage is a fixed-capacity [`HandleRing`] sized to the buffer
+//! limit at construction.
 
 mod droptail;
 mod red;
+mod ring;
 
 pub use droptail::DropTail;
 pub use red::{Red, RedConfig};
+pub use ring::HandleRing;
 
 use rand::rngs::StdRng;
 
-use crate::packet::Packet;
+use crate::arena::PacketHandle;
 use crate::time::SimTime;
 
 /// Why a packet was not admitted.
@@ -36,8 +45,9 @@ pub enum DropReason {
 pub enum Enqueue {
     /// The packet was queued (or will be transmitted immediately).
     Accepted,
-    /// The packet was discarded; the caller gets it back for tracing.
-    Dropped(Packet, DropReason),
+    /// The packet was discarded; the caller gets the handle back for
+    /// tracing and to free the arena slot.
+    Dropped(PacketHandle, DropReason),
 }
 
 /// A queue discipline: decides admission and ordering of packets waiting
@@ -46,11 +56,11 @@ pub enum Enqueue {
 /// Implementations must be deterministic given the same RNG stream; RED is
 /// the only discipline that consumes randomness.
 pub trait QueueDiscipline: std::fmt::Debug + Send {
-    /// Offer `packet` to the queue at time `now`.
-    fn enqueue(&mut self, packet: Packet, now: SimTime, rng: &mut StdRng) -> Enqueue;
+    /// Offer the packet behind `handle` to the queue at time `now`.
+    fn enqueue(&mut self, handle: PacketHandle, now: SimTime, rng: &mut StdRng) -> Enqueue;
 
     /// Take the next packet to transmit.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<PacketHandle>;
 
     /// Packets currently buffered.
     fn len(&self) -> usize;
@@ -98,9 +108,9 @@ impl QueueConfig {
 }
 
 #[cfg(test)]
-pub(crate) fn test_packet(uid: u64) -> Packet {
+pub(crate) fn test_packet(uid: u64) -> crate::packet::Packet {
     use crate::id::AgentId;
-    use crate::packet::Dest;
+    use crate::packet::{Dest, Packet};
     use crate::wire::Segment;
     Packet {
         uid,

@@ -15,14 +15,17 @@
 //! simulations used: queue averaged in packets, `w_q = 0.002`,
 //! `max_p = 1/linterm = 0.1`, and idle-time compensation using the typical
 //! packet transmission time.
-
-use std::collections::VecDeque;
+//!
+//! Every admission decision depends only on queue state and the RNG, never
+//! on the offered packet — which is why the discipline can work on bare
+//! [`PacketHandle`]s and, crucially, why the RNG stream (and so the trace
+//! digest) is unchanged by the arena refactor.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use super::{DropReason, Enqueue, QueueDiscipline};
-use crate::packet::Packet;
+use super::{DropReason, Enqueue, HandleRing, QueueDiscipline};
+use crate::arena::PacketHandle;
 use crate::time::{SimDuration, SimTime};
 
 /// RED gateway parameters.
@@ -88,7 +91,7 @@ impl RedConfig {
 #[derive(Debug)]
 pub struct Red {
     cfg: RedConfig,
-    buf: VecDeque<Packet>,
+    buf: HandleRing,
     /// EWMA of the instantaneous queue length, in packets.
     avg: f64,
     /// Packets admitted since the last drop (the `count` of the paper's
@@ -107,7 +110,7 @@ impl Red {
     pub fn new(cfg: RedConfig) -> Self {
         cfg.validate();
         Red {
-            buf: VecDeque::with_capacity(cfg.limit),
+            buf: HandleRing::new(cfg.limit),
             cfg,
             avg: 0.0,
             count: -1,
@@ -169,13 +172,13 @@ impl Red {
 }
 
 impl QueueDiscipline for Red {
-    fn enqueue(&mut self, packet: Packet, now: SimTime, rng: &mut StdRng) -> Enqueue {
+    fn enqueue(&mut self, handle: PacketHandle, now: SimTime, rng: &mut StdRng) -> Enqueue {
         self.update_avg(now);
 
         if self.avg >= self.cfg.max_th {
             self.count = 0;
             self.forced_drops += 1;
-            return Enqueue::Dropped(packet, DropReason::ForcedDrop);
+            return Enqueue::Dropped(handle, DropReason::ForcedDrop);
         }
         if self.avg >= self.cfg.min_th {
             if self.count >= 0 {
@@ -186,7 +189,7 @@ impl QueueDiscipline for Red {
             if self.early_drop(rng) {
                 self.count = 0;
                 self.early_drops += 1;
-                return Enqueue::Dropped(packet, DropReason::EarlyDrop);
+                return Enqueue::Dropped(handle, DropReason::EarlyDrop);
             }
         } else {
             self.count = -1;
@@ -195,13 +198,13 @@ impl QueueDiscipline for Red {
         if self.buf.len() >= self.cfg.limit {
             self.count = 0;
             self.overflow_drops += 1;
-            return Enqueue::Dropped(packet, DropReason::BufferOverflow);
+            return Enqueue::Dropped(handle, DropReason::BufferOverflow);
         }
-        self.buf.push_back(packet);
+        self.buf.push_back(handle);
         Enqueue::Accepted
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<PacketHandle> {
         let p = self.buf.pop_front();
         if self.buf.is_empty() && self.idle_since.is_none() {
             self.idle_since = Some(now);
@@ -221,6 +224,7 @@ impl QueueDiscipline for Red {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::PacketArena;
     use crate::queue::test_packet;
     use rand::SeedableRng;
 
@@ -228,13 +232,22 @@ mod tests {
         StdRng::seed_from_u64(42)
     }
 
-    fn fill(q: &mut Red, n: u64, now: SimTime, rng: &mut StdRng) -> (u64, u64) {
+    fn fill(
+        q: &mut Red,
+        arena: &mut PacketArena,
+        n: u64,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> (u64, u64) {
         let mut accepted = 0;
         let mut dropped = 0;
         for uid in 0..n {
-            match q.enqueue(test_packet(uid), now, rng) {
+            match q.enqueue(arena.insert(test_packet(uid)), now, rng) {
                 Enqueue::Accepted => accepted += 1,
-                Enqueue::Dropped(..) => dropped += 1,
+                Enqueue::Dropped(h, _) => {
+                    arena.remove(h);
+                    dropped += 1;
+                }
             }
         }
         (accepted, dropped)
@@ -242,11 +255,12 @@ mod tests {
 
     #[test]
     fn no_drops_below_min_threshold() {
+        let mut arena = PacketArena::new();
         let mut q = Red::new(RedConfig::paper());
         let mut r = rng();
         // With avg starting at 0 and w=0.002, a handful of arrivals keeps
         // the average far below min_th = 5: nothing may drop.
-        let (acc, drop) = fill(&mut q, 4, SimTime::ZERO, &mut r);
+        let (acc, drop) = fill(&mut q, &mut arena, 4, SimTime::ZERO, &mut r);
         assert_eq!((acc, drop), (4, 0));
         assert!(q.avg_queue() < 5.0);
     }
@@ -257,16 +271,17 @@ mod tests {
             weight: 1.0, // avg tracks the instantaneous queue exactly
             ..RedConfig::paper()
         };
+        let mut arena = PacketArena::new();
         let mut q = Red::new(cfg);
         let mut r = rng();
         // Push the instantaneous (= average) queue above max_th = 15.
-        let (_, _) = fill(&mut q, 16, SimTime::ZERO, &mut r);
+        let (_, _) = fill(&mut q, &mut arena, 16, SimTime::ZERO, &mut r);
         // avg is now >= 15 (or early drops kept it near); keep offering
         // until the average is beyond max_th, then expect a forced drop.
         let mut forced = false;
         for uid in 100..200 {
             if let Enqueue::Dropped(_, DropReason::ForcedDrop) =
-                q.enqueue(test_packet(uid), SimTime::ZERO, &mut r)
+                q.enqueue(arena.insert(test_packet(uid)), SimTime::ZERO, &mut r)
             {
                 forced = true;
                 break;
@@ -285,9 +300,10 @@ mod tests {
             max_th: 2000.0,
             ..RedConfig::paper()
         };
+        let mut arena = PacketArena::new();
         let mut q = Red::new(cfg);
         let mut r = rng();
-        let (acc, drop) = fill(&mut q, 5, SimTime::ZERO, &mut r);
+        let (acc, drop) = fill(&mut q, &mut arena, 5, SimTime::ZERO, &mut r);
         assert_eq!((acc, drop), (3, 2));
         assert_eq!(q.drop_counts().2, 2);
     }
@@ -298,14 +314,19 @@ mod tests {
             weight: 0.5,
             ..RedConfig::paper()
         };
+        let mut arena = PacketArena::new();
         let mut q = Red::new(cfg);
         let mut r = rng();
-        fill(&mut q, 8, SimTime::ZERO, &mut r);
+        fill(&mut q, &mut arena, 8, SimTime::ZERO, &mut r);
         let avg_busy = q.avg_queue();
         assert!(avg_busy > 1.0);
         while q.dequeue(SimTime::from_secs(1)).is_some() {}
         // A long idle period ages the average toward zero.
-        q.enqueue(test_packet(99), SimTime::from_secs(10), &mut r);
+        q.enqueue(
+            arena.insert(test_packet(99)),
+            SimTime::from_secs(10),
+            &mut r,
+        );
         assert!(
             q.avg_queue() < avg_busy / 2.0,
             "idle aging should shrink the average ({} -> {})",
@@ -327,20 +348,33 @@ mod tests {
                 max_p: 0.5,
                 ..RedConfig::paper()
             };
+            let mut arena = PacketArena::new();
             let mut q = Red::new(cfg);
             let mut r = rng();
             // Prime the queue to the target length.
             let mut uid = 0;
             while q.len() < target_len {
-                q.enqueue(test_packet(uid), SimTime::ZERO, &mut r);
+                if let Enqueue::Dropped(h, _) =
+                    q.enqueue(arena.insert(test_packet(uid)), SimTime::ZERO, &mut r)
+                {
+                    arena.remove(h);
+                }
                 uid += 1;
             }
             let mut drops = 0;
             for trial in 0..2000 {
-                match q.enqueue(test_packet(1000 + trial), SimTime::ZERO, &mut r) {
-                    Enqueue::Dropped(..) => drops += 1,
+                match q.enqueue(
+                    arena.insert(test_packet(1000 + trial)),
+                    SimTime::ZERO,
+                    &mut r,
+                ) {
+                    Enqueue::Dropped(h, _) => {
+                        arena.remove(h);
+                        drops += 1;
+                    }
                     Enqueue::Accepted => {
-                        q.dequeue(SimTime::ZERO); // hold the length constant
+                        let h = q.dequeue(SimTime::ZERO).unwrap(); // hold the length constant
+                        arena.remove(h);
                     }
                 }
             }

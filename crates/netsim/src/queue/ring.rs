@@ -1,0 +1,116 @@
+//! Fixed-capacity ring buffer of packet handles.
+//!
+//! Gateway buffers have a hard capacity fixed at construction (the paper's
+//! gateways hold 20 packets), so the queue disciplines store their backlog
+//! in a preallocated ring instead of a growable `VecDeque` — no
+//! reallocation, no spare capacity heuristics, and pushing/popping is an
+//! index increment.
+
+use crate::arena::PacketHandle;
+
+/// A FIFO of [`PacketHandle`]s with capacity fixed at construction.
+#[derive(Debug)]
+pub struct HandleRing {
+    buf: Box<[PacketHandle]>,
+    head: usize,
+    len: usize,
+}
+
+impl HandleRing {
+    /// An empty ring holding at most `capacity` handles.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs at least one slot");
+        HandleRing {
+            buf: vec![PacketHandle::DANGLING; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Append a handle at the tail.
+    ///
+    /// # Panics
+    /// If the ring is full — callers check [`len`](Self::len) against
+    /// [`capacity`](Self::capacity) first (that check *is* the drop
+    /// decision).
+    pub fn push_back(&mut self, handle: PacketHandle) {
+        assert!(self.len < self.buf.len(), "ring buffer overflow");
+        let tail = (self.head + self.len) % self.buf.len();
+        self.buf[tail] = handle;
+        self.len += 1;
+    }
+
+    /// Remove and return the handle at the head.
+    pub fn pop_front(&mut self) -> Option<PacketHandle> {
+        if self.len == 0 {
+            return None;
+        }
+        let handle = self.buf[self.head];
+        self.buf[self.head] = PacketHandle::DANGLING;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Some(handle)
+    }
+
+    /// Handles currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::PacketArena;
+    use crate::queue::test_packet;
+
+    #[test]
+    fn fifo_and_wraparound() {
+        let mut arena = PacketArena::new();
+        let mut ring = HandleRing::new(3);
+        // Cycle more handles through than the capacity to force wrap.
+        let mut next_uid = 0u64;
+        let mut expect_uid = 0u64;
+        for _ in 0..2 {
+            while ring.len() < ring.capacity() {
+                ring.push_back(arena.insert(test_packet(next_uid)));
+                next_uid += 1;
+            }
+            for _ in 0..2 {
+                let h = ring.pop_front().unwrap();
+                assert_eq!(arena.remove(h).uid, expect_uid);
+                expect_uid += 1;
+            }
+        }
+        while let Some(h) = ring.pop_front() {
+            assert_eq!(arena.remove(h).uid, expect_uid);
+            expect_uid += 1;
+        }
+        assert_eq!(expect_uid, next_uid);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring buffer overflow")]
+    fn overfill_panics() {
+        let mut ring = HandleRing::new(1);
+        ring.push_back(PacketHandle::DANGLING);
+        ring.push_back(PacketHandle::DANGLING);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        HandleRing::new(0);
+    }
+}

@@ -4,23 +4,26 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use netsim::event::{Calendar, EventKind};
+use netsim::agent::{Agent, Sink};
+use netsim::arena::{PacketArena, PacketHandle};
+use netsim::engine::{Context, Engine};
+use netsim::event::{Calendar, EventKind, HeapCalendar};
 use netsim::id::AgentId;
 use netsim::packet::{Dest, Packet};
-use netsim::queue::{DropTail, Enqueue, QueueDiscipline, Red, RedConfig};
+use netsim::queue::{DropTail, Enqueue, QueueConfig, QueueDiscipline, Red, RedConfig};
 use netsim::stats::{Running, TimeWeighted};
 use netsim::time::{SimDuration, SimTime};
 use netsim::wire::Segment;
 
-fn pkt(uid: u64) -> Packet {
-    Packet {
+fn pkt(arena: &mut PacketArena, uid: u64) -> PacketHandle {
+    arena.insert(Packet {
         uid,
         src: AgentId(0),
         dest: Dest::Agent(AgentId(1)),
         size_bytes: 1000,
         segment: Segment::Raw,
         sent_at: SimTime::ZERO,
-    }
+    })
 }
 
 proptest! {
@@ -54,6 +57,7 @@ proptest! {
         limit in 1usize..64,
         ops in proptest::collection::vec(any::<bool>(), 1..500),
     ) {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(limit);
         let mut rng = StdRng::seed_from_u64(0);
         let mut offered = 0u64;
@@ -63,14 +67,16 @@ proptest! {
         for (i, &is_enqueue) in ops.iter().enumerate() {
             if is_enqueue {
                 offered += 1;
-                match q.enqueue(pkt(i as u64), SimTime::ZERO, &mut rng) {
+                match q.enqueue(pkt(&mut arena, i as u64), SimTime::ZERO, &mut rng) {
                     Enqueue::Accepted => accepted += 1,
-                    Enqueue::Dropped(..) => dropped += 1,
+                    Enqueue::Dropped(h, _) => { arena.remove(h); dropped += 1; }
                 }
-            } else if q.dequeue(SimTime::ZERO).is_some() {
+            } else if let Some(h) = q.dequeue(SimTime::ZERO) {
+                arena.remove(h);
                 dequeued += 1;
             }
             prop_assert!(q.len() <= limit, "resident beyond capacity");
+            prop_assert_eq!(arena.len(), q.len(), "arena population must match the queue");
         }
         prop_assert_eq!(offered, accepted + dropped);
         prop_assert_eq!(accepted, dequeued + q.len() as u64);
@@ -79,17 +85,19 @@ proptest! {
     /// Drop-tail is FIFO: dequeue order equals accepted-enqueue order.
     #[test]
     fn droptail_fifo(count in 1usize..100, limit in 1usize..100) {
+        let mut arena = PacketArena::new();
         let mut q = DropTail::new(limit);
         let mut rng = StdRng::seed_from_u64(0);
         let mut accepted = Vec::new();
         for i in 0..count {
-            if let Enqueue::Accepted = q.enqueue(pkt(i as u64), SimTime::ZERO, &mut rng) {
-                accepted.push(i as u64);
+            match q.enqueue(pkt(&mut arena, i as u64), SimTime::ZERO, &mut rng) {
+                Enqueue::Accepted => accepted.push(i as u64),
+                Enqueue::Dropped(h, _) => { arena.remove(h); }
             }
         }
         let mut out = Vec::new();
-        while let Some(p) = q.dequeue(SimTime::ZERO) {
-            out.push(p.uid);
+        while let Some(h) = q.dequeue(SimTime::ZERO) {
+            out.push(arena.remove(h).uid);
         }
         prop_assert_eq!(out, accepted);
     }
@@ -102,18 +110,22 @@ proptest! {
         n in 1u64..500,
     ) {
         let cfg = RedConfig { limit, ..RedConfig::paper() };
+        let mut arena = PacketArena::new();
         let mut q = Red::new(cfg);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut accepted = 0u64;
         let mut dropped = 0u64;
         for i in 0..n {
-            match q.enqueue(pkt(i), SimTime::from_nanos(i * 100_000), &mut rng) {
+            match q.enqueue(pkt(&mut arena, i), SimTime::from_nanos(i * 100_000), &mut rng) {
                 Enqueue::Accepted => accepted += 1,
-                Enqueue::Dropped(..) => dropped += 1,
+                Enqueue::Dropped(h, _) => { arena.remove(h); dropped += 1; }
             }
             prop_assert!(q.len() <= limit);
-            if i % 3 == 0 && q.dequeue(SimTime::from_nanos(i * 100_000)).is_some() {
-                accepted -= 1;
+            if i % 3 == 0 {
+                if let Some(h) = q.dequeue(SimTime::from_nanos(i * 100_000)) {
+                    arena.remove(h);
+                    accepted -= 1;
+                }
             }
         }
         prop_assert_eq!(accepted as usize, q.len());
@@ -164,4 +176,135 @@ proptest! {
         let d = SimDuration::from_nanos(t1);
         prop_assert!(d.as_secs_f64() > 0.0);
     }
+
+    /// The timer wheel dispatches in exactly the reference heap's
+    /// `(time, seq)` order under interleaved schedule/pop traffic —
+    /// including same-timestamp runs that straddle the wheel/overflow
+    /// boundary (`tie_time` near the ~17 s horizon, scheduled both before
+    /// and after the cursor has advanced past other events).
+    #[test]
+    fn wheel_matches_heap_under_interleaving(
+        times in proptest::collection::vec(0u64..(1u64 << 36), 1..200),
+        tie_time in (1u64 << 33)..(1u64 << 35),
+        pop_every in 1usize..8,
+    ) {
+        let mut wheel = Calendar::new();
+        let mut heap = HeapCalendar::new();
+        let schedule_both = |w: &mut Calendar, h: &mut HeapCalendar, t: u64, tok: u64| {
+            let kind = EventKind::Timer { agent: AgentId(0), token: tok };
+            w.schedule(SimTime::from_nanos(t), kind);
+            h.schedule(SimTime::from_nanos(t), kind);
+        };
+        let mut tok = 0u64;
+        for (i, &t) in times.iter().enumerate() {
+            schedule_both(&mut wheel, &mut heap, t, tok);
+            tok += 1;
+            // A burst at one shared timestamp: FIFO among them must hold
+            // even when some are scheduled after intervening pops.
+            schedule_both(&mut wheel, &mut heap, tie_time, tok);
+            tok += 1;
+            if i % pop_every == 0 {
+                let (a, b) = (wheel.pop(), heap.pop());
+                match (a, b) {
+                    (Some(a), Some(b)) => prop_assert_eq!((a.at, a.seq), (b.at, b.seq)),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "wheel and heap disagree on emptiness"),
+                }
+            }
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => prop_assert_eq!((a.at, a.seq), (b.at, b.seq)),
+                _ => prop_assert!(false, "wheel and heap disagree on event count"),
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Chopping a run into arbitrary `run_until` deadlines — including
+    /// deadlines right at the wheel's top-level rollover (~17.18 s) — must
+    /// not change the trace digest: `pop_before`'s bounded refill cannot
+    /// leak scheduling-order differences.
+    #[test]
+    fn digest_invariant_under_deadline_chunking(
+        offsets in proptest::collection::vec(0u64..500_000_000, 1..20),
+        raw_deadlines in proptest::collection::vec(0u64..40_000_000_000u64, 0..6),
+    ) {
+        let mut deadlines = raw_deadlines;
+        // Send times cluster around the level-3 rollover boundaries so the
+        // overflow migration path is exercised, not just the wheel.
+        const ROLLOVER: u64 = 1 << 34; // span of the whole wheel, in ns
+        let fire_at: Vec<u64> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| match i % 3 {
+                0 => off,                       // near zero
+                1 => ROLLOVER - 250_000_000 + off, // straddling 1st rollover
+                _ => 2 * ROLLOVER - 250_000_000 + off, // straddling 2nd
+            })
+            .collect();
+        let end = 45_000_000_000u64;
+        deadlines.push(ROLLOVER); // always test the exact boundary
+        deadlines.sort_unstable();
+        let reference = run_timer_scenario(&fire_at, &[], end);
+        let chunked = run_timer_scenario(&fire_at, &deadlines, end);
+        prop_assert_eq!(reference, chunked, "deadline chunking changed the digest");
+        prop_assert!(reference.1 > 0, "scenario produced no packet events");
+    }
+}
+
+/// An agent that sends one packet to `dest` at each requested instant.
+struct TimerSender {
+    dest: Dest,
+    fire_at: Vec<u64>,
+}
+
+impl Agent for TimerSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for &t in &self.fire_at {
+            ctx.set_timer_at(SimTime::from_nanos(t), t);
+        }
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        ctx.send(self.dest, 1000, Segment::Raw);
+    }
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Run a two-node scenario whose sender fires at `fire_at` (ns), stepping
+/// the engine through `deadlines` before finishing at `end`. Returns the
+/// `(digest, event count)` pair.
+fn run_timer_scenario(fire_at: &[u64], deadlines: &[u64], end: u64) -> (u64, u64) {
+    let mut e = Engine::new(1);
+    let a = e.add_node("a");
+    let b = e.add_node("b");
+    e.add_link(
+        a,
+        b,
+        8_000_000,
+        SimDuration::from_millis(10),
+        &QueueConfig::DropTail { limit: 4 },
+    );
+    let sink = e.add_agent(b, Box::new(Sink::default()));
+    let sender = e.add_agent(
+        a,
+        Box::new(TimerSender {
+            dest: Dest::Agent(sink),
+            fire_at: fire_at.to_vec(),
+        }),
+    );
+    e.compute_routes();
+    e.start_agent_at(sender, SimTime::ZERO);
+    for &d in deadlines {
+        e.run_until(SimTime::from_nanos(d.min(end)));
+    }
+    e.run_until(SimTime::from_nanos(end));
+    (e.trace_digest().value(), e.trace_digest().events())
 }

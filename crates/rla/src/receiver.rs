@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use netsim::agent::Agent;
 use netsim::engine::Context;
 use netsim::packet::{Dest, Packet};
-use netsim::wire::{McastAck, SackBlock, Segment, MAX_SACK_BLOCKS};
+use netsim::wire::{McastAck, SackList, Segment};
 
 /// Receiver-side statistics.
 #[derive(Debug, Default, Clone)]
@@ -72,34 +72,10 @@ impl McastReceiver {
         }
     }
 
-    fn sack_blocks(&self, latest: u64) -> Vec<SackBlock> {
-        let mut blocks: Vec<SackBlock> = Vec::new();
-        let mut iter = self.ooo.iter().copied();
-        if let Some(first) = iter.next() {
-            let mut cur = SackBlock {
-                start: first,
-                end: first + 1,
-            };
-            for seq in iter {
-                if seq == cur.end {
-                    cur.end += 1;
-                } else {
-                    blocks.push(cur);
-                    cur = SackBlock {
-                        start: seq,
-                        end: seq + 1,
-                    };
-                }
-            }
-            blocks.push(cur);
-        }
-        blocks.sort_by(|a, b| {
-            let a_latest = a.contains(latest);
-            let b_latest = b.contains(latest);
-            b_latest.cmp(&a_latest).then(b.start.cmp(&a.start))
-        });
-        blocks.truncate(MAX_SACK_BLOCKS);
-        blocks
+    /// Wire SACK blocks for the current reorder buffer (allocation-free;
+    /// same format as the TCP receiver, see [`SackList`]).
+    fn sack_blocks(&self, latest: u64) -> SackList {
+        SackList::from_ascending_seqs(self.ooo.iter().copied(), latest)
     }
 }
 
@@ -141,6 +117,7 @@ impl Agent for McastReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::wire::SackBlock;
 
     #[test]
     fn delivery_and_duplicate_accounting() {

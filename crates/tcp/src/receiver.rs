@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use netsim::agent::Agent;
 use netsim::engine::Context;
 use netsim::packet::{Dest, Packet};
-use netsim::wire::{SackBlock, Segment, TcpAck, MAX_SACK_BLOCKS};
+use netsim::wire::{SackList, Segment, TcpAck};
 
 /// Receiver-side statistics.
 #[derive(Debug, Default, Clone)]
@@ -75,35 +75,10 @@ impl TcpReceiver {
 
     /// Build the SACK blocks: the block containing `latest` first, then the
     /// remaining blocks from highest to lowest, up to the wire limit.
-    fn sack_blocks(&self, latest: u64) -> Vec<SackBlock> {
-        let mut blocks: Vec<SackBlock> = Vec::new();
-        let mut iter = self.ooo.iter().copied();
-        if let Some(first) = iter.next() {
-            let mut cur = SackBlock {
-                start: first,
-                end: first + 1,
-            };
-            for seq in iter {
-                if seq == cur.end {
-                    cur.end += 1;
-                } else {
-                    blocks.push(cur);
-                    cur = SackBlock {
-                        start: seq,
-                        end: seq + 1,
-                    };
-                }
-            }
-            blocks.push(cur);
-        }
-        // Most-recent block first, the rest by descending start.
-        blocks.sort_by(|a, b| {
-            let a_latest = a.contains(latest);
-            let b_latest = b.contains(latest);
-            b_latest.cmp(&a_latest).then(b.start.cmp(&a.start))
-        });
-        blocks.truncate(MAX_SACK_BLOCKS);
-        blocks
+    /// Allocation-free — the blocks live inline in the returned
+    /// [`SackList`].
+    fn sack_blocks(&self, latest: u64) -> SackList {
+        SackList::from_ascending_seqs(self.ooo.iter().copied(), latest)
     }
 }
 
@@ -135,6 +110,7 @@ impl Agent for TcpReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::wire::{SackBlock, MAX_SACK_BLOCKS};
 
     #[test]
     fn in_order_advances_cum_ack() {
@@ -153,7 +129,10 @@ mod tests {
         r.accept(2);
         r.accept(3);
         assert_eq!(r.cum_ack(), 1);
-        assert_eq!(r.sack_blocks(3), vec![SackBlock { start: 2, end: 4 }]);
+        assert_eq!(
+            r.sack_blocks(3).as_slice(),
+            [SackBlock { start: 2, end: 4 }]
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! (§3.3 rule 1): *a packet is considered lost if a packet with a sequence
 //! number at least `dupack_threshold` higher has been selectively ACKed.*
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use netsim::time::SimTime;
 use netsim::wire::SackBlock;
@@ -24,12 +24,33 @@ pub struct SentPacket {
 }
 
 /// The scoreboard: per-packet state for `[cum_ack, high_seq)`.
+///
+/// The tracked window is a contiguous run of sequence numbers, so storage
+/// is a flat ring of slots anchored at `base` rather than an ordered map:
+/// every per-sequence operation is an index, the cumulative-ack advance is
+/// a run of `pop_front`s, and the aggregate queries TCP asks on every ack
+/// (`in_flight`, `next_lost` when nothing is lost) come from counters
+/// maintained incrementally — this structure sits on the simulator's
+/// hottest path (one `on_ack` per acknowledgment for TCP *and* per
+/// receiver for the RLA sender). Slots are `Option` so a sparse `on_send`
+/// (never produced by the in-tree senders) still behaves exactly like the
+/// old map: untracked sequences answer no queries.
 #[derive(Debug, Default)]
 pub struct Scoreboard {
-    packets: BTreeMap<u64, SentPacket>,
+    /// Slot `i` holds the state of sequence `base + i`.
+    packets: VecDeque<Option<SentPacket>>,
+    /// Sequence number of slot 0.
+    base: u64,
     cum_ack: u64,
     /// Highest sequence number SACKed so far (None if nothing SACKed).
     high_sacked: Option<u64>,
+    /// Tracked (`Some`) slots.
+    n_tracked: u64,
+    /// Tracked slots with `sacked` set. Disjoint from `n_lost`: sacking
+    /// clears `lost`, and loss declaration skips sacked slots.
+    n_sacked: u64,
+    /// Tracked slots with `lost` set.
+    n_lost: u64,
 }
 
 impl Scoreboard {
@@ -43,20 +64,49 @@ impl Scoreboard {
         self.cum_ack
     }
 
+    /// The slot for `seq`, if tracked.
+    fn slot(&self, seq: u64) -> Option<&SentPacket> {
+        if seq < self.base {
+            return None;
+        }
+        self.packets.get((seq - self.base) as usize)?.as_ref()
+    }
+
     /// Record that `seq` was (re)transmitted at `now`.
     pub fn on_send(&mut self, seq: u64, now: SimTime) {
         debug_assert!(seq >= self.cum_ack, "sending an already-acked packet");
-        let entry = self.packets.entry(seq).or_insert(SentPacket {
-            sent_at: now,
-            sacked: false,
-            lost: false,
-            retransmitted: false,
-        });
-        if entry.lost {
-            entry.retransmitted = true;
-            entry.lost = false;
+        if self.packets.is_empty() {
+            self.base = seq.max(self.cum_ack);
         }
-        entry.sent_at = now;
+        if seq < self.base {
+            for _ in 0..(self.base - seq) {
+                self.packets.push_front(None);
+            }
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        while self.packets.len() <= idx {
+            self.packets.push_back(None);
+        }
+        match &mut self.packets[idx] {
+            Some(p) => {
+                if p.lost {
+                    p.retransmitted = true;
+                    p.lost = false;
+                    self.n_lost -= 1;
+                }
+                p.sent_at = now;
+            }
+            slot @ None => {
+                *slot = Some(SentPacket {
+                    sent_at: now,
+                    sacked: false,
+                    lost: false,
+                    retransmitted: false,
+                });
+                self.n_tracked += 1;
+            }
+        }
     }
 
     /// Apply an acknowledgment. Returns the number of packets *newly*
@@ -65,17 +115,41 @@ impl Scoreboard {
         if cum_ack > self.cum_ack {
             self.cum_ack = cum_ack;
             // Everything below the cumulative ack is delivered.
-            self.packets = self.packets.split_off(&cum_ack);
+            while self.base < cum_ack {
+                match self.packets.pop_front() {
+                    Some(slot) => {
+                        if let Some(p) = slot {
+                            self.n_tracked -= 1;
+                            if p.sacked {
+                                self.n_sacked -= 1;
+                            }
+                            if p.lost {
+                                self.n_lost -= 1;
+                            }
+                        }
+                        self.base += 1;
+                    }
+                    None => {
+                        self.base = cum_ack;
+                        break;
+                    }
+                }
+            }
         }
         for block in sack {
-            for seq in block.start..block.end {
-                if seq < self.cum_ack {
-                    continue;
-                }
-                if let Some(p) = self.packets.get_mut(&seq) {
+            // Clamp to the tracked window; sequences outside it (stale or
+            // never sent) are ignored, as the old map lookup did.
+            let lo = block.start.max(self.base).max(self.cum_ack);
+            let hi = block.end.min(self.base + self.packets.len() as u64);
+            for seq in lo..hi {
+                if let Some(p) = &mut self.packets[(seq - self.base) as usize] {
                     if !p.sacked {
                         p.sacked = true;
+                        if p.lost {
+                            self.n_lost -= 1;
+                        }
                         p.lost = false;
+                        self.n_sacked += 1;
                         self.high_sacked = Some(self.high_sacked.map_or(seq, |h| h.max(seq)));
                     }
                 }
@@ -89,18 +163,23 @@ impl Scoreboard {
         let Some(high) = self.high_sacked else {
             return 0;
         };
+        if self.packets.is_empty() || high < self.base {
+            return 0;
+        }
         // Count, for each hole, the SACKed packets strictly above it.
         // Walk from the top: maintain a running count of sacked packets seen.
+        let hi_idx = ((high - self.base) as usize).min(self.packets.len() - 1);
         let mut newly_lost = 0;
         let mut sacked_above = 0u64;
-        let keys: Vec<u64> = self.packets.range(..=high).map(|(&k, _)| k).collect();
-        for &seq in keys.iter().rev() {
-            let p = self.packets.get_mut(&seq).expect("key vanished");
-            if p.sacked {
-                sacked_above += 1;
-            } else if !p.lost && !p.retransmitted && sacked_above >= dup_threshold {
-                p.lost = true;
-                newly_lost += 1;
+        for idx in (0..=hi_idx).rev() {
+            if let Some(p) = &mut self.packets[idx] {
+                if p.sacked {
+                    sacked_above += 1;
+                } else if !p.lost && !p.retransmitted && sacked_above >= dup_threshold {
+                    p.lost = true;
+                    self.n_lost += 1;
+                    newly_lost += 1;
+                }
             }
         }
         newly_lost
@@ -111,27 +190,46 @@ impl Scoreboard {
     /// has been SACKed (the hole is a real gap, not just the newest data).
     /// Drives early retransmission at the window edge.
     pub fn head_hole(&self) -> Option<(u64, SimTime, bool, bool)> {
-        let (&seq, p) = self.packets.iter().find(|(_, p)| !p.sacked)?;
-        let evidence = self.high_sacked.is_some_and(|h| h > seq);
-        Some((seq, p.sent_at, evidence, p.retransmitted))
+        for (i, slot) in self.packets.iter().enumerate() {
+            if let Some(p) = slot {
+                if !p.sacked {
+                    let seq = self.base + i as u64;
+                    let evidence = self.high_sacked.is_some_and(|h| h > seq);
+                    return Some((seq, p.sent_at, evidence, p.retransmitted));
+                }
+            }
+        }
+        None
     }
 
     /// Mark only the oldest unsacked packet as lost (one-per-RTO pacing,
     /// as TCP effectively does when it retransmits the head of the window
     /// on timeout). Returns the marked sequence, if any.
     pub fn mark_head_lost(&mut self) -> Option<u64> {
-        let (&seq, p) = self.packets.iter_mut().find(|(_, p)| !p.sacked)?;
-        p.lost = true;
-        p.retransmitted = false;
-        Some(seq)
+        for (i, slot) in self.packets.iter_mut().enumerate() {
+            if let Some(p) = slot {
+                if !p.sacked {
+                    if !p.lost {
+                        self.n_lost += 1;
+                    }
+                    p.lost = true;
+                    p.retransmitted = false;
+                    return Some(self.base + i as u64);
+                }
+            }
+        }
+        None
     }
 
     /// Mark everything outstanding as lost (retransmission timeout).
     /// Returns the number of packets so marked.
     pub fn mark_all_lost(&mut self) -> usize {
         let mut n = 0;
-        for p in self.packets.values_mut() {
+        for p in self.packets.iter_mut().flatten() {
             if !p.sacked {
+                if !p.lost {
+                    self.n_lost += 1;
+                }
                 p.lost = true;
                 p.retransmitted = false;
                 n += 1;
@@ -144,61 +242,67 @@ impl Scoreboard {
     /// sequence order. (The RLA sender feeds these into its retransmission
     /// queue; TCP itself only needs [`Scoreboard::next_lost`].)
     pub fn lost_unretransmitted(&self) -> Vec<u64> {
+        if self.n_lost == 0 {
+            return Vec::new();
+        }
         self.packets
             .iter()
-            .filter(|(_, p)| p.lost && !p.retransmitted)
-            .map(|(&seq, _)| seq)
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|p| p.lost && !p.retransmitted))
+            .map(|(i, _)| self.base + i as u64)
             .collect()
     }
 
     /// `true` if the receiver is known to hold `seq` (cumulatively acked or
     /// selectively acked).
     pub fn is_received(&self, seq: u64) -> bool {
-        seq < self.cum_ack || self.packets.get(&seq).is_some_and(|p| p.sacked)
+        seq < self.cum_ack || self.slot(seq).is_some_and(|p| p.sacked)
     }
 
     /// `true` if `seq` is currently declared lost.
     pub fn is_lost(&self, seq: u64) -> bool {
-        self.packets.get(&seq).is_some_and(|p| p.lost)
+        self.slot(seq).is_some_and(|p| p.lost)
     }
 
     /// The lowest packet currently marked lost and not yet retransmitted.
     pub fn next_lost(&self) -> Option<u64> {
+        if self.n_lost == 0 {
+            return None;
+        }
         self.packets
             .iter()
-            .find(|(_, p)| p.lost && !p.retransmitted)
-            .map(|(&seq, _)| seq)
+            .enumerate()
+            .find(|(_, s)| s.as_ref().is_some_and(|p| p.lost && !p.retransmitted))
+            .map(|(i, _)| self.base + i as u64)
     }
 
     /// Packets "in the pipe": sent, not cumulatively acked, not SACKed, and
     /// not declared lost (lost ones are assumed gone from the network).
     pub fn in_flight(&self) -> u64 {
-        self.packets
-            .values()
-            .filter(|p| !p.sacked && !p.lost)
-            .count() as u64
+        self.n_tracked - self.n_sacked - self.n_lost
     }
 
     /// Number of tracked (outstanding) packets.
     pub fn outstanding(&self) -> u64 {
-        self.packets.len() as u64
+        self.n_tracked
     }
 
     /// `true` when nothing is outstanding.
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.n_tracked == 0
     }
 
     /// State of a specific packet, if tracked.
     pub fn get(&self, seq: u64) -> Option<&SentPacket> {
-        self.packets.get(&seq)
+        self.slot(seq)
     }
 
     /// Time the oldest outstanding packet was last (re)sent — drives the
     /// retransmission timer.
     pub fn oldest_sent_at(&self) -> Option<SimTime> {
         self.packets
-            .values()
+            .iter()
+            .filter_map(|s| s.as_ref())
             .filter(|p| !p.sacked)
             .map(|p| p.sent_at)
             .min()

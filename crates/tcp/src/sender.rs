@@ -266,11 +266,8 @@ impl Agent for TcpSender {
     }
 
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        match &packet.segment {
-            Segment::TcpAck(ack) => {
-                let ack = ack.clone();
-                self.on_ack(&ack, ctx);
-            }
+        match packet.segment {
+            Segment::TcpAck(ack) => self.on_ack(&ack, ctx),
             other => debug_assert!(false, "TCP sender got {}", other.kind_str()),
         }
     }

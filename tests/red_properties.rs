@@ -5,6 +5,7 @@
 //! drop probability outside [0, 1], a negative queue average, or an
 //! early/forced drop while the average sits below the minimum threshold.
 
+use netsim::arena::{PacketArena, PacketHandle};
 use netsim::id::AgentId;
 use netsim::packet::{Dest, Packet};
 use netsim::queue::{DropReason, Enqueue, QueueDiscipline, Red, RedConfig};
@@ -14,15 +15,15 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn packet(uid: u64) -> Packet {
-    Packet {
+fn packet(arena: &mut PacketArena, uid: u64) -> PacketHandle {
+    arena.insert(Packet {
         uid,
         src: AgentId(0),
         dest: Dest::Agent(AgentId(1)),
         size_bytes: 1000,
         segment: Segment::Raw,
         sent_at: SimTime::ZERO,
-    }
+    })
 }
 
 /// A randomized RED config: thresholds inside a buffer of 4..64 packets,
@@ -45,14 +46,16 @@ fn config(limit: usize, min_frac: f64, gap_frac: f64, weight: f64, max_p: f64) -
 /// packet, false = dequeue one. Time advances a random stride per step so
 /// idle aging paths are exercised too.
 fn drive(cfg: RedConfig, seed: u64, ops: &[bool], step_micros: u64) -> Result<(), TestCaseError> {
+    let mut arena = PacketArena::new();
     let mut q = Red::new(cfg.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut now = SimTime::ZERO;
     for (i, &offer) in ops.iter().enumerate() {
         now += SimDuration::from_micros(step_micros * ((i % 7) as u64 + 1));
         if offer {
-            let outcome = q.enqueue(packet(i as u64), now, &mut rng);
-            if let Enqueue::Dropped(_, reason) = outcome {
+            let outcome = q.enqueue(packet(&mut arena, i as u64), now, &mut rng);
+            if let Enqueue::Dropped(h, reason) = outcome {
+                arena.remove(h);
                 // RED's own drops require the average to have reached the
                 // minimum threshold; only physical overflow may fire
                 // below it.
@@ -73,8 +76,8 @@ fn drive(cfg: RedConfig, seed: u64, ops: &[bool], step_micros: u64) -> Result<()
                     );
                 }
             }
-        } else {
-            q.dequeue(now);
+        } else if let Some(h) = q.dequeue(now) {
+            arena.remove(h);
         }
         let p = q.drop_probability();
         prop_assert!(
@@ -122,10 +125,11 @@ proptest! {
         // The paper's gateway (min_th 5, w = 0.002): short bursts keep the
         // average far below the threshold, so *nothing* may drop — not
         // even overflow, since burst < limit.
+        let mut arena = PacketArena::new();
         let mut q = Red::new(RedConfig::paper());
         let mut rng = StdRng::seed_from_u64(seed);
         for uid in 0..burst as u64 {
-            let got = q.enqueue(packet(uid), SimTime::from_millis(uid), &mut rng);
+            let got = q.enqueue(packet(&mut arena, uid), SimTime::from_millis(uid), &mut rng);
             prop_assert!(
                 matches!(got, Enqueue::Accepted),
                 "drop below min threshold (avg {})",
@@ -146,11 +150,14 @@ proptest! {
         // With weight 1 the average tracks the queue exactly; pushing the
         // queue longer must never lower the marking probability.
         let cfg = config(limit, min_frac, gap_frac, 1.0, max_p);
+        let mut arena = PacketArena::new();
         let mut q = Red::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
         let mut last_p = 0.0f64;
         for uid in 0..limit as u64 {
-            q.enqueue(packet(uid), SimTime::ZERO, &mut rng);
+            if let Enqueue::Dropped(h, _) = q.enqueue(packet(&mut arena, uid), SimTime::ZERO, &mut rng) {
+                arena.remove(h);
+            }
             let p = q.drop_probability();
             prop_assert!(
                 p >= last_p - 1e-12,
