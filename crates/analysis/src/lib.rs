@@ -3,7 +3,7 @@
 //! Closed forms, bounds and Monte-Carlo models from *Achieving Bounded
 //! Fairness for Multicast and TCP Traffic in the Internet* (§4):
 //!
-//! * [`pa_window`] — equation (1), the proportional-average TCP window
+//! * [`mod@pa_window`] — equation (1), the proportional-average TCP window
 //!   `√(2(1−p))/√p`, with a Monte-Carlo twin of the window process.
 //! * [`proposition`] — equation (3) and its n-receiver generalization,
 //!   the Proposition's bounds (equation 2), the common-loss case, and the

@@ -12,6 +12,7 @@
 //! demonstrates.
 
 use netsim::time::{SimDuration, SimTime};
+use transport::CongestionEpoch;
 
 use crate::rate_sender::{RateController, ReceiverReport};
 
@@ -47,7 +48,8 @@ impl Default for LtrcConfig {
 #[derive(Debug)]
 pub struct Ltrc {
     cfg: LtrcConfig,
-    last_cut: Option<SimTime>,
+    /// Hold-off bookkeeping around the last rate cut.
+    epoch: CongestionEpoch,
     reductions: u64,
 }
 
@@ -64,7 +66,7 @@ impl Ltrc {
         );
         Ltrc {
             cfg,
-            last_cut: None,
+            epoch: CongestionEpoch::new(),
             reductions: 0,
         }
     }
@@ -77,11 +79,9 @@ impl RateController for Ltrc {
             .filter(|r| now.saturating_since(r.updated_at) <= self.cfg.report_timeout)
             .map(|r| r.avg_loss_rate)
             .fold(0.0, f64::max);
-        let in_hold = self
-            .last_cut
-            .is_some_and(|t| now.saturating_since(t) < self.cfg.hold_time);
+        let in_hold = self.epoch.in_hold(now, self.cfg.hold_time);
         if worst > self.cfg.loss_threshold && !in_hold {
-            self.last_cut = Some(now);
+            self.epoch.mark(now);
             self.reductions += 1;
             rate * self.cfg.decrease_factor
         } else {

@@ -12,6 +12,7 @@
 //! universal threshold pair exists.
 
 use netsim::time::{SimDuration, SimTime};
+use transport::CongestionEpoch;
 
 use crate::rate_sender::{RateController, ReceiverReport};
 
@@ -52,7 +53,8 @@ impl Default for MbfcConfig {
 #[derive(Debug)]
 pub struct Mbfc {
     cfg: MbfcConfig,
-    last_cut: Option<SimTime>,
+    /// Hold-off bookkeeping around the last rate cut.
+    epoch: CongestionEpoch,
     reductions: u64,
 }
 
@@ -70,7 +72,7 @@ impl Mbfc {
         assert!(cfg.population >= 1, "population must be positive");
         Mbfc {
             cfg,
-            last_cut: None,
+            epoch: CongestionEpoch::new(),
             reductions: 0,
         }
     }
@@ -84,11 +86,9 @@ impl RateController for Mbfc {
             .filter(|r| r.interval_loss_rate > self.cfg.loss_threshold)
             .count();
         let fraction = congested as f64 / self.cfg.population.max(1) as f64;
-        let in_hold = self
-            .last_cut
-            .is_some_and(|t| now.saturating_since(t) < self.cfg.hold_time);
+        let in_hold = self.epoch.in_hold(now, self.cfg.hold_time);
         if fraction > self.cfg.population_threshold && !in_hold {
-            self.last_cut = Some(now);
+            self.epoch.mark(now);
             self.reductions += 1;
             rate * self.cfg.decrease_factor
         } else {

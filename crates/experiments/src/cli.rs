@@ -11,6 +11,10 @@
 //!   machine's available parallelism).
 //! * `RLA_RESULTS_DIR` — where run manifests go (default `results/`;
 //!   handled by [`results_dir`]).
+//! * `RLA_BENCH_BASELINE` — record/compare mode for the bench harness.
+//!
+//! Any other variable in the `RLA_` namespace is rejected with the list
+//! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
 //!
 //! Binaries that run sweeps scale the budget down with
 //! [`scaled_duration`]; trace-heavy single runs cap it with
@@ -25,6 +29,41 @@ use crate::tree::CongestionCase;
 
 pub use crate::manifest::results_dir;
 
+/// Every `RLA_*` environment knob the experiment binaries understand.
+/// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
+/// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
+/// the 3000 s default.
+pub const KNOWN_ENV_VARS: [&str; 5] = [
+    "RLA_DURATION_SECS",
+    "RLA_SEED",
+    "RLA_JOBS",
+    "RLA_RESULTS_DIR",
+    "RLA_BENCH_BASELINE",
+];
+
+/// The subset of `names` that sit in the `RLA_` namespace without being a
+/// recognized knob. Pure; the env-reading wrapper is
+/// [`enforce_known_env`].
+pub fn unknown_rla_vars_from(names: impl IntoIterator<Item = String>) -> Vec<String> {
+    names
+        .into_iter()
+        .filter(|n| n.starts_with("RLA_") && !KNOWN_ENV_VARS.contains(&n.as_str()))
+        .collect()
+}
+
+/// Reject unrecognized `RLA_*` environment variables. Called by every
+/// knob getter, so each experiment binary fails fast on a typo with the
+/// list of valid knobs instead of silently ignoring the override.
+pub fn enforce_known_env() {
+    let unknown = unknown_rla_vars_from(std::env::vars().map(|(k, _)| k));
+    assert!(
+        unknown.is_empty(),
+        "unrecognized RLA_* environment variable(s): {}. Valid knobs: {}",
+        unknown.join(", "),
+        KNOWN_ENV_VARS.join(", ")
+    );
+}
+
 /// Simulated duration for paper-table runs: `RLA_DURATION_SECS` if set,
 /// else 3000 s (the paper's length), floored at 60 s.
 pub fn run_duration() -> SimDuration {
@@ -34,6 +73,7 @@ pub fn run_duration() -> SimDuration {
 /// Simulated duration with an explicit default: `RLA_DURATION_SECS` if
 /// set, else `default`, floored at 60 s either way.
 pub fn duration_or(default: SimDuration) -> SimDuration {
+    enforce_known_env();
     let secs = std::env::var("RLA_DURATION_SECS")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -56,6 +96,7 @@ pub fn capped_duration(cap_secs: f64) -> SimDuration {
 
 /// Base RNG seed, honouring `RLA_SEED`.
 pub fn base_seed() -> u64 {
+    enforce_known_env();
     std::env::var("RLA_SEED")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -65,6 +106,7 @@ pub fn base_seed() -> u64 {
 /// Worker count for scenario sweeps: `RLA_JOBS` if set (floor 1),
 /// otherwise the machine's available parallelism.
 pub fn job_count() -> usize {
+    enforce_known_env();
     std::env::var("RLA_JOBS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -143,5 +185,23 @@ mod tests {
     fn seed_and_jobs_defaults() {
         assert_eq!(base_seed(), 1);
         assert!(job_count() >= 1);
+    }
+
+    #[test]
+    fn unknown_rla_vars_are_flagged_and_known_ones_pass() {
+        let names = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Every documented knob is accepted; other namespaces are ignored.
+        let mut ok = names(&KNOWN_ENV_VARS);
+        ok.push("PATH".to_string());
+        ok.push("CARGO_TARGET_DIR".to_string());
+        assert!(unknown_rla_vars_from(ok).is_empty());
+        // A typo in the RLA_ namespace is caught.
+        assert_eq!(
+            unknown_rla_vars_from(names(&["RLA_DURATION", "RLA_SEED", "HOME"])),
+            vec!["RLA_DURATION".to_string()]
+        );
+        // The process environment itself must be clean — the getters call
+        // enforce_known_env on every read.
+        enforce_known_env();
     }
 }

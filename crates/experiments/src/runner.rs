@@ -19,9 +19,8 @@ use crate::cli::job_count;
 use crate::metrics::ScenarioResult;
 use crate::scenario::TreeScenario;
 
-/// Run scenarios on a fixed-size worker pool (see
-/// [`job_count`](crate::cli::job_count)) and return the results in input
-/// order.
+/// Run scenarios on a fixed-size worker pool (see [`job_count`]) and
+/// return the results in input order.
 ///
 /// Panics propagate *after* every other scenario has finished, with the
 /// index and label of each failed scenario, so one bad configuration in

@@ -15,7 +15,8 @@ use netsim::time::{SimDuration, SimTime};
 
 use rla::{McastReceiver, PthreshPolicy, RlaConfig, RlaSender};
 
-use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
+use tcp_sack::{RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
+use transport::CcVariant;
 
 use crate::metrics::{RlaRow, ScenarioResult, TcpRow};
 use crate::tree::{build_tree, CongestionCase, TertiaryTree};
@@ -59,6 +60,10 @@ pub struct TreeScenario {
     /// RTT-scaled pthresh generalization; the ablation experiment sweeps
     /// η, the forced-cut rule and the burst limit.
     pub rla_config: RlaConfig,
+    /// Which congestion controller the background TCP flows run. The
+    /// paper's tables use SACK; the Reno variant measures how sensitive
+    /// the fairness results are to the TCP flavor.
+    pub tcp_cc: CcVariant,
 }
 
 impl TreeScenario {
@@ -80,6 +85,7 @@ impl TreeScenario {
                 },
                 ..RlaConfig::default()
             },
+            tcp_cc: CcVariant::Sack,
         }
     }
 
@@ -100,6 +106,12 @@ impl TreeScenario {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the TCP congestion-control variant.
+    pub fn with_tcp_cc(mut self, cc: CcVariant) -> Self {
+        self.tcp_cc = cc;
         self
     }
 
@@ -134,7 +146,14 @@ impl TreeScenario {
         let mut tcp_senders = Vec::new();
         for &node in &tcp_nodes {
             let rx = engine.add_agent(node, Box::new(TcpReceiver::new(tcp_cfg.ack_size)));
-            let tx = engine.add_agent(tree.root, Box::new(TcpSender::new(rx, tcp_cfg.clone())));
+            let tx = match self.tcp_cc {
+                CcVariant::Sack => {
+                    engine.add_agent(tree.root, Box::new(TcpSender::new(rx, tcp_cfg.clone())))
+                }
+                CcVariant::Reno => {
+                    engine.add_agent(tree.root, Box::new(RenoSender::new(rx, tcp_cfg.clone())))
+                }
+            };
             tcp_receivers.push(rx);
             tcp_senders.push(tx);
         }
@@ -238,14 +257,28 @@ impl ScenarioWorld {
         self.collect(scenario)
     }
 
+    /// The statistics block of a TCP sender of either variant.
+    fn tcp_sender_stats(&self, a: AgentId) -> &SenderStats {
+        if let Some(s) = self.engine.agent_as::<TcpSender>(a) {
+            &s.stats
+        } else {
+            let s: &RenoSender = self.engine.agent_as(a).expect("tcp sender");
+            &s.stats
+        }
+    }
+
     /// Reset every agent's statistics window (end of warmup).
     pub fn reset_stats(&mut self) {
         let now = self.engine.now();
         for &a in &self.tcp_senders.clone() {
-            self.engine
-                .agent_as_mut::<TcpSender>(a)
-                .expect("tcp sender")
-                .reset_stats(now);
+            if let Some(s) = self.engine.agent_as_mut::<TcpSender>(a) {
+                s.reset_stats(now);
+            } else {
+                self.engine
+                    .agent_as_mut::<RenoSender>(a)
+                    .expect("tcp sender")
+                    .reset_stats(now);
+            }
         }
         for &a in &self.tcp_receivers.clone() {
             self.engine
@@ -295,14 +328,14 @@ impl ScenarioWorld {
             .iter()
             .enumerate()
             .map(|(i, &a)| {
-                let s: &TcpSender = self.engine.agent_as(a).expect("tcp sender");
+                let stats = self.tcp_sender_stats(a);
                 TcpRow {
                     receiver_index: i,
-                    throughput_pps: s.stats.throughput_pps(now),
-                    cwnd_avg: s.stats.cwnd_avg.average(now),
-                    rtt_avg: s.stats.rtt.mean(),
-                    window_cuts: s.stats.total_cuts(),
-                    timeouts: s.stats.timeouts,
+                    throughput_pps: stats.throughput_pps(now),
+                    cwnd_avg: stats.cwnd_avg.average(now),
+                    rtt_avg: stats.rtt.mean(),
+                    window_cuts: stats.total_cuts(),
+                    timeouts: stats.timeouts,
                 }
             })
             .collect();

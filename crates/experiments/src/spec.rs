@@ -12,6 +12,7 @@
 use netsim::time::SimDuration;
 
 use rla::RlaConfig;
+use transport::CcVariant;
 
 use crate::metrics::ScenarioResult;
 use crate::scenario::{GatewayKind, TreeScenario};
@@ -30,6 +31,7 @@ pub struct ScenarioSpec {
     seed: Option<u64>,
     duration: Option<SimDuration>,
     rla_config: Option<RlaConfig>,
+    tcp_cc: Option<CcVariant>,
 }
 
 impl ScenarioSpec {
@@ -43,6 +45,7 @@ impl ScenarioSpec {
             seed: None,
             duration: None,
             rla_config: None,
+            tcp_cc: None,
         }
     }
 
@@ -82,6 +85,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Which congestion controller the background TCP flows run
+    /// (default: the paper's SACK).
+    pub fn with_tcp_cc(mut self, cc: CcVariant) -> Self {
+        self.tcp_cc = Some(cc);
+        self
+    }
+
     /// The congestion case this spec describes.
     pub fn case(&self) -> CongestionCase {
         self.case
@@ -105,6 +115,9 @@ impl ScenarioSpec {
         s.rla_sessions = self.sessions;
         if let Some(cfg) = &self.rla_config {
             s.rla_config = cfg.clone();
+        }
+        if let Some(cc) = self.tcp_cc {
+            s = s.with_tcp_cc(cc);
         }
         s
     }

@@ -3,7 +3,7 @@
 //! An [`Agent`] is a protocol state machine attached to a node: a TCP
 //! sender, a multicast receiver, a rate controller. The engine drives it
 //! through three callbacks, and the agent acts on the world only through
-//! the [`Context`](crate::engine::Context) it is handed — no interior
+//! the [`Context`] it is handed — no interior
 //! mutability, no back-references, so the borrow checker and determinism
 //! are both satisfied.
 

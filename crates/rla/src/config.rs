@@ -1,6 +1,7 @@
 //! RLA sender configuration.
 
 use netsim::time::SimDuration;
+use transport::defaults;
 
 /// How the window-cut probability threshold `pthresh` is derived for a
 /// congestion signal from receiver `i` (paper §3.3 rule 3 and §5.3).
@@ -115,12 +116,12 @@ pub struct RlaConfig {
 impl Default for RlaConfig {
     fn default() -> Self {
         RlaConfig {
-            packet_size: 1000,
-            ack_size: 40,
-            initial_cwnd: 1.0,
-            initial_ssthresh: 64.0,
-            max_cwnd: 10_000.0,
-            dupack_threshold: 3,
+            packet_size: defaults::PACKET_SIZE,
+            ack_size: defaults::ACK_SIZE,
+            initial_cwnd: defaults::INITIAL_CWND,
+            initial_ssthresh: defaults::INITIAL_SSTHRESH,
+            max_cwnd: defaults::MAX_CWND,
+            dupack_threshold: defaults::DUPACK_THRESHOLD,
             eta: 20.0,
             interval_gain: 0.125,
             awnd_gain: 0.02,
@@ -129,8 +130,8 @@ impl Default for RlaConfig {
             forced_cut_enabled: true,
             slow_receiver_policy: SlowReceiverPolicy::Keep,
             max_burst: 4,
-            min_rto: SimDuration::from_millis(200),
-            max_rto: SimDuration::from_secs(64),
+            min_rto: defaults::MIN_RTO,
+            max_rto: defaults::MAX_RTO,
             scan_interval: SimDuration::from_millis(100),
         }
     }

@@ -32,8 +32,8 @@ use netsim::stats::{Running, TimeWeighted};
 use netsim::time::{SimDuration, SimTime};
 use netsim::wire::{McastAck, McastData, Segment};
 
-use tcp_sack::rto::RttEstimator;
 use tcp_sack::scoreboard::Scoreboard;
+use transport::{CongestionEpoch, FlowStats, RttEstimator, WindowState};
 
 use crate::config::{RlaConfig, SlowReceiverPolicy};
 use crate::trouble::TroubleTracker;
@@ -47,8 +47,8 @@ struct ReceiverState {
     id: AgentId,
     scoreboard: Scoreboard,
     rtt: RttEstimator,
-    /// Start of the current congestion period (rule 2).
-    cperiod_start: Option<SimTime>,
+    /// The current congestion period (rule 2's `2·srtt_i` loss coalescer).
+    cperiod: CongestionEpoch,
     /// Last time any ack arrived from this receiver (timeout detection).
     last_ack_at: SimTime,
     /// Ejected by the slow-receiver policy (§4.3): still receives the
@@ -142,6 +142,32 @@ impl RlaStats {
     }
 }
 
+impl FlowStats for RlaStats {
+    fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn total_cuts(&self) -> u64 {
+        self.window_cuts()
+    }
+
+    fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    fn cwnd_avg(&self) -> &TimeWeighted {
+        &self.cwnd_avg
+    }
+
+    fn rtt(&self) -> &Running {
+        &self.rtt
+    }
+
+    fn since(&self) -> SimTime {
+        self.since
+    }
+}
+
 /// The RLA multicast sender.
 pub struct RlaSender {
     cfg: RlaConfig,
@@ -150,8 +176,7 @@ pub struct RlaSender {
     index_of: HashMap<AgentId, usize>,
     trouble: TroubleTracker,
 
-    cwnd: f64,
-    ssthresh: f64,
+    win: WindowState,
     /// Moving average of the window size (forced-cut horizon).
     awnd: f64,
     /// Next new sequence number.
@@ -159,8 +184,8 @@ pub struct RlaSender {
     /// All packets `seq < reach_all` are held by every receiver
     /// (`max_reach_all` in the paper).
     reach_all: u64,
-    /// When the window was last halved.
-    last_window_cut: SimTime,
+    /// Tracks when the window was last halved (the forced-cut horizon).
+    cut_epoch: CongestionEpoch,
     /// Sequences declared lost by at least one receiver, awaiting the
     /// everyone-has-spoken retransmission decision (footnote 8).
     pending_rexmit: BTreeSet<u64>,
@@ -179,19 +204,18 @@ impl RlaSender {
     /// the group and the tree must be built before the sender starts).
     pub fn new(group: GroupId, cfg: RlaConfig) -> Self {
         cfg.validate();
-        let cwnd = cfg.initial_cwnd;
-        let ssthresh = cfg.initial_ssthresh;
+        let win = WindowState::new(cfg.initial_cwnd, cfg.initial_ssthresh, cfg.max_cwnd);
+        let cwnd = win.cwnd();
         RlaSender {
             trouble: TroubleTracker::new(0, cfg.eta, cfg.interval_gain),
             group,
             receivers: Vec::new(),
             index_of: HashMap::new(),
-            cwnd,
-            ssthresh,
+            win,
             awnd: cwnd,
             high_seq: 0,
             reach_all: 0,
-            last_window_cut: SimTime::ZERO,
+            cut_epoch: CongestionEpoch::new(),
             pending_rexmit: BTreeSet::new(),
             sent_log: BTreeMap::new(),
             laggard: None,
@@ -202,7 +226,7 @@ impl RlaSender {
 
     /// Current congestion window, packets.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.win.cwnd()
     }
 
     /// Moving average of the window size.
@@ -241,34 +265,30 @@ impl RlaSender {
 
     /// Discard statistics and start a fresh window at `now` (warmup reset).
     pub fn reset_stats(&mut self, now: SimTime) {
-        self.stats = RlaStats::new(now, self.cwnd, self.receivers.len());
+        self.stats = RlaStats::new(now, self.win.cwnd(), self.receivers.len());
     }
 
     // ------------------------------------------------------------------
     // Window management
     // ------------------------------------------------------------------
 
-    fn set_cwnd(&mut self, now: SimTime, cwnd: f64) {
-        self.cwnd = cwnd.clamp(1.0, self.cfg.max_cwnd);
-        self.awnd += self.cfg.awnd_gain * (self.cwnd - self.awnd);
-        self.stats.cwnd_avg.set(now, self.cwnd);
+    /// Fold a just-applied window change into `awnd` (the forced-cut
+    /// horizon tracks *every* adjustment) and the time-weighted average.
+    fn after_window_change(&mut self, now: SimTime, cwnd: f64) {
+        self.awnd += self.cfg.awnd_gain * (cwnd - self.awnd);
+        self.stats.cwnd_avg.set(now, cwnd);
     }
 
     /// Rule 4: growth per packet acknowledged by all receivers.
     fn open_cwnd(&mut self, now: SimTime) {
-        let next = if self.cwnd < self.ssthresh {
-            self.cwnd + 1.0
-        } else {
-            self.cwnd + 1.0 / self.cwnd
-        };
-        self.set_cwnd(now, next);
+        let cwnd = self.win.open();
+        self.after_window_change(now, cwnd);
     }
 
     fn cut_window(&mut self, now: SimTime) {
-        let half = (self.cwnd / 2.0).max(1.0);
-        self.ssthresh = half.max(2.0);
-        self.set_cwnd(now, half);
-        self.last_window_cut = now;
+        let cwnd = self.win.cut();
+        self.after_window_change(now, cwnd);
+        self.cut_epoch.mark(now);
     }
 
     /// The largest smoothed RTT among receivers (for the RTT-scaled
@@ -293,12 +313,7 @@ impl RlaSender {
             .srtt()
             .unwrap_or(SimDuration::from_millis(100));
         let period = srtt.mul_f64(2.0);
-        let new_period = match self.receivers[idx].cperiod_start {
-            None => true,
-            Some(start) => now.saturating_since(start) > period,
-        };
-        if new_period {
-            self.receivers[idx].cperiod_start = Some(now);
+        if self.receivers[idx].cperiod.note_loss(now, period) {
             self.on_congestion_signal(idx, ctx);
         }
     }
@@ -336,9 +351,7 @@ impl RlaSender {
             }
         };
         let forced_horizon = session_srtt.mul_f64(2.0 * self.awnd.max(1.0));
-        if self.cfg.forced_cut_enabled
-            && now.saturating_since(self.last_window_cut) > forced_horizon
-        {
+        if self.cfg.forced_cut_enabled && self.cut_epoch.elapsed_exceeds(now, forced_horizon) {
             self.cut_window(now);
             self.stats.forced_cuts += 1;
             return;
@@ -381,7 +394,7 @@ impl RlaSender {
     fn try_send(&mut self, ctx: &mut Context<'_>) {
         let mut burst = 0;
         let mut pipe = self.pipe();
-        let allowed = (self.cwnd as u64).max(1);
+        let allowed = self.win.allowed();
         while burst < self.cfg.max_burst {
             let buffer_top = self.min_last_ack() + self.cfg.max_cwnd as u64;
             if pipe >= allowed || self.high_seq >= buffer_top {
@@ -561,7 +574,7 @@ impl RlaSender {
         // only one packet per RTO. The stalled-window guard keeps this
         // path out of ordinary recovery, where dup-SACK evidence repairs
         // holes long before they age anywhere near the RTO.
-        let window_exhausted = self.pipe() >= (self.cwnd as u64).max(1);
+        let window_exhausted = self.pipe() >= self.win.allowed();
         if window_exhausted && self.receivers[idx].scoreboard.cum_ack() > prior_cum {
             if let Some((_, sent_at, _, retransmitted)) = self.receivers[idx].scoreboard.head_hole()
             {
@@ -660,7 +673,7 @@ impl RlaSender {
     fn scan_timeouts(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         self.apply_slow_receiver_policy(now);
-        let window_exhausted = self.pipe() >= (self.cwnd as u64).max(1);
+        let window_exhausted = self.pipe() >= self.win.allowed();
         for idx in 0..self.receivers.len() {
             if self.receivers[idx].ejected {
                 continue;
@@ -730,15 +743,15 @@ impl Agent for RlaSender {
                 id,
                 scoreboard: Scoreboard::new(),
                 rtt: RttEstimator::new(self.cfg.min_rto, self.cfg.max_rto),
-                cperiod_start: None,
+                cperiod: CongestionEpoch::new(),
                 last_ack_at: now,
                 ejected: false,
             })
             .collect();
         self.index_of = members.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         self.trouble = TroubleTracker::new(members.len(), self.cfg.eta, self.cfg.interval_gain);
-        self.stats = RlaStats::new(now, self.cwnd, members.len());
-        self.last_window_cut = now;
+        self.stats = RlaStats::new(now, self.win.cwnd(), members.len());
+        self.cut_epoch.mark(now);
         self.try_send(ctx);
         ctx.set_timer(self.cfg.scan_interval, SCAN_TOKEN);
     }

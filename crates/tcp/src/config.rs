@@ -1,6 +1,7 @@
 //! TCP agent configuration.
 
 use netsim::time::SimDuration;
+use transport::defaults;
 
 /// Parameters of a TCP SACK connection.
 ///
@@ -30,14 +31,14 @@ pub struct TcpConfig {
 impl Default for TcpConfig {
     fn default() -> Self {
         TcpConfig {
-            packet_size: 1000,
-            ack_size: 40,
-            initial_cwnd: 1.0,
-            initial_ssthresh: 64.0,
-            max_cwnd: 10_000.0,
-            dupack_threshold: 3,
-            min_rto: SimDuration::from_millis(200),
-            max_rto: SimDuration::from_secs(64),
+            packet_size: defaults::PACKET_SIZE,
+            ack_size: defaults::ACK_SIZE,
+            initial_cwnd: defaults::INITIAL_CWND,
+            initial_ssthresh: defaults::INITIAL_SSTHRESH,
+            max_cwnd: defaults::MAX_CWND,
+            dupack_threshold: defaults::DUPACK_THRESHOLD,
+            min_rto: defaults::MIN_RTO,
+            max_rto: defaults::MAX_RTO,
         }
     }
 }

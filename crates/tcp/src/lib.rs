@@ -22,12 +22,14 @@
 
 pub mod config;
 pub mod receiver;
+pub mod reno;
 pub mod rto;
 pub mod scoreboard;
 pub mod sender;
 
 pub use config::TcpConfig;
 pub use receiver::{ReceiverStats, TcpReceiver};
+pub use reno::RenoSender;
 pub use rto::RttEstimator;
 pub use scoreboard::Scoreboard;
 pub use sender::{SenderStats, TcpSender};

@@ -1,0 +1,377 @@
+//! A TCP Reno sender: duplicate-ack loss detection, no SACK scoreboard.
+//!
+//! The first alternative [`CongestionControl`] policy riding on the shared
+//! transport layer. Where [`crate::TcpSender`] detects losses with the
+//! RFC 2018 scoreboard and retransmits every declared hole, Reno infers a
+//! single loss from the third duplicate cumulative ack, fast-retransmits
+//! that one packet, and continues NewReno-style on partial acks; a
+//! retransmission timeout falls back to go-back-N from the cumulative
+//! ack. It talks to the ordinary [`crate::TcpReceiver`] and simply
+//! ignores the SACK blocks in its acknowledgments.
+//!
+//! RTT samples follow Karn's algorithm: acks covering a retransmitted
+//! segment are ambiguous and never update the estimator
+//! ([`RttEstimator::karn_sample`]); the scoreboard sender has no such
+//! guard because its per-segment send times make samples unambiguous.
+
+use std::any::Any;
+use std::collections::BTreeSet;
+
+use netsim::agent::Agent;
+use netsim::engine::Context;
+use netsim::id::AgentId;
+use netsim::packet::{Dest, Packet};
+use netsim::time::SimTime;
+use netsim::wire::{Segment, TcpAck, TcpData};
+
+use transport::{AckEvent, CongestionControl, RenoCc, RexmitTimer, RttEstimator, WindowState};
+
+use crate::config::TcpConfig;
+use crate::sender::SenderStats;
+
+/// A TCP Reno sender with infinite data.
+pub struct RenoSender {
+    cfg: TcpConfig,
+    receiver: AgentId,
+    win: WindowState,
+    cc: RenoCc,
+    /// Highest cumulative ack heard.
+    cum_ack: u64,
+    /// Next sequence the window will release (rewinds on timeout).
+    high_seq: u64,
+    /// Next never-before-sent sequence; anything below it is a
+    /// retransmission when sent again.
+    high_water: u64,
+    rtt: RttEstimator,
+    timer: RexmitTimer,
+    /// Unacked sequences that have been retransmitted (Karn's ambiguity
+    /// set; pruned as the cumulative ack advances).
+    retransmitted: BTreeSet<u64>,
+    /// Collected statistics.
+    pub stats: SenderStats,
+}
+
+impl RenoSender {
+    /// A Reno sender that will stream to `receiver`.
+    pub fn new(receiver: AgentId, cfg: TcpConfig) -> Self {
+        cfg.validate();
+        let win = WindowState::new(cfg.initial_cwnd, cfg.initial_ssthresh, cfg.max_cwnd);
+        let cwnd = win.cwnd();
+        RenoSender {
+            rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto),
+            cc: RenoCc::new(cfg.dupack_threshold),
+            cfg,
+            receiver,
+            win,
+            cum_ack: 0,
+            high_seq: 0,
+            high_water: 0,
+            timer: RexmitTimer::new(),
+            retransmitted: BTreeSet::new(),
+            stats: SenderStats::new(SimTime::ZERO, cwnd),
+        }
+    }
+
+    /// Current congestion window, packets.
+    pub fn cwnd(&self) -> f64 {
+        self.win.cwnd()
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> Option<netsim::time::SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Discard statistics collected so far and start a fresh window at
+    /// `now` (end-of-warmup reset).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.stats = SenderStats::new(now, self.win.cwnd());
+    }
+
+    fn try_send(&mut self, ctx: &mut Context<'_>) {
+        loop {
+            let in_flight = self.high_seq.saturating_sub(self.cum_ack);
+            if in_flight >= self.cc.allowed_window(&self.win) {
+                break;
+            }
+            // Receiver-buffer bound, as in the SACK sender.
+            if self.high_seq >= self.cum_ack + self.cfg.max_cwnd as u64 {
+                break;
+            }
+            let seq = self.high_seq;
+            self.high_seq += 1;
+            self.transmit(ctx, seq);
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let now = ctx.now();
+        let retransmit = seq < self.high_water;
+        if retransmit {
+            self.retransmitted.insert(seq);
+            self.stats.retransmits += 1;
+        }
+        self.high_water = self.high_water.max(seq + 1);
+        self.stats.data_sent += 1;
+        ctx.send(
+            Dest::Agent(self.receiver),
+            self.cfg.packet_size,
+            Segment::TcpData(TcpData {
+                seq,
+                retransmit,
+                timestamp: now,
+            }),
+        );
+    }
+
+    fn on_ack(&mut self, ack: &TcpAck, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let advanced = ack.cum_ack.saturating_sub(self.cum_ack);
+        // Karn: the sample is ambiguous if the newly covered range holds
+        // any retransmitted segment (the echoed timestamp may answer
+        // either copy).
+        let ambiguous = advanced == 0
+            || self
+                .retransmitted
+                .range(self.cum_ack..ack.cum_ack)
+                .next()
+                .is_some();
+        if self
+            .rtt
+            .karn_sample(now.saturating_since(ack.echo_timestamp), ambiguous)
+        {
+            self.stats
+                .rtt
+                .push(now.saturating_since(ack.echo_timestamp).as_secs_f64());
+        }
+
+        if advanced > 0 {
+            self.retransmitted = self.retransmitted.split_off(&ack.cum_ack);
+            self.stats.delivered += advanced;
+            self.cum_ack = ack.cum_ack;
+            self.high_seq = self.high_seq.max(self.cum_ack);
+        }
+
+        let ev = AckEvent {
+            cum_ack: self.cum_ack,
+            newly_acked: advanced,
+            newly_lost: 0, // no scoreboard: RenoCc counts duplicates itself
+            high_seq: self.high_seq,
+        };
+        let out = self.cc.on_ack(&mut self.win, &ev);
+        self.stats.window_cuts += out.cuts;
+        self.stats.cwnd_avg.set(now, self.win.cwnd());
+        if let Some(seq) = out.retransmit {
+            self.transmit(ctx, seq);
+        }
+
+        if advanced > 0 {
+            self.timer.arm(ctx, self.rtt.rto());
+        }
+        self.try_send(ctx);
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if self.high_seq == self.cum_ack {
+            return; // nothing outstanding; idle
+        }
+        self.rtt.on_timeout();
+        self.cc.on_timeout(&mut self.win);
+        self.stats.cwnd_avg.set(now, self.win.cwnd());
+        self.stats.timeouts += 1;
+        // Go-back-N: without per-segment state, resume from the hole. The
+        // receiver's buffered out-of-order data turns the resent prefix
+        // into fast cumulative jumps.
+        self.high_seq = self.cum_ack;
+        self.timer.arm(ctx, self.rtt.rto());
+        self.try_send(ctx);
+    }
+}
+
+impl Agent for RenoSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.stats = SenderStats::new(ctx.now(), self.win.cwnd());
+        self.try_send(ctx);
+        self.timer.arm(ctx, self.rtt.rto());
+    }
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        match packet.segment {
+            Segment::TcpAck(ack) => self.on_ack(&ack, ctx),
+            other => debug_assert!(false, "Reno sender got {}", other.kind_str()),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if !self.timer.is_current(token) {
+            return; // superseded timer
+        }
+        self.on_timeout(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::Engine;
+    use netsim::queue::QueueConfig;
+    use netsim::time::SimDuration;
+
+    use crate::receiver::TcpReceiver;
+
+    fn one_flow(
+        bandwidth_bps: u64,
+        delay: SimDuration,
+        qcfg: &QueueConfig,
+    ) -> (Engine, AgentId, AgentId) {
+        let mut e = Engine::new(3);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(a, b, bandwidth_bps, delay, qcfg);
+        let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let tx = e.add_agent(a, Box::new(RenoSender::new(rx, TcpConfig::default())));
+        e.compute_routes();
+        e.start_agent_at(tx, SimTime::ZERO);
+        (e, tx, rx)
+    }
+
+    #[test]
+    fn fills_an_uncongested_pipe() {
+        let (mut e, tx, rx) = one_flow(
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::DropTail { limit: 100 },
+        );
+        e.run_until(SimTime::from_secs(30));
+        let rx: &TcpReceiver = e.agent_as(rx).unwrap();
+        assert!(
+            rx.stats.delivered > 28_000,
+            "delivered {}",
+            rx.stats.delivered
+        );
+        let tx: &RenoSender = e.agent_as(tx).unwrap();
+        assert_eq!(tx.stats.timeouts, 0, "no timeouts on a clean path");
+    }
+
+    #[test]
+    fn congestion_causes_fast_retransmits_not_stalls() {
+        let (mut e, tx, rx) = one_flow(
+            800_000, // 100 pkt/s
+            SimDuration::from_millis(50),
+            &QueueConfig::DropTail { limit: 10 },
+        );
+        e.run_until(SimTime::from_secs(60));
+        let txs: &RenoSender = e.agent_as(tx).unwrap();
+        assert!(txs.stats.window_cuts > 5, "cuts: {}", txs.stats.window_cuts);
+        assert!(
+            txs.stats.window_cuts > txs.stats.timeouts,
+            "losses should mostly be repaired by fast retransmit \
+             ({} cuts vs {} timeouts)",
+            txs.stats.window_cuts,
+            txs.stats.timeouts
+        );
+        let rx: &TcpReceiver = e.agent_as(rx).unwrap();
+        let rate = rx.stats.delivered as f64 / 60.0;
+        assert!(
+            rate > 70.0 && rate <= 101.0,
+            "goodput {rate} pkt/s should stay near 100"
+        );
+    }
+
+    #[test]
+    fn recovers_from_total_blackout_via_timeout() {
+        use netsim::fault::FaultInjector;
+        let (mut e, tx, _rx) = one_flow(
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::paper_droptail(),
+        );
+        let ch = e.world().node(netsim::id::NodeId(0)).out_channels[0];
+        e.run_until(SimTime::from_secs(2));
+        e.set_fault(ch, FaultInjector::new(1.0));
+        e.run_until(SimTime::from_secs(6));
+        let timeouts_mid = {
+            let t: &RenoSender = e.agent_as(tx).unwrap();
+            t.stats.timeouts
+        };
+        assert!(timeouts_mid >= 1, "blackout must cause timeouts");
+        e.world_mut().channel_mut(ch).fault = None;
+        let before = {
+            let t: &RenoSender = e.agent_as(tx).unwrap();
+            t.stats.delivered
+        };
+        e.run_until(SimTime::from_secs(12));
+        let t: &RenoSender = e.agent_as(tx).unwrap();
+        assert!(
+            t.stats.delivered > before + 1000,
+            "flow must resume after the path heals ({} -> {})",
+            before,
+            t.stats.delivered
+        );
+    }
+
+    #[test]
+    fn reno_and_sack_reach_comparable_goodput() {
+        // Reno can only repair one loss per round trip where SACK repairs
+        // a whole burst, but on a mild single-loss-dominated path the two
+        // must land in the same ballpark: large divergence either way
+        // means one of them is ignoring losses or stalling.
+        use crate::sender::TcpSender;
+        let run_sack = || {
+            let mut e = Engine::new(3);
+            let a = e.add_node("a");
+            let b = e.add_node("b");
+            e.add_link(
+                a,
+                b,
+                800_000,
+                SimDuration::from_millis(50),
+                &QueueConfig::DropTail { limit: 5 },
+            );
+            let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+            let tx = e.add_agent(a, Box::new(TcpSender::new(rx, TcpConfig::default())));
+            e.compute_routes();
+            e.start_agent_at(tx, SimTime::ZERO);
+            e.run_until(SimTime::from_secs(60));
+            e.agent_as::<TcpReceiver>(rx).unwrap().stats.delivered
+        };
+        let (mut e, _tx, rx) = one_flow(
+            800_000,
+            SimDuration::from_millis(50),
+            &QueueConfig::DropTail { limit: 5 },
+        );
+        e.run_until(SimTime::from_secs(60));
+        let reno = e.agent_as::<TcpReceiver>(rx).unwrap().stats.delivered;
+        let sack = run_sack();
+        assert!(reno > 2_000, "Reno must keep moving (delivered {reno})");
+        let ratio = (reno as f64 / sack as f64).max(sack as f64 / reno as f64);
+        assert!(
+            ratio < 1.5,
+            "Reno ({reno}) and SACK ({sack}) should be comparable"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut e, tx, _) = one_flow(
+                800_000,
+                SimDuration::from_millis(20),
+                &QueueConfig::DropTail { limit: 8 },
+            );
+            e.run_until(SimTime::from_secs(30));
+            let t: &RenoSender = e.agent_as(tx).unwrap();
+            (t.stats.delivered, t.stats.window_cuts, t.stats.timeouts)
+        };
+        assert_eq!(run(), run());
+    }
+}

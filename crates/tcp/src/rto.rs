@@ -1,131 +1,7 @@
-//! Round-trip time estimation and the retransmission timeout.
+//! Retransmission-timeout estimation.
 //!
-//! Jacobson's estimator (`srtt`, `rttvar`) with exponential backoff, as in
-//! RFC 6298 and the NS2 agents the paper simulated against.
+//! The estimator now lives in the shared [`transport`] crate (the RLA's
+//! per-receiver estimators and the baselines use the same code); this
+//! module re-exports it under its historical path.
 
-use netsim::time::SimDuration;
-
-/// RTT estimator and RTO computation.
-#[derive(Debug, Clone)]
-pub struct RttEstimator {
-    srtt: Option<SimDuration>,
-    rttvar: SimDuration,
-    min_rto: SimDuration,
-    max_rto: SimDuration,
-    /// Current backoff multiplier (doubles per timeout, resets on new ack).
-    backoff: u32,
-}
-
-impl RttEstimator {
-    /// A fresh estimator with the given RTO clamp.
-    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
-        RttEstimator {
-            srtt: None,
-            rttvar: SimDuration::ZERO,
-            min_rto,
-            max_rto,
-            backoff: 0,
-        }
-    }
-
-    /// Fold in a new RTT sample (and clear any timeout backoff, since a
-    /// sample implies forward progress).
-    pub fn sample(&mut self, rtt: SimDuration) {
-        match self.srtt {
-            None => {
-                self.srtt = Some(rtt);
-                self.rttvar = rtt / 2;
-            }
-            Some(srtt) => {
-                let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
-                // rttvar <- 3/4 rttvar + 1/4 |err| ; srtt <- 7/8 srtt + 1/8 rtt
-                self.rttvar =
-                    SimDuration::from_nanos((self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4);
-                self.srtt = Some(SimDuration::from_nanos(
-                    (srtt.as_nanos() / 8) * 7 + rtt.as_nanos() / 8,
-                ));
-            }
-        }
-        self.backoff = 0;
-    }
-
-    /// The smoothed round-trip time, if any sample has been taken.
-    pub fn srtt(&self) -> Option<SimDuration> {
-        self.srtt
-    }
-
-    /// The current retransmission timeout (backoff included, clamped).
-    pub fn rto(&self) -> SimDuration {
-        let base = match self.srtt {
-            None => SimDuration::from_secs(3), // RFC 6298 initial RTO
-            Some(srtt) => srtt.saturating_add(self.rttvar * 4),
-        };
-        let factor = 1u64 << self.backoff.min(16);
-        let backed = SimDuration::from_nanos(base.as_nanos().saturating_mul(factor));
-        backed.clamp(self.min_rto, self.max_rto)
-    }
-
-    /// A retransmission timer expired: double the RTO.
-    pub fn on_timeout(&mut self) {
-        self.backoff = (self.backoff + 1).min(16);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn est() -> RttEstimator {
-        RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(64))
-    }
-
-    #[test]
-    fn first_sample_initializes() {
-        let mut e = est();
-        assert_eq!(e.srtt(), None);
-        e.sample(SimDuration::from_millis(100));
-        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
-        // rto = srtt + 4*rttvar = 100 + 4*50 = 300 ms.
-        assert_eq!(e.rto(), SimDuration::from_millis(300));
-    }
-
-    #[test]
-    fn smoothing_converges_to_constant_rtt() {
-        let mut e = est();
-        for _ in 0..100 {
-            e.sample(SimDuration::from_millis(80));
-        }
-        let srtt = e.srtt().unwrap().as_secs_f64();
-        assert!((srtt - 0.080).abs() < 0.001, "srtt = {srtt}");
-        // With zero variance the RTO pins at the minimum.
-        assert_eq!(e.rto(), SimDuration::from_millis(200));
-    }
-
-    #[test]
-    fn backoff_doubles_and_sample_resets() {
-        let mut e = est();
-        e.sample(SimDuration::from_millis(100));
-        let base = e.rto();
-        e.on_timeout();
-        assert_eq!(e.rto().as_nanos(), base.as_nanos() * 2);
-        e.on_timeout();
-        assert_eq!(e.rto().as_nanos(), base.as_nanos() * 4);
-        e.sample(SimDuration::from_millis(100));
-        assert!(e.rto() <= base, "backoff must clear on a new sample");
-    }
-
-    #[test]
-    fn rto_clamped_at_max() {
-        let mut e = est();
-        e.sample(SimDuration::from_secs(1));
-        for _ in 0..20 {
-            e.on_timeout();
-        }
-        assert_eq!(e.rto(), SimDuration::from_secs(64));
-    }
-
-    #[test]
-    fn initial_rto_without_samples() {
-        assert_eq!(est().rto(), SimDuration::from_secs(3));
-    }
-}
+pub use transport::rtt::RttEstimator;

@@ -4,6 +4,13 @@
 //! This models the NS2 `Sack1` agent the paper simulated against, at the
 //! level of detail its analysis uses (§4.1): window +1 per RTT without
 //! loss, one halving per loss window, cwnd = 1 on timeout.
+//!
+//! The window arithmetic, recovery policy, RTT estimation and timer
+//! management live in the shared `transport` crate: the sender owns loss
+//! *detection* (the scoreboard) and transmission, and feeds its
+//! [`CongestionControl`] policy one [`AckEvent`] per acknowledgment. The
+//! default policy is [`transport::SackCc`]; the golden trace digests
+//! certify this wiring bit-for-bit against the pre-refactor sender.
 
 use std::any::Any;
 
@@ -11,114 +18,68 @@ use netsim::agent::Agent;
 use netsim::engine::Context;
 use netsim::id::AgentId;
 use netsim::packet::{Dest, Packet};
-use netsim::stats::{Running, TimeWeighted};
 use netsim::time::SimTime;
 use netsim::wire::{Segment, TcpAck, TcpData};
 
+use transport::{AckEvent, CongestionControl, RexmitTimer, RttEstimator, SackCc, WindowState};
+
 use crate::config::TcpConfig;
-use crate::rto::RttEstimator;
 use crate::scoreboard::Scoreboard;
 
-/// Sender-side statistics for the paper's tables.
-#[derive(Debug, Clone)]
-pub struct SenderStats {
-    /// Packets newly delivered (cumulative-ack progress) since the last
-    /// reset — the throughput numerator.
-    pub delivered: u64,
-    /// Data packets transmitted (including retransmissions).
-    pub data_sent: u64,
-    /// Retransmissions.
-    pub retransmits: u64,
-    /// Fast-recovery window cuts (the paper's "# wnd cut" less timeouts).
-    pub window_cuts: u64,
-    /// Retransmission timeouts.
-    pub timeouts: u64,
-    /// Time-weighted average congestion window.
-    pub cwnd_avg: TimeWeighted,
-    /// RTT samples.
-    pub rtt: Running,
-    /// When the statistics window began.
-    pub since: SimTime,
-}
+pub use transport::stats::SenderStats;
 
-impl SenderStats {
-    fn new(now: SimTime, cwnd: f64) -> Self {
-        SenderStats {
-            delivered: 0,
-            data_sent: 0,
-            retransmits: 0,
-            window_cuts: 0,
-            timeouts: 0,
-            cwnd_avg: TimeWeighted::new(now, cwnd),
-            rtt: Running::new(),
-            since: now,
-        }
-    }
-
-    /// All congestion-window reductions (fast recovery plus timeouts).
-    pub fn total_cuts(&self) -> u64 {
-        self.window_cuts + self.timeouts
-    }
-
-    /// Throughput in packets per second over `[since, now]`.
-    pub fn throughput_pps(&self, now: SimTime) -> f64 {
-        let span = now.saturating_since(self.since).as_secs_f64();
-        if span == 0.0 {
-            0.0
-        } else {
-            self.delivered as f64 / span
-        }
-    }
-}
-
-/// A TCP SACK sender with infinite data (the paper's persistent source).
+/// A TCP sender with infinite data (the paper's persistent source).
 pub struct TcpSender {
     cfg: TcpConfig,
     receiver: AgentId,
-    cwnd: f64,
-    ssthresh: f64,
+    win: WindowState,
+    /// The pluggable reaction policy (SACK by default).
+    cc: Box<dyn CongestionControl>,
     /// Next new sequence number.
     high_seq: u64,
     scoreboard: Scoreboard,
     rtt: RttEstimator,
-    /// While `Some(p)`: in fast recovery until the cumulative ack reaches
-    /// `p`; further losses inside the window are the same congestion
-    /// signal (one cut per loss window).
-    recovery_point: Option<u64>,
-    /// Timer generation; stale timer tokens are ignored.
-    timer_gen: u64,
+    timer: RexmitTimer,
     /// Collected statistics.
     pub stats: SenderStats,
 }
 
 impl TcpSender {
-    /// A sender that will stream to `receiver`.
+    /// A sender that will stream to `receiver` under the paper's SACK
+    /// policy.
     pub fn new(receiver: AgentId, cfg: TcpConfig) -> Self {
+        Self::with_cc(receiver, cfg, Box::new(SackCc::new()))
+    }
+
+    /// A sender with an explicit congestion-control policy. The policy
+    /// reacts to scoreboard-declared losses; policies that do their own
+    /// dup-ack loss detection belong in a scoreboard-free sender (see
+    /// `reno::RenoSender`).
+    pub fn with_cc(receiver: AgentId, cfg: TcpConfig, cc: Box<dyn CongestionControl>) -> Self {
         cfg.validate();
-        let cwnd = cfg.initial_cwnd;
-        let ssthresh = cfg.initial_ssthresh;
+        let win = WindowState::new(cfg.initial_cwnd, cfg.initial_ssthresh, cfg.max_cwnd);
+        let cwnd = win.cwnd();
         TcpSender {
             rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto),
             cfg,
             receiver,
-            cwnd,
-            ssthresh,
+            win,
+            cc,
             high_seq: 0,
             scoreboard: Scoreboard::new(),
-            recovery_point: None,
-            timer_gen: 0,
+            timer: RexmitTimer::new(),
             stats: SenderStats::new(SimTime::ZERO, cwnd),
         }
     }
 
     /// Current congestion window, packets.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.win.cwnd()
     }
 
     /// Current slow-start threshold, packets.
     pub fn ssthresh(&self) -> f64 {
-        self.ssthresh
+        self.win.ssthresh()
     }
 
     /// Smoothed RTT estimate.
@@ -129,38 +90,13 @@ impl TcpSender {
     /// Discard statistics collected so far and start a fresh window at
     /// `now` (end-of-warmup reset; the paper discards the first 100 s).
     pub fn reset_stats(&mut self, now: SimTime) {
-        let cwnd = self.cwnd;
-        self.stats = SenderStats::new(now, cwnd);
-    }
-
-    fn set_cwnd(&mut self, now: SimTime, cwnd: f64) {
-        self.cwnd = cwnd.clamp(1.0, self.cfg.max_cwnd);
-        self.stats.cwnd_avg.set(now, self.cwnd);
-    }
-
-    /// Window growth on a newly acknowledged packet.
-    fn open_cwnd(&mut self, now: SimTime) {
-        let next = if self.cwnd < self.ssthresh {
-            self.cwnd + 1.0 // slow start
-        } else {
-            self.cwnd + 1.0 / self.cwnd // congestion avoidance
-        };
-        self.set_cwnd(now, next);
-    }
-
-    /// One congestion signal: halve the window and enter fast recovery.
-    fn cut_window(&mut self, now: SimTime) {
-        let half = (self.cwnd / 2.0).max(1.0);
-        self.ssthresh = half.max(2.0);
-        self.set_cwnd(now, half);
-        self.recovery_point = Some(self.high_seq);
-        self.stats.window_cuts += 1;
+        self.stats = SenderStats::new(now, self.win.cwnd());
     }
 
     /// Transmit whatever the window currently allows: retransmissions of
     /// declared-lost packets first, then new data.
     fn try_send(&mut self, ctx: &mut Context<'_>) {
-        let allowed = (self.cwnd as u64).max(1);
+        let allowed = self.cc.allowed_window(&self.win);
         loop {
             if self.scoreboard.in_flight() >= allowed {
                 break;
@@ -198,12 +134,6 @@ impl TcpSender {
         );
     }
 
-    /// (Re)arm the retransmission timer for one RTO from now.
-    fn arm_timer(&mut self, ctx: &mut Context<'_>) {
-        self.timer_gen += 1;
-        ctx.set_timer(self.rtt.rto(), self.timer_gen);
-    }
-
     fn on_ack(&mut self, ack: &TcpAck, ctx: &mut Context<'_>) {
         let now = ctx.now();
         self.stats
@@ -218,26 +148,23 @@ impl TcpSender {
         let advanced = self.scoreboard.cum_ack().saturating_sub(before);
         self.stats.delivered += advanced;
 
-        if let Some(point) = self.recovery_point {
-            if self.scoreboard.cum_ack() >= point {
-                self.recovery_point = None;
-            }
-        }
-
-        if self.recovery_point.is_none() {
-            if newly_lost > 0 {
-                // A fresh loss window: one congestion signal, one cut.
-                self.cut_window(now);
-            } else {
-                for _ in 0..advanced {
-                    self.open_cwnd(now);
-                }
-            }
-        }
+        let ev = AckEvent {
+            cum_ack: self.scoreboard.cum_ack(),
+            newly_acked: advanced,
+            newly_lost: newly_lost as u64,
+            high_seq: self.high_seq,
+        };
+        let out = self.cc.on_ack(&mut self.win, &ev);
+        self.stats.window_cuts += out.cuts;
+        self.stats.cwnd_avg.set(now, self.win.cwnd());
+        debug_assert!(
+            out.retransmit.is_none(),
+            "scoreboard-driven senders retransmit from the scoreboard"
+        );
 
         if advanced > 0 {
             // Forward progress: restart the timer.
-            self.arm_timer(ctx);
+            self.timer.arm(ctx, self.rtt.rto());
         }
         self.try_send(ctx);
     }
@@ -248,21 +175,20 @@ impl TcpSender {
             return; // nothing outstanding; idle
         }
         self.rtt.on_timeout();
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.set_cwnd(now, 1.0);
-        self.recovery_point = None;
+        self.cc.on_timeout(&mut self.win);
+        self.stats.cwnd_avg.set(now, self.win.cwnd());
         self.scoreboard.mark_all_lost();
         self.stats.timeouts += 1;
-        self.arm_timer(ctx);
+        self.timer.arm(ctx, self.rtt.rto());
         self.try_send(ctx);
     }
 }
 
 impl Agent for TcpSender {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.stats = SenderStats::new(ctx.now(), self.cwnd);
+        self.stats = SenderStats::new(ctx.now(), self.win.cwnd());
         self.try_send(ctx);
-        self.arm_timer(ctx);
+        self.timer.arm(ctx, self.rtt.rto());
     }
 
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
@@ -273,7 +199,7 @@ impl Agent for TcpSender {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
-        if token != self.timer_gen {
+        if !self.timer.is_current(token) {
             return; // superseded timer
         }
         self.on_timeout(ctx);

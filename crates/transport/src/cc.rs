@@ -1,0 +1,425 @@
+//! The pluggable congestion-control seam.
+//!
+//! A [`CongestionControl`] policy decides how the shared
+//! [`WindowState`] reacts to acknowledgments, loss signals and timeouts;
+//! the sender owns loss *detection* (scoreboard, dup-ack counting,
+//! timers) and transmission, and feeds the policy one [`AckEvent`] per
+//! acknowledgment. Two policies ship here:
+//!
+//! * [`SackCc`] — the paper's NS2 `Sack1` behaviour: scoreboard-declared
+//!   losses, one window halving per loss window (fast recovery until the
+//!   cumulative ack passes the recovery point). This is the policy the
+//!   golden trace digests certify bit-for-bit against the pre-refactor
+//!   `TcpSender`.
+//! * [`RenoCc`] — TCP Reno without a SACK scoreboard: third-duplicate-ack
+//!   fast retransmit, window inflation by one packet per further dup ack,
+//!   and NewReno-style partial-ack retransmission during recovery.
+//!
+//! [`CcVariant`] names the policies declaratively so the experiment layer
+//! can thread the choice through `ScenarioSpec`.
+
+use crate::window::WindowState;
+
+/// What one acknowledgment told the sender, policy-independent.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// The cumulative ack after processing this acknowledgment.
+    pub cum_ack: u64,
+    /// How far the cumulative ack advanced (0 for a duplicate ack).
+    pub newly_acked: u64,
+    /// Packets newly declared lost by the sender's loss detector (SACK
+    /// scoreboard); senders without one pass 0 and let the policy count
+    /// duplicate acks itself.
+    pub newly_lost: u64,
+    /// The next unsent sequence number (the recovery point on a cut).
+    pub high_seq: u64,
+}
+
+/// What the policy decided on one acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AckOutcome {
+    /// Window cuts taken (0 or 1; counted into the sender's statistics).
+    pub cuts: u64,
+    /// A sequence the sender must retransmit now (fast retransmit or a
+    /// NewReno partial-ack repair). Scoreboard-driven senders retransmit
+    /// from the scoreboard instead and always see `None`.
+    pub retransmit: Option<u64>,
+}
+
+/// A congestion-control policy over the shared [`WindowState`].
+pub trait CongestionControl: std::fmt::Debug + Send + 'static {
+    /// React to one acknowledgment: grow the window, enter or leave
+    /// recovery, request a fast retransmission.
+    fn on_ack(&mut self, win: &mut WindowState, ev: &AckEvent) -> AckOutcome;
+
+    /// React to one congestion signal detected outside the ack path
+    /// (e.g. an aged-out head hole): halve the window unless the loss
+    /// falls inside the current recovery. Returns whether a cut was taken.
+    fn on_loss(&mut self, win: &mut WindowState, high_seq: u64) -> bool;
+
+    /// React to a retransmission timeout: collapse the window and leave
+    /// any recovery in progress.
+    fn on_timeout(&mut self, win: &mut WindowState);
+
+    /// Packets the policy currently allows in flight (Reno inflates the
+    /// window during fast recovery; SACK uses the window as-is).
+    fn allowed_window(&self, win: &WindowState) -> u64;
+
+    /// Short policy name for tables and manifests.
+    fn name(&self) -> &'static str;
+}
+
+/// Which congestion controller a scenario's TCP flows run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcVariant {
+    /// TCP SACK (the paper's `Sack1` agent): scoreboard loss detection,
+    /// one halving per loss window.
+    Sack,
+    /// TCP Reno: dup-ack counting, NewReno-style recovery, go-back-N on
+    /// timeout.
+    Reno,
+}
+
+impl CcVariant {
+    /// The variant's short name, as written into manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcVariant::Sack => "sack",
+            CcVariant::Reno => "reno",
+        }
+    }
+
+    /// Parse a variant name (`"sack"` / `"reno"`); `None` otherwise.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sack" => Some(CcVariant::Sack),
+            "reno" => Some(CcVariant::Reno),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's TCP SACK policy: the sender's scoreboard declares losses;
+/// each *loss window* (losses until the cumulative ack passes the recovery
+/// point) costs exactly one halving.
+#[derive(Debug, Clone, Default)]
+pub struct SackCc {
+    /// While `Some(p)`: in fast recovery until the cumulative ack reaches
+    /// `p`; further losses inside the window are the same congestion
+    /// signal (one cut per loss window).
+    recovery_point: Option<u64>,
+}
+
+impl SackCc {
+    /// A fresh policy, not in recovery.
+    pub fn new() -> Self {
+        SackCc {
+            recovery_point: None,
+        }
+    }
+
+    /// Whether the policy is currently in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+}
+
+impl CongestionControl for SackCc {
+    fn on_ack(&mut self, win: &mut WindowState, ev: &AckEvent) -> AckOutcome {
+        if let Some(point) = self.recovery_point {
+            if ev.cum_ack >= point {
+                self.recovery_point = None;
+            }
+        }
+
+        let mut out = AckOutcome::default();
+        if self.recovery_point.is_none() {
+            if ev.newly_lost > 0 {
+                // A fresh loss window: one congestion signal, one cut.
+                win.cut();
+                self.recovery_point = Some(ev.high_seq);
+                out.cuts = 1;
+            } else {
+                for _ in 0..ev.newly_acked {
+                    win.open();
+                }
+            }
+        }
+        out
+    }
+
+    fn on_loss(&mut self, win: &mut WindowState, high_seq: u64) -> bool {
+        if self.recovery_point.is_some() {
+            return false; // same loss window, already paid for
+        }
+        win.cut();
+        self.recovery_point = Some(high_seq);
+        true
+    }
+
+    fn on_timeout(&mut self, win: &mut WindowState) {
+        win.collapse();
+        self.recovery_point = None;
+    }
+
+    fn allowed_window(&self, win: &WindowState) -> u64 {
+        win.allowed()
+    }
+
+    fn name(&self) -> &'static str {
+        "sack"
+    }
+}
+
+/// TCP Reno without selective acknowledgments: losses are inferred from
+/// duplicate cumulative acks. The third duplicate triggers fast
+/// retransmit and a halving; further duplicates inflate the usable window
+/// by one packet each (they prove packets have left the network); a
+/// partial ack during recovery retransmits the next hole (NewReno)
+/// without another halving; the ack that covers the recovery point
+/// deflates the window back to `ssthresh`.
+#[derive(Debug, Clone)]
+pub struct RenoCc {
+    dupack_threshold: u64,
+    /// Consecutive duplicate acks seen (doubles as the window inflation
+    /// during fast recovery).
+    dup_count: u64,
+    /// While `Some(p)`: in fast recovery until the cumulative ack reaches
+    /// `p`.
+    recovery_point: Option<u64>,
+}
+
+impl RenoCc {
+    /// A Reno policy declaring loss after `dupack_threshold` duplicate
+    /// acknowledgments (3 in the RFCs and the paper).
+    pub fn new(dupack_threshold: u64) -> Self {
+        assert!(dupack_threshold >= 1, "dup threshold must be positive");
+        RenoCc {
+            dupack_threshold,
+            dup_count: 0,
+            recovery_point: None,
+        }
+    }
+
+    /// Whether the policy is currently in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+}
+
+impl CongestionControl for RenoCc {
+    fn on_ack(&mut self, win: &mut WindowState, ev: &AckEvent) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        if ev.newly_acked == 0 {
+            // Duplicate ack: the receiver holds something above a hole.
+            self.dup_count += 1;
+            if self.recovery_point.is_none() && self.dup_count == self.dupack_threshold {
+                win.cut();
+                self.recovery_point = Some(ev.high_seq);
+                out.cuts = 1;
+                out.retransmit = Some(ev.cum_ack);
+            }
+            // Above the threshold each further duplicate inflates the
+            // usable window via `allowed_window` — no state change needed
+            // beyond the count itself.
+        } else {
+            match self.recovery_point {
+                Some(point) if ev.cum_ack < point => {
+                    // NewReno partial ack: the front hole was repaired but
+                    // another loss from the same window follows it.
+                    // Retransmit it immediately; the halving was already
+                    // paid for. Deflate the dup-ack inflation — the acks
+                    // that drove it belonged to the repaired hole.
+                    self.dup_count = 0;
+                    out.retransmit = Some(ev.cum_ack);
+                }
+                Some(_) => {
+                    // Full ack: recovery complete; deflate to ssthresh.
+                    self.recovery_point = None;
+                    self.dup_count = 0;
+                    win.set(win.ssthresh());
+                }
+                None => {
+                    self.dup_count = 0;
+                    for _ in 0..ev.newly_acked {
+                        win.open();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn on_loss(&mut self, win: &mut WindowState, high_seq: u64) -> bool {
+        if self.recovery_point.is_some() {
+            return false;
+        }
+        win.cut();
+        self.recovery_point = Some(high_seq);
+        true
+    }
+
+    fn on_timeout(&mut self, win: &mut WindowState) {
+        win.collapse();
+        self.recovery_point = None;
+        self.dup_count = 0;
+    }
+
+    fn allowed_window(&self, win: &WindowState) -> u64 {
+        let inflation = if self.recovery_point.is_some() {
+            self.dup_count
+        } else {
+            0
+        };
+        win.allowed() + inflation
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win() -> WindowState {
+        WindowState::new(10.0, 64.0, 10_000.0)
+    }
+
+    fn ack(cum_ack: u64, newly_acked: u64, newly_lost: u64, high_seq: u64) -> AckEvent {
+        AckEvent {
+            cum_ack,
+            newly_acked,
+            newly_lost,
+            high_seq,
+        }
+    }
+
+    #[test]
+    fn sack_cuts_once_per_loss_window() {
+        let mut w = win();
+        let mut cc = SackCc::new();
+        // First loss: cut, enter recovery until high_seq = 20.
+        let out = cc.on_ack(&mut w, &ack(5, 0, 2, 20));
+        assert_eq!(out.cuts, 1);
+        assert_eq!(w.cwnd(), 5.0);
+        assert!(cc.in_recovery());
+        // More losses inside the same window: no further cut.
+        let out = cc.on_ack(&mut w, &ack(8, 3, 1, 22));
+        assert_eq!(out.cuts, 0);
+        assert_eq!(w.cwnd(), 5.0);
+        // The ack crossing the recovery point exits recovery and grows.
+        let out = cc.on_ack(&mut w, &ack(21, 13, 0, 25));
+        assert_eq!(out.cuts, 0);
+        assert!(!cc.in_recovery());
+        assert!(w.cwnd() > 5.0);
+    }
+
+    #[test]
+    fn sack_external_loss_respects_recovery() {
+        let mut w = win();
+        let mut cc = SackCc::new();
+        assert!(cc.on_loss(&mut w, 30));
+        assert_eq!(w.cwnd(), 5.0);
+        assert!(!cc.on_loss(&mut w, 31), "same loss window");
+        assert_eq!(w.cwnd(), 5.0);
+    }
+
+    #[test]
+    fn sack_timeout_collapses_and_clears_recovery() {
+        let mut w = win();
+        let mut cc = SackCc::new();
+        cc.on_loss(&mut w, 30);
+        cc.on_timeout(&mut w);
+        assert_eq!(w.cwnd(), 1.0);
+        assert!(!cc.in_recovery());
+        assert_eq!(cc.allowed_window(&w), 1);
+    }
+
+    #[test]
+    fn reno_fast_retransmit_on_third_dup() {
+        let mut w = win();
+        let mut cc = RenoCc::new(3);
+        assert_eq!(cc.on_ack(&mut w, &ack(5, 0, 0, 20)).cuts, 0);
+        assert_eq!(cc.on_ack(&mut w, &ack(5, 0, 0, 20)).cuts, 0);
+        assert_eq!(w.cwnd(), 10.0, "two dups are reordering, not loss");
+        let out = cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        assert_eq!(out.cuts, 1);
+        assert_eq!(out.retransmit, Some(5), "retransmit the hole");
+        assert_eq!(w.cwnd(), 5.0);
+        assert!(cc.in_recovery());
+    }
+
+    #[test]
+    fn reno_inflates_during_recovery_and_deflates_on_exit() {
+        let mut w = win();
+        let mut cc = RenoCc::new(3);
+        for _ in 0..3 {
+            cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        }
+        assert_eq!(cc.allowed_window(&w), 5 + 3);
+        // Two more dups inflate further.
+        cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        assert_eq!(cc.allowed_window(&w), 5 + 5);
+        // The full ack deflates to ssthresh exactly.
+        cc.on_ack(&mut w, &ack(20, 15, 0, 20));
+        assert!(!cc.in_recovery());
+        assert_eq!(w.cwnd(), 5.0);
+        assert_eq!(cc.allowed_window(&w), 5);
+    }
+
+    #[test]
+    fn reno_partial_ack_retransmits_without_second_cut() {
+        let mut w = win();
+        let mut cc = RenoCc::new(3);
+        for _ in 0..3 {
+            cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        }
+        assert_eq!(w.cwnd(), 5.0);
+        // Partial ack: cum advances to 9, still short of the recovery
+        // point 20 — NewReno repairs the next hole, no further halving.
+        let out = cc.on_ack(&mut w, &ack(9, 4, 0, 20));
+        assert_eq!(out.cuts, 0);
+        assert_eq!(out.retransmit, Some(9));
+        assert_eq!(w.cwnd(), 5.0);
+        assert!(cc.in_recovery());
+    }
+
+    #[test]
+    fn reno_dups_below_threshold_then_progress_reset_the_count() {
+        let mut w = win();
+        let mut cc = RenoCc::new(3);
+        cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        // Reordering resolved: the count must reset, no cut later.
+        cc.on_ack(&mut w, &ack(6, 1, 0, 20));
+        let out = cc.on_ack(&mut w, &ack(6, 0, 0, 20));
+        assert_eq!(out.cuts, 0);
+        assert!(!cc.in_recovery());
+    }
+
+    #[test]
+    fn reno_timeout_resets_everything() {
+        let mut w = win();
+        let mut cc = RenoCc::new(3);
+        for _ in 0..4 {
+            cc.on_ack(&mut w, &ack(5, 0, 0, 20));
+        }
+        cc.on_timeout(&mut w);
+        assert_eq!(w.cwnd(), 1.0);
+        assert!(!cc.in_recovery());
+        assert_eq!(cc.allowed_window(&w), 1, "inflation cleared");
+    }
+
+    #[test]
+    fn variant_names_round_trip() {
+        for v in [CcVariant::Sack, CcVariant::Reno] {
+            assert_eq!(CcVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(CcVariant::parse("cubic"), None);
+        assert_eq!(SackCc::new().name(), "sack");
+        assert_eq!(RenoCc::new(3).name(), "reno");
+    }
+}

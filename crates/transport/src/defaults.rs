@@ -1,0 +1,54 @@
+//! The paper's NS2 parameter defaults, in one place.
+//!
+//! These constants used to be defined independently in `tcp::config` and
+//! `rla::config`; every transport configuration now draws from here so the
+//! two cannot drift apart. The values mirror the paper's simulation setup
+//! (§5): 1000-byte data packets, 40-byte acknowledgments, and the NS2-era
+//! window and timer constants of the `Sack1` agent.
+
+use netsim::time::SimDuration;
+
+/// Data packet size on the wire, bytes.
+pub const PACKET_SIZE: u32 = 1000;
+
+/// Acknowledgment size on the wire, bytes.
+pub const ACK_SIZE: u32 = 40;
+
+/// Initial congestion window, packets.
+pub const INITIAL_CWND: f64 = 1.0;
+
+/// Initial slow-start threshold, packets.
+pub const INITIAL_SSTHRESH: f64 = 64.0;
+
+/// Maximum congestion window (the advertised receiver buffer), packets.
+pub const MAX_CWND: f64 = 10_000.0;
+
+/// Number of SACKed (or duplicate-acked) packets above a hole that
+/// declares it lost — the fast-retransmit dup-threshold, 3 in the paper
+/// and the RFCs.
+pub const DUPACK_THRESHOLD: u64 = 3;
+
+/// Lower bound on the retransmission timeout.
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Upper bound on the retransmission timeout.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's NS2 defaults, pinned: the golden trace digests and
+    /// every committed table were produced under exactly these values.
+    #[test]
+    fn ns2_defaults_unchanged() {
+        assert_eq!(PACKET_SIZE, 1000);
+        assert_eq!(ACK_SIZE, 40);
+        assert_eq!(INITIAL_CWND, 1.0);
+        assert_eq!(INITIAL_SSTHRESH, 64.0);
+        assert_eq!(MAX_CWND, 10_000.0);
+        assert_eq!(DUPACK_THRESHOLD, 3);
+        assert_eq!(MIN_RTO, SimDuration::from_millis(200));
+        assert_eq!(MAX_RTO, SimDuration::from_secs(64));
+    }
+}

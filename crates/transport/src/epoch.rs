@@ -1,0 +1,122 @@
+//! Congestion-epoch bookkeeping: loss coalescing and cut hold-offs.
+//!
+//! Three places in the codebase keep a "when did this last happen" mark
+//! and compare the elapsed time against a horizon:
+//!
+//! * the paper's rule 2 — losses within `2·srtt_i` of the start of a
+//!   receiver's congestion period are *one* congestion signal
+//!   ([`CongestionEpoch::note_loss`]);
+//! * the paper's rule 3 forced cut — a cut is forced when none has
+//!   happened for `2·awnd` round trips
+//!   ([`CongestionEpoch::elapsed_exceeds`]);
+//! * the rate-based baselines' hold time — the rate is not reduced again
+//!   within `hold_time` of the last reduction ([`CongestionEpoch::in_hold`]).
+//!
+//! The boundary semantics differ deliberately and are preserved exactly:
+//! `note_loss` and `elapsed_exceeds` use strict `elapsed > horizon` (at
+//! exactly the horizon the epoch is still open), while `in_hold` uses
+//! strict `elapsed < hold` (at exactly the hold time the sender may cut
+//! again). The golden digests pin both behaviours.
+
+use netsim::time::{SimDuration, SimTime};
+
+/// A marker for the start of the most recent congestion epoch (loss
+/// window, window cut, or rate reduction — the caller decides what the
+/// mark means).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CongestionEpoch {
+    start: Option<SimTime>,
+}
+
+impl CongestionEpoch {
+    /// An epoch tracker with no event recorded yet.
+    pub fn new() -> Self {
+        CongestionEpoch { start: None }
+    }
+
+    /// When the current epoch started, if any event has been recorded.
+    pub fn start(&self) -> Option<SimTime> {
+        self.start
+    }
+
+    /// Record an epoch-starting event at `now`.
+    pub fn mark(&mut self, now: SimTime) {
+        self.start = Some(now);
+    }
+
+    /// Rule 2's loss coalescing: returns `true` (and opens a new epoch at
+    /// `now`) when this loss falls *outside* the current epoch — i.e. it
+    /// is a fresh congestion signal. A loss within `period` of the epoch
+    /// start belongs to the same signal and returns `false`.
+    pub fn note_loss(&mut self, now: SimTime, period: SimDuration) -> bool {
+        let new_epoch = match self.start {
+            None => true,
+            Some(start) => now.saturating_since(start) > period,
+        };
+        if new_epoch {
+            self.start = Some(now);
+        }
+        new_epoch
+    }
+
+    /// Whether more than `horizon` has elapsed since the last mark
+    /// (strict `>`; `false` when nothing has been marked). The forced-cut
+    /// rule's test.
+    pub fn elapsed_exceeds(&self, now: SimTime, horizon: SimDuration) -> bool {
+        self.start
+            .is_some_and(|t| now.saturating_since(t) > horizon)
+    }
+
+    /// Whether the last mark is less than `hold` ago (strict `<`; `false`
+    /// when nothing has been marked). The rate-based baselines' hold-off
+    /// test.
+    pub fn in_hold(&self, now: SimTime, hold: SimDuration) -> bool {
+        self.start.is_some_and(|t| now.saturating_since(t) < hold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_loss_opens_an_epoch() {
+        let mut e = CongestionEpoch::new();
+        assert!(e.note_loss(SimTime::from_secs(1), SimDuration::from_millis(200)));
+        assert_eq!(e.start(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn losses_inside_the_period_coalesce() {
+        let mut e = CongestionEpoch::new();
+        let period = SimDuration::from_millis(200);
+        assert!(e.note_loss(SimTime::from_millis(1000), period));
+        assert!(!e.note_loss(SimTime::from_millis(1100), period));
+        // Exactly at the boundary: still the same signal (strict >).
+        assert!(!e.note_loss(SimTime::from_millis(1200), period));
+        // The epoch start did not move on coalesced losses.
+        assert!(e.note_loss(SimTime::from_millis(1201), period));
+        assert_eq!(e.start(), Some(SimTime::from_millis(1201)));
+    }
+
+    #[test]
+    fn elapsed_exceeds_is_strict_and_needs_a_mark() {
+        let mut e = CongestionEpoch::new();
+        let h = SimDuration::from_secs(2);
+        assert!(!e.elapsed_exceeds(SimTime::from_secs(100), h));
+        e.mark(SimTime::from_secs(10));
+        assert!(!e.elapsed_exceeds(SimTime::from_secs(12), h), "boundary");
+        assert!(e.elapsed_exceeds(SimTime::from_secs_f64(12.001), h));
+    }
+
+    #[test]
+    fn in_hold_is_strict_and_needs_a_mark() {
+        let mut e = CongestionEpoch::new();
+        let hold = SimDuration::from_secs(1);
+        assert!(!e.in_hold(SimTime::from_secs(5), hold), "no mark: may cut");
+        e.mark(SimTime::from_secs(5));
+        assert!(e.in_hold(SimTime::from_secs_f64(5.5), hold));
+        // Exactly at the hold boundary the sender may cut again (strict <).
+        assert!(!e.in_hold(SimTime::from_secs(6), hold));
+    }
+}

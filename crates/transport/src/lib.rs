@@ -1,0 +1,46 @@
+//! # transport — shared congestion-control machinery
+//!
+//! The paper's fairness results rest on the RLA mimicking TCP's window
+//! dynamics (§4.1): both grow by `+1` per ack in slow start and `+1/cwnd`
+//! in congestion avoidance, both halve on a congestion signal, and both
+//! coalesce the losses of one window into a single signal. Before this
+//! crate existed the TCP SACK sender, the RLA sender and the rate-based
+//! baselines each re-implemented that machinery; now they share it:
+//!
+//! * [`WindowState`] — cwnd/ssthresh with the exact growth and halving
+//!   arithmetic of the NS2 agents the paper simulated against;
+//! * [`CongestionControl`] — the pluggable policy seam
+//!   (`on_ack` / `on_loss` / `on_timeout` / `allowed_window`), with
+//!   [`SackCc`] (one halving per loss window, the paper's `Sack1`) and
+//!   [`RenoCc`] (dup-ack counting, NewReno-style recovery) as the
+//!   implementations;
+//! * [`CongestionEpoch`] — the `2·srtt` loss-coalescing window (rule 2)
+//!   and the hold-off timers of the rate-based baselines;
+//! * [`RttEstimator`] — Jacobson/Karn RTT estimation and the RTO (moved
+//!   here from `tcp_sack::rto`, which re-exports it);
+//! * [`RexmitTimer`] — generation-tokened retransmission-timer management
+//!   over the engine's timer facility;
+//! * [`SenderStats`] / [`FlowStats`] — the per-flow statistics hook
+//!   feeding [`netsim::stats`] accumulators, shared by every sender;
+//! * [`defaults`] — the single source of truth for the paper's NS2
+//!   parameter defaults (initial window, ssthresh, RTO clamp, sizes);
+//! * [`CcVariant`] — the declarative controller selector the experiment
+//!   layer threads through `ScenarioSpec`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod defaults;
+pub mod epoch;
+pub mod rtt;
+pub mod stats;
+pub mod timer;
+pub mod window;
+
+pub use cc::{AckEvent, AckOutcome, CcVariant, CongestionControl, RenoCc, SackCc};
+pub use epoch::CongestionEpoch;
+pub use rtt::RttEstimator;
+pub use stats::{FlowStats, SenderStats};
+pub use timer::RexmitTimer;
+pub use window::WindowState;

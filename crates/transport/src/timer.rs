@@ -1,0 +1,101 @@
+//! Generation-tokened retransmission-timer management.
+//!
+//! The engine's [`Context::set_timer`] cannot cancel a pending timer, so
+//! window-based senders re-arm by bumping a generation counter and using
+//! it as the timer token: when a timer fires with a stale token it has
+//! been superseded by a later re-arm and is ignored. This type owns that
+//! counter so every sender spells the protocol the same way.
+
+use netsim::engine::Context;
+use netsim::time::SimDuration;
+
+/// A re-armable retransmission timer built on the engine's one-shot
+/// timers.
+#[derive(Debug, Clone, Default)]
+pub struct RexmitTimer {
+    generation: u64,
+}
+
+impl RexmitTimer {
+    /// A timer that has never been armed.
+    pub fn new() -> Self {
+        RexmitTimer { generation: 0 }
+    }
+
+    /// (Re)arm the timer to fire `rto` from now. Any previously armed
+    /// firing becomes stale.
+    pub fn arm(&mut self, ctx: &mut Context<'_>, rto: SimDuration) {
+        self.generation += 1;
+        ctx.set_timer(rto, self.generation);
+    }
+
+    /// Whether a firing with `token` is the current arm (stale firings
+    /// must be ignored).
+    pub fn is_current(&self, token: u64) -> bool {
+        token == self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::agent::Agent;
+    use netsim::engine::Engine;
+    use netsim::packet::Packet;
+    use netsim::time::SimTime;
+    use std::any::Any;
+
+    /// An agent that re-arms its timer on start and again shortly after,
+    /// recording which firings were current.
+    struct Rearmer {
+        timer: RexmitTimer,
+        fired_current: u64,
+        fired_stale: u64,
+    }
+
+    impl Agent for Rearmer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.timer.arm(ctx, SimDuration::from_millis(100));
+            // Supersede immediately: the first arm's firing must be stale.
+            self.timer.arm(ctx, SimDuration::from_millis(200));
+        }
+
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_>) {
+            if self.timer.is_current(token) {
+                self.fired_current += 1;
+            } else {
+                self.fired_stale += 1;
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn rearming_supersedes_pending_firings() {
+        let mut e = Engine::new(1);
+        let n = e.add_node("n");
+        let a = e.add_agent(
+            n,
+            Box::new(Rearmer {
+                timer: RexmitTimer::new(),
+                fired_current: 0,
+                fired_stale: 0,
+            }),
+        );
+        e.compute_routes();
+        e.start_agent_at(a, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let agent: &Rearmer = e.agent_as(a).unwrap();
+        assert_eq!(agent.fired_stale, 1, "first arm must fire stale");
+        assert_eq!(agent.fired_current, 1, "second arm must fire current");
+    }
+}

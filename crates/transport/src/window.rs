@@ -1,0 +1,161 @@
+//! The congestion window: slow start, congestion avoidance, halving.
+//!
+//! Both the TCP SACK sender and the RLA keep the same window dynamics
+//! (paper §4.1): grow by `+1` per acknowledgment below `ssthresh`, by
+//! `+1/cwnd` above it, halve on a congestion signal, and collapse to one
+//! packet on a retransmission timeout. This type holds that arithmetic in
+//! one place so the two cannot diverge.
+//!
+//! The golden trace digests certify the port of the senders onto this
+//! type bit-for-bit, so the floating-point expressions here must stay
+//! *exactly* as the senders wrote them: same operations, same order.
+
+/// Congestion-window state shared by every window-based sender.
+#[derive(Debug, Clone)]
+pub struct WindowState {
+    cwnd: f64,
+    ssthresh: f64,
+    max_cwnd: f64,
+}
+
+impl WindowState {
+    /// A window starting at `initial_cwnd` with the given slow-start
+    /// threshold, clamped to `[1, max_cwnd]` packets for its lifetime.
+    pub fn new(initial_cwnd: f64, initial_ssthresh: f64, max_cwnd: f64) -> Self {
+        assert!(initial_cwnd >= 1.0, "initial cwnd below one packet");
+        assert!(max_cwnd >= initial_cwnd, "max cwnd below initial");
+        WindowState {
+            cwnd: initial_cwnd,
+            ssthresh: initial_ssthresh,
+            max_cwnd,
+        }
+    }
+
+    /// Current congestion window, packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold, packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// The configured window ceiling, packets.
+    pub fn max_cwnd(&self) -> f64 {
+        self.max_cwnd
+    }
+
+    /// Whether the next growth step is exponential (below `ssthresh`).
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Whole packets the window currently admits (at least one — the
+    /// sender must always be able to probe).
+    pub fn allowed(&self) -> u64 {
+        (self.cwnd as u64).max(1)
+    }
+
+    /// Set the window to `cwnd`, clamped to `[1, max_cwnd]`; returns the
+    /// clamped value so callers can feed their stats hooks.
+    pub fn set(&mut self, cwnd: f64) -> f64 {
+        self.cwnd = cwnd.clamp(1.0, self.max_cwnd);
+        self.cwnd
+    }
+
+    /// Growth on one acknowledged packet: `+1` in slow start, `+1/cwnd`
+    /// in congestion avoidance. Returns the new window.
+    pub fn open(&mut self) -> f64 {
+        let next = if self.cwnd < self.ssthresh {
+            self.cwnd + 1.0 // slow start
+        } else {
+            self.cwnd + 1.0 / self.cwnd // congestion avoidance
+        };
+        self.set(next)
+    }
+
+    /// One congestion signal: halve the window (floor one packet) and pull
+    /// `ssthresh` down to the halved value (floor two). Returns the new
+    /// window.
+    pub fn cut(&mut self) -> f64 {
+        let half = (self.cwnd / 2.0).max(1.0);
+        self.ssthresh = half.max(2.0);
+        self.set(half)
+    }
+
+    /// Retransmission timeout: remember half the window as `ssthresh`
+    /// (floor two) and restart from one packet. Returns the new window.
+    pub fn collapse(&mut self) -> f64 {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.set(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win() -> WindowState {
+        WindowState::new(1.0, 64.0, 10_000.0)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut w = win();
+        assert!(w.in_slow_start());
+        w.open();
+        assert_eq!(w.cwnd(), 2.0);
+        w.open();
+        assert_eq!(w.cwnd(), 3.0);
+    }
+
+    #[test]
+    fn avoidance_grows_by_reciprocal() {
+        let mut w = WindowState::new(10.0, 5.0, 10_000.0);
+        assert!(!w.in_slow_start());
+        w.open();
+        assert_eq!(w.cwnd(), 10.0 + 1.0 / 10.0);
+    }
+
+    #[test]
+    fn cut_halves_and_sets_ssthresh() {
+        let mut w = WindowState::new(10.0, 64.0, 10_000.0);
+        w.cut();
+        assert_eq!(w.cwnd(), 5.0);
+        assert_eq!(w.ssthresh(), 5.0);
+        // Floors: window never below 1, ssthresh never below 2.
+        let mut w = WindowState::new(1.0, 64.0, 10_000.0);
+        w.cut();
+        assert_eq!(w.cwnd(), 1.0);
+        assert_eq!(w.ssthresh(), 2.0);
+    }
+
+    #[test]
+    fn collapse_restarts_from_one() {
+        let mut w = WindowState::new(12.0, 64.0, 10_000.0);
+        w.collapse();
+        assert_eq!(w.cwnd(), 1.0);
+        assert_eq!(w.ssthresh(), 6.0);
+        assert!(w.in_slow_start());
+    }
+
+    #[test]
+    fn clamped_at_max_cwnd() {
+        let mut w = WindowState::new(7.5, 64.0, 8.0);
+        w.open();
+        assert_eq!(w.cwnd(), 8.0);
+        w.open();
+        assert_eq!(w.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn allowed_floors_at_one_packet() {
+        let w = win();
+        assert_eq!(w.allowed(), 1);
+        let mut w = WindowState::new(3.9, 64.0, 10.0);
+        assert_eq!(w.allowed(), 3);
+        w.set(0.5);
+        assert_eq!(w.allowed(), 1);
+    }
+}
