@@ -1,5 +1,16 @@
-//! Diagnostic probe: periodic dump of RLA sender internals in a scenario.
-//! Not part of the paper's artifact set; kept for development triage.
+//! Diagnostic probe: run one scenario with the telemetry timeline
+//! recorder always on, write the cwnd/qlen time series to a file, and
+//! dump RLA sender internals afterwards. Not part of the paper's
+//! artifact set; kept for development triage.
+//!
+//! This is also the documented way to see the RLA sawtooth:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin debug_probe -- 1 droptail
+//! ```
+//!
+//! writes `results/debug_probe.timeline.jsonl` (period/format/dir from
+//! the `RLA_TELEMETRY*` knobs; see `EXPERIMENTS.md`).
 
 use experiments::prelude::*;
 use rla::RlaSender;
@@ -21,13 +32,30 @@ fn main() {
         .build();
     let mut world = scenario.build();
     let sender = world.rla_senders[0];
-    for step in 1..=24 {
-        world.engine.run_until(SimTime::from_secs(step * 5));
+
+    // The probe exists to look at time series, so the recorder is always
+    // on here; RLA_TELEMETRY_SAMPLE_MS/FORMAT/DIR still apply.
+    let mut opts = cli::telemetry_options();
+    opts.timeline = true;
+    let (r, rec) = world.run_with_telemetry(&scenario, &opts);
+    let path = rec
+        .write_file(&opts.dir, "debug_probe", opts.format)
+        .expect("write timeline file");
+    println!(
+        "timeline: {} ({} series, {} samples, period {:.3}s)",
+        path.display(),
+        rec.series().len(),
+        rec.sample_count(),
+        rec.period.as_secs_f64(),
+    );
+
+    // Sender-side view.
+    {
         let now = world.engine.now();
         let s: &RlaSender = world.engine.agent_as(sender).unwrap();
         println!(
-            "t={:>4}s cwnd={:>7.2} awnd={:>7.2} n_troubled={:>2} reach_all={:>7} high_seq={:>7} min_last_ack={:>7} delivered={:>7} signals={:>6} rcuts={:>5} fcuts={:>4} tmo={:>4} skip={:>5} rexmc={:>5} rexuc={:>5}",
-            step * 5,
+            "t={:>4.0}s cwnd={:>7.2} awnd={:>7.2} n_troubled={:>2} reach_all={:>7} high_seq={:>7} min_last_ack={:>7} delivered={:>7} signals={:>6} rcuts={:>5} fcuts={:>4} tmo={:>4} skip={:>5} rexmc={:>5} rexuc={:>5}",
+            now.as_secs_f64(),
             s.cwnd(),
             s.awnd(),
             s.num_trouble_rcvr(now),
@@ -43,24 +71,21 @@ fn main() {
             s.stats.retransmits_multicast,
             s.stats.retransmits_unicast,
         );
-    }
-    // Receiver-side view.
-    for (i, &rx) in world.rla_receivers[0].iter().enumerate() {
-        let r: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
-        println!(
-            "rcvr {i}: cum_ack={} arrivals={} delivered={} dups={}",
-            r.cum_ack(),
-            r.stats.arrivals,
-            r.stats.delivered,
-            r.stats.duplicates
-        );
-    }
-    {
-        let s: &RlaSender = world.engine.agent_as(sender).unwrap();
         println!("unknown_acks={}", s.stats.unknown_acks);
         for (id, cum, last) in s.receiver_states() {
             println!("  sender view {id}: cum={cum} last_ack_at={last}");
         }
+    }
+    // Receiver-side view.
+    for (i, &rx) in world.rla_receivers[0].iter().enumerate() {
+        let recv: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
+        println!(
+            "rcvr {i}: cum_ack={} arrivals={} delivered={} dups={}",
+            recv.cum_ack(),
+            recv.stats.arrivals,
+            recv.stats.delivered,
+            recv.stats.duplicates
+        );
     }
     {
         let s: &RlaSender = world.engine.agent_as(sender).unwrap();
@@ -71,9 +96,9 @@ fn main() {
         let mut dups = 0u64;
         let mut arrivals = 0u64;
         for &rx in &world.rla_receivers[0] {
-            let r: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
-            dups += r.stats.duplicates;
-            arrivals += r.stats.arrivals;
+            let recv: &rla::McastReceiver = world.engine.agent_as(rx).unwrap();
+            dups += recv.stats.duplicates;
+            arrivals += recv.stats.arrivals;
         }
         println!(
             "receiver dups={} arrivals={} dups/rexmc={:.1}",
@@ -103,7 +128,6 @@ fn main() {
             );
         }
     }
-    let r = world.collect(&scenario);
     experiments::emit_scenario_manifest("debug_probe", scenario.duration, std::slice::from_ref(&r));
     println!(
         "RLA {:.1} pkt/s | WTCP {:.1} | BTCP {:.1} | avgTCP {:.1}",

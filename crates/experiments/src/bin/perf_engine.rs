@@ -10,14 +10,37 @@
 //!
 //! Honours `RLA_DURATION_SECS` (default 60 s here — this is a bench, not
 //! a table regeneration) and `RLA_SEED`.
+//!
+//! With `RLA_BENCH_GATE_PCT=<p>` the bench becomes a regression gate: it
+//! reads the committed `BENCH_engine.manifest.json` before overwriting it
+//! and exits nonzero if events/s fell more than `p` percent below the
+//! recorded figure. CI uses `p = 5` to pin the telemetry-disabled hot
+//! path to the baseline.
 
 use std::time::Instant;
 
-use experiments::manifest::write_manifest;
+use experiments::manifest::{results_dir, write_manifest};
 use experiments::prelude::*;
+
+/// `events_per_sec` from the committed bench manifest, if one exists.
+/// The manifest is this repo's own hand-rolled JSON, so a key scan is
+/// enough — no parser needed.
+fn committed_events_per_sec() -> Option<f64> {
+    let text = std::fs::read_to_string(results_dir().join("BENCH_engine.manifest.json")).ok()?;
+    let rest = &text[text.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
 
 fn main() {
     let duration = cli::duration_or(SimDuration::from_secs(60));
+    // Read before the run: the manifest write below overwrites the file
+    // the gate compares against.
+    let committed = committed_events_per_sec();
     let spec = ScenarioSpec::paper(CongestionCase::Case1RootLink)
         .with_gateway(GatewayKind::DropTail)
         .with_duration(duration)
@@ -66,5 +89,21 @@ fn main() {
     match write_manifest("BENCH_engine", &Json::obj(fields)) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("manifest: could not write BENCH_engine.manifest.json: {e}"),
+    }
+
+    if let Some(pct) = cli::bench_gate_pct() {
+        let Some(base) = committed else {
+            eprintln!("gate: RLA_BENCH_GATE_PCT set but no committed bench manifest to compare");
+            std::process::exit(1);
+        };
+        let floor = base * (1.0 - pct / 100.0);
+        println!("gate floor         {floor:>12.0} ({pct}% below {base:.0})");
+        if events_per_sec < floor {
+            eprintln!(
+                "gate: FAIL — {events_per_sec:.0} ev/s is more than {pct}% below the committed {base:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!("gate               {:>12}", "ok");
     }
 }

@@ -12,6 +12,14 @@
 //! * `RLA_RESULTS_DIR` — where run manifests go (default `results/`;
 //!   handled by [`results_dir`]).
 //! * `RLA_BENCH_BASELINE` — record/compare mode for the bench harness.
+//! * `RLA_BENCH_GATE_PCT` — fail the engine bench if events/s regresses
+//!   more than this percentage below the committed baseline.
+//! * `RLA_TELEMETRY`, `RLA_TELEMETRY_SAMPLE_MS`, `RLA_TELEMETRY_FORMAT`,
+//!   `RLA_TELEMETRY_DIR`, `RLA_TELEMETRY_FLIGHT_DEPTH` — the
+//!   observability knobs, parsed into [`TelemetryOptions`] by
+//!   [`telemetry_options`] (see `EXPERIMENTS.md` for the full story).
+//! * `RLA_PROGRESS` — per-job heartbeat lines on stderr during sweeps
+//!   (`1`/`on` to enable; default off so test output stays clean).
 //!
 //! Any other variable in the `RLA_` namespace is rejected with the list
 //! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
@@ -20,9 +28,12 @@
 //! [`scaled_duration`]; trace-heavy single runs cap it with
 //! [`capped_duration`].
 
+use std::path::PathBuf;
 use std::thread;
 
 use netsim::time::SimDuration;
+use telemetry::flight::DEFAULT_FLIGHT_DEPTH;
+use telemetry::TimelineFormat;
 
 use crate::scenario::GatewayKind;
 use crate::tree::CongestionCase;
@@ -33,12 +44,19 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 5] = [
+pub const KNOWN_ENV_VARS: [&str; 12] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
     "RLA_RESULTS_DIR",
     "RLA_BENCH_BASELINE",
+    "RLA_BENCH_GATE_PCT",
+    "RLA_PROGRESS",
+    "RLA_TELEMETRY",
+    "RLA_TELEMETRY_SAMPLE_MS",
+    "RLA_TELEMETRY_FORMAT",
+    "RLA_TELEMETRY_DIR",
+    "RLA_TELEMETRY_FLIGHT_DEPTH",
 ];
 
 /// The subset of `names` that sit in the `RLA_` namespace without being a
@@ -103,6 +121,17 @@ pub fn base_seed() -> u64 {
         .unwrap_or(1)
 }
 
+/// Whether sweep runners print per-job heartbeat lines to stderr
+/// (`RLA_PROGRESS=1`/`on`). Off by default: the heartbeat is for humans
+/// watching long sweeps, and CI logs should stay diffable.
+pub fn progress_enabled() -> bool {
+    enforce_known_env();
+    matches!(
+        std::env::var("RLA_PROGRESS").ok().as_deref(),
+        Some("1") | Some("on") | Some("true")
+    )
+}
+
 /// Worker count for scenario sweeps: `RLA_JOBS` if set (floor 1),
 /// otherwise the machine's available parallelism.
 pub fn job_count() -> usize {
@@ -116,6 +145,87 @@ pub fn job_count() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Parsed `RLA_TELEMETRY*` configuration. All knobs default to
+/// "telemetry off": the observability layer must cost nothing unless
+/// asked for (the golden digests and the engine bench both run with this
+/// struct at its defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOptions {
+    /// Record per-flow timelines (`RLA_TELEMETRY=timeline`/`on`/`1`).
+    pub timeline: bool,
+    /// Sampling period for the timeline recorder
+    /// (`RLA_TELEMETRY_SAMPLE_MS`, default 500 ms, floor 1 ms).
+    pub sample_period: SimDuration,
+    /// Timeline export format (`RLA_TELEMETRY_FORMAT=jsonl|csv`).
+    pub format: TimelineFormat,
+    /// Directory timeline files are written to (`RLA_TELEMETRY_DIR`,
+    /// default: the results dir).
+    pub dir: PathBuf,
+    /// Flight-recorder ring depth per channel
+    /// (`RLA_TELEMETRY_FLIGHT_DEPTH`, default 64).
+    pub flight_depth: usize,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            timeline: false,
+            sample_period: SimDuration::from_millis(500),
+            format: TimelineFormat::Jsonl,
+            dir: results_dir(),
+            flight_depth: DEFAULT_FLIGHT_DEPTH,
+        }
+    }
+}
+
+/// Parse the `RLA_TELEMETRY*` knobs. Unrecognized values fail loudly,
+/// like every other knob in this module.
+pub fn telemetry_options() -> TelemetryOptions {
+    enforce_known_env();
+    let mut opts = TelemetryOptions::default();
+    if let Ok(v) = std::env::var("RLA_TELEMETRY") {
+        opts.timeline = match v.as_str() {
+            "timeline" | "on" | "1" => true,
+            "off" | "0" | "" => false,
+            other => panic!("RLA_TELEMETRY={other:?}: expected timeline|on|1|off|0"),
+        };
+    }
+    if let Ok(v) = std::env::var("RLA_TELEMETRY_SAMPLE_MS") {
+        let ms: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("RLA_TELEMETRY_SAMPLE_MS={v:?}: expected milliseconds"));
+        opts.sample_period = SimDuration::from_millis(ms.max(1));
+    }
+    if let Ok(v) = std::env::var("RLA_TELEMETRY_FORMAT") {
+        opts.format = match v.as_str() {
+            "jsonl" => TimelineFormat::Jsonl,
+            "csv" => TimelineFormat::Csv,
+            other => panic!("RLA_TELEMETRY_FORMAT={other:?}: expected jsonl|csv"),
+        };
+    }
+    if let Ok(v) = std::env::var("RLA_TELEMETRY_DIR") {
+        opts.dir = PathBuf::from(v);
+    }
+    if let Ok(v) = std::env::var("RLA_TELEMETRY_FLIGHT_DEPTH") {
+        let depth: usize = v.parse().unwrap_or_else(|_| {
+            panic!("RLA_TELEMETRY_FLIGHT_DEPTH={v:?}: expected a packet count")
+        });
+        opts.flight_depth = depth.max(1);
+    }
+    opts
+}
+
+/// The bench regression gate: `RLA_BENCH_GATE_PCT` as a percentage
+/// (e.g. `5` = fail if events/s drops more than 5% below the committed
+/// baseline). `None` when unset — the bench then only reports.
+pub fn bench_gate_pct() -> Option<f64> {
+    enforce_known_env();
+    std::env::var("RLA_BENCH_GATE_PCT").ok().map(|v| {
+        v.parse::<f64>()
+            .unwrap_or_else(|_| panic!("RLA_BENCH_GATE_PCT={v:?}: expected a percentage"))
+    })
 }
 
 /// Parse a congestion-case argument (`"1"`, `"2"`, ... as in the paper's
@@ -185,6 +295,22 @@ mod tests {
     fn seed_and_jobs_defaults() {
         assert_eq!(base_seed(), 1);
         assert!(job_count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_defaults_are_off_and_cheap() {
+        // The suite may run with telemetry knobs unset (the normal CI
+        // environment); defaults must leave everything disabled.
+        if std::env::var("RLA_TELEMETRY").is_err() {
+            let opts = telemetry_options();
+            assert!(!opts.timeline);
+            assert_eq!(opts.sample_period, SimDuration::from_millis(500));
+            assert_eq!(opts.format, TimelineFormat::Jsonl);
+            assert_eq!(opts.flight_depth, DEFAULT_FLIGHT_DEPTH);
+        }
+        if std::env::var("RLA_BENCH_GATE_PCT").is_err() {
+            assert_eq!(bench_gate_pct(), None);
+        }
     }
 
     #[test]

@@ -215,8 +215,27 @@ fn gateway_str(g: GatewayKind) -> &'static str {
     }
 }
 
-/// The manifest entry for one scenario run: parameters, digest, and the
-/// headline metrics every paper table reports.
+/// A registry [`Snapshot`](telemetry::Snapshot) as a JSON object:
+/// one key per metric, counters as integers, gauges as floats. Entries
+/// arrive sorted by name, so the rendering is stable across runs.
+pub fn snapshot_json(s: &telemetry::Snapshot) -> Json {
+    Json::Obj(
+        s.entries
+            .iter()
+            .map(|e| {
+                let v = match e.value {
+                    telemetry::MetricValue::Counter(c) => Json::Int(c),
+                    telemetry::MetricValue::Gauge(g) => Json::Num(g),
+                };
+                (e.name.clone(), v)
+            })
+            .collect(),
+    )
+}
+
+/// The manifest entry for one scenario run: parameters, digest, the
+/// headline metrics every paper table reports, and the full registry
+/// snapshot.
 pub fn scenario_entry(r: &ScenarioResult) -> Json {
     Json::obj(vec![
         ("case", r.case_label.as_str().into()),
@@ -243,6 +262,7 @@ pub fn scenario_entry(r: &ScenarioResult) -> Json {
             r.best_tcp().map_or(Json::Null, |t| t.throughput_pps.into()),
         ),
         ("avg_tcp_pps", r.avg_tcp_throughput().into()),
+        ("registry", snapshot_json(&r.registry)),
     ])
 }
 
@@ -344,6 +364,12 @@ mod tests {
             seed: 9,
             trace_digest: 0xdead_beef,
             trace_events: 4,
+            registry: {
+                let mut reg = telemetry::Registry::new();
+                reg.record_count("rla.0.delivered", 42);
+                reg.record_gauge("chan.L1.utilization", 0.75);
+                reg.snapshot()
+            },
             rla: vec![],
             tcp: vec![TcpRow {
                 receiver_index: 0,

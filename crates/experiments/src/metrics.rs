@@ -67,6 +67,11 @@ pub struct ScenarioResult {
     pub rla: Vec<RlaRow>,
     /// TCP connections, in receiver order.
     pub tcp: Vec<TcpRow>,
+    /// Snapshot of the run's metric registry: every per-flow counter
+    /// block plus network-wide channel aggregates, under one uniform
+    /// export path (`telemetry::RegistryExport`). Serialized into the
+    /// run manifest's `registry` section.
+    pub registry: telemetry::Snapshot,
 }
 
 impl ScenarioResult {
@@ -154,6 +159,7 @@ mod tests {
             seed: 1,
             trace_digest: 0,
             trace_events: 0,
+            registry: telemetry::Snapshot::default(),
             rla: vec![],
             tcp: tputs
                 .iter()

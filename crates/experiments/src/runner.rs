@@ -9,13 +9,21 @@
 //! cannot affect results: `run_parallel` returns bit-identical
 //! [`ScenarioResult`]s — including trace digests — for any job count,
 //! in input order.
+//!
+//! With `RLA_PROGRESS=1` each completed job prints a heartbeat line to
+//! stderr (events processed, per-job event rate, ETA for the batch) via
+//! [`telemetry::SweepProgress`] — stdout stays reserved for the result
+//! tables.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
-use crate::cli::job_count;
+use telemetry::SweepProgress;
+
+use crate::cli::{job_count, progress_enabled};
 use crate::metrics::ScenarioResult;
 use crate::scenario::TreeScenario;
 
@@ -49,6 +57,7 @@ pub fn run_parallel_with_jobs(scenarios: Vec<TreeScenario>, jobs: usize) -> Vec<
         Mutex::new(scenarios.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<thread::Result<ScenarioResult>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
+    let progress = SweepProgress::new(n, progress_enabled());
 
     thread::scope(|scope| {
         for _ in 0..jobs {
@@ -57,7 +66,11 @@ pub fn run_parallel_with_jobs(scenarios: Vec<TreeScenario>, jobs: usize) -> Vec<
                 let Some((idx, scenario)) = next else { break };
                 // One panicking scenario must not tear down the pool:
                 // isolate it and keep draining the queue.
+                let started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| scenario.run()));
+                if let Ok(r) = &outcome {
+                    progress.job_finished(&labels[idx], r.trace_events, started.elapsed());
+                }
                 *slots[idx].lock().expect("result slot poisoned") = Some(outcome);
             });
         }

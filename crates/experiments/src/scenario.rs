@@ -8,7 +8,7 @@
 //! completes the run, and extracts per-flow rows.
 
 use netsim::engine::Engine;
-use netsim::id::AgentId;
+use netsim::id::{AgentId, ChannelId};
 use netsim::packet::tx_nanos;
 use netsim::queue::QueueConfig;
 use netsim::time::{SimDuration, SimTime};
@@ -16,8 +16,11 @@ use netsim::time::{SimDuration, SimTime};
 use rla::{McastReceiver, PthreshPolicy, RlaConfig, RlaSender};
 
 use tcp_sack::{RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
+use telemetry::timeline::SeriesId;
+use telemetry::{ChannelSample, FlowProbe, FlowSample, RegistryExport, TimelineRecorder};
 use transport::CcVariant;
 
+use crate::cli::TelemetryOptions;
 use crate::metrics::{RlaRow, ScenarioResult, TcpRow};
 use crate::tree::{build_tree, CongestionCase, TertiaryTree};
 
@@ -257,6 +260,77 @@ impl ScenarioWorld {
         self.collect(scenario)
     }
 
+    /// Run warmup + measurement while sampling a per-flow timeline every
+    /// `opts.sample_period`. Stepping `run_until` in period-sized
+    /// increments processes exactly the same events at the same simulated
+    /// times as one uninterrupted call, so the trace digest of a sampled
+    /// run is identical to an unsampled one — telemetry observes, never
+    /// perturbs.
+    pub fn run_with_telemetry(
+        &mut self,
+        scenario: &TreeScenario,
+        opts: &TelemetryOptions,
+    ) -> (ScenarioResult, TimelineRecorder) {
+        let mut rec = TimelineRecorder::new(opts.sample_period);
+        let rla_series: Vec<SeriesId> = (0..self.rla_senders.len())
+            .map(|i| rec.add_flow(format!("rla.{i}"), "rla"))
+            .collect();
+        let tcp_series: Vec<SeriesId> = self
+            .tcp_senders
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| rec.add_flow(format!("tcp.{i}"), self.tcp_probe(a).0))
+            .collect();
+        let chan_series: Vec<(SeriesId, ChannelId)> = self
+            .tree
+            .congested_channels()
+            .into_iter()
+            .map(|(label, c)| (rec.add_channel(format!("chan.{label}")), c))
+            .collect();
+
+        self.engine.run_until(SimTime::ZERO + scenario.warmup);
+        self.reset_stats();
+        let end = SimTime::ZERO + scenario.duration;
+        loop {
+            self.sample_into(&mut rec, &rla_series, &tcp_series, &chan_series);
+            let now = self.engine.now();
+            if now >= end {
+                break;
+            }
+            self.engine.run_until(std::cmp::min(now + rec.period, end));
+        }
+        (self.collect(scenario), rec)
+    }
+
+    /// Push one sample per registered series at the current time.
+    fn sample_into(
+        &self,
+        rec: &mut TimelineRecorder,
+        rla_series: &[SeriesId],
+        tcp_series: &[SeriesId],
+        chan_series: &[(SeriesId, ChannelId)],
+    ) {
+        let now = self.engine.now();
+        for (&sid, &a) in rla_series.iter().zip(&self.rla_senders) {
+            let s: &RlaSender = self.engine.agent_as(a).expect("rla sender");
+            rec.record_flow(sid, now, s.flow_sample());
+        }
+        for (&sid, &a) in tcp_series.iter().zip(&self.tcp_senders) {
+            rec.record_flow(sid, now, self.tcp_probe(a).1);
+        }
+        for &(sid, c) in chan_series {
+            let ch = self.engine.world().channel(c);
+            rec.record_channel(
+                sid,
+                now,
+                ChannelSample {
+                    qlen: ch.queue.len(),
+                    red_avg: ch.queue.red_avg(),
+                },
+            );
+        }
+    }
+
     /// The statistics block of a TCP sender of either variant.
     fn tcp_sender_stats(&self, a: AgentId) -> &SenderStats {
         if let Some(s) = self.engine.agent_as::<TcpSender>(a) {
@@ -264,6 +338,16 @@ impl ScenarioWorld {
         } else {
             let s: &RenoSender = self.engine.agent_as(a).expect("tcp sender");
             &s.stats
+        }
+    }
+
+    /// The telemetry probe view of a TCP sender of either variant.
+    fn tcp_probe(&self, a: AgentId) -> (&'static str, FlowSample) {
+        if let Some(s) = self.engine.agent_as::<TcpSender>(a) {
+            (s.probe_kind(), s.flow_sample())
+        } else {
+            let s: &RenoSender = self.engine.agent_as(a).expect("tcp sender");
+            (s.probe_kind(), s.flow_sample())
         }
     }
 
@@ -349,9 +433,64 @@ impl ScenarioWorld {
             seed: scenario.seed,
             trace_digest: self.engine.trace_digest().value(),
             trace_events: self.engine.trace_digest().events(),
+            registry: self.registry_snapshot(),
             rla,
             tcp,
         }
+    }
+
+    /// Every metric block of the run, exported through the one uniform
+    /// path (`telemetry::RegistryExport`) and snapshotted: per-flow
+    /// sender statistics, the congested channels' buffer statistics,
+    /// network-wide channel totals, and the engine's event counters.
+    pub fn registry_snapshot(&self) -> telemetry::Snapshot {
+        let now = self.engine.now();
+        let mut reg = telemetry::Registry::new();
+        for (i, &a) in self.rla_senders.iter().enumerate() {
+            let s: &RlaSender = self.engine.agent_as(a).expect("rla sender");
+            s.stats.export(&mut reg, &format!("rla.{i}"), now);
+        }
+        for (i, &a) in self.tcp_senders.iter().enumerate() {
+            self.tcp_sender_stats(a)
+                .export(&mut reg, &format!("tcp.{i}"), now);
+        }
+        for (label, c) in self.tree.congested_channels() {
+            telemetry::registry::export_channel_stats(
+                &mut reg,
+                &format!("chan.{label}"),
+                &self.engine.world().channel(c).stats,
+                now,
+            );
+        }
+
+        // Network-wide totals over every channel in the topology.
+        let world = self.engine.world();
+        let mut offered = 0u64;
+        let mut accepted = 0u64;
+        let mut transmitted = 0u64;
+        let mut queue_drops = 0u64;
+        let mut fault_drops = 0u64;
+        for i in 0..world.channel_count() {
+            let st = &world.channel(ChannelId(i as u32)).stats;
+            offered += st.offered;
+            accepted += st.accepted;
+            transmitted += st.transmitted;
+            queue_drops += st.queue_drops();
+            fault_drops += st.fault_drops;
+        }
+        reg.record_count("net.offered", offered);
+        reg.record_count("net.accepted", accepted);
+        reg.record_count("net.transmitted", transmitted);
+        reg.record_count("net.queue_drops", queue_drops);
+        reg.record_count("net.fault_drops", fault_drops);
+
+        let d = self.engine.trace_digest();
+        reg.record_count("engine.enqueues", d.enqueues);
+        reg.record_count("engine.drops", d.drops);
+        reg.record_count("engine.tx_starts", d.tx_starts);
+        reg.record_count("engine.arrivals", d.arrivals);
+        reg.record_count("engine.deliveries", d.deliveries);
+        reg.snapshot()
     }
 }
 

@@ -198,6 +198,7 @@ mod tests {
             seed: 1,
             trace_digest: 0,
             trace_events: 0,
+            registry: telemetry::Snapshot::default(),
             rla: vec![RlaRow {
                 throughput_pps: 144.1,
                 cwnd_avg: 33.9,

@@ -136,6 +136,31 @@ impl TertiaryTree {
         }
     }
 
+    /// The congested downstream channels of this case, labeled like the
+    /// paper's link names (`L1`, `L2.1`, `L3.4`, `L4.12`) — the buffers
+    /// worth watching in a queue-occupancy timeline.
+    pub fn congested_channels(&self) -> Vec<(String, ChannelId)> {
+        let level = |prefix: &str, chans: &[ChannelId]| {
+            chans
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (format!("{prefix}.{}", i + 1), c))
+                .collect::<Vec<_>>()
+        };
+        match self.case {
+            CongestionCase::Case1RootLink => vec![("L1".to_string(), self.l1_down)],
+            CongestionCase::Case2AllLevel3 | CongestionCase::Fig10AllLevel3 => {
+                level("L3", &self.l3_down)
+            }
+            CongestionCase::Case3AllLeaves => level("L4", &self.l4_down),
+            CongestionCase::Case4FiveLeaves => level("L4", &self.l4_down[..5]),
+            CongestionCase::Case5OneLevel2 => {
+                vec![("L2.1".to_string(), self.l2_down[0])]
+            }
+            CongestionCase::Fig10AllLevel2 => level("L2", &self.l2_down),
+        }
+    }
+
     /// Base (zero-queueing) RTT from the root to leaf receivers.
     pub fn leaf_rtt() -> SimDuration {
         SimDuration::from_millis(2 * (5 + 5 + 5 + 100))

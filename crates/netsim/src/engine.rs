@@ -241,7 +241,7 @@ impl World {
         debug_assert!(!ch.busy, "transmitter already busy");
         ch.busy = true;
         let service = ch.service_time(size_bytes);
-        ch.stats.record_busy(service);
+        ch.stats.record_tx_begin(now);
         let qlen = ch.queue.len();
         self.digest.record_tx_start(now, channel, uid, qlen);
         if self.tracer.is_some() {
@@ -265,6 +265,7 @@ impl World {
         let now = self.now;
         let size_bytes = self.arena.get(handle).size_bytes;
         let ch = &mut self.channels[channel.index()];
+        ch.stats.record_tx_end(now);
         ch.stats.transmitted += 1;
         ch.stats.bytes_transmitted += size_bytes as u64;
         let to = ch.to;
@@ -821,6 +822,19 @@ mod tests {
         e.run_until(SimTime::from_millis(15));
         let s: &Sink = e.agent_as(sink).unwrap();
         assert_eq!(s.received, 5);
+    }
+
+    #[test]
+    fn utilization_at_a_mid_transmission_deadline_counts_elapsed_time_only() {
+        // 1000 B at 8 Mbps = 1 ms serialization. The blaster starts at
+        // t=1ms, so at a 1.5ms deadline the first packet is half-sent:
+        // 0.5ms of busy time over 1.5ms of run = 1/3. Charging the full
+        // service time at tx start (the old accounting) would claim 2/3.
+        let (mut e, blaster, _, ab) = two_node_world(&QueueConfig::paper_droptail());
+        e.start_agent_at(blaster, SimTime::from_millis(1));
+        e.run_until(SimTime::from_millis(1) + SimDuration::from_micros(500));
+        let u = e.world().channel(ab).stats.utilization(e.now());
+        assert!((u - 1.0 / 3.0).abs() < 1e-9, "got {u}");
     }
 
     #[test]

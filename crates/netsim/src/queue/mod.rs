@@ -72,6 +72,12 @@ pub trait QueueDiscipline: std::fmt::Debug + Send {
 
     /// The buffer capacity in packets.
     fn capacity(&self) -> usize;
+
+    /// RED's average-queue estimate, for disciplines that maintain one.
+    /// Telemetry reads this through the trait so it needs no downcasting.
+    fn red_avg(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Configuration for constructing a queue discipline on a channel.

@@ -219,6 +219,10 @@ impl QueueDiscipline for Red {
     fn capacity(&self) -> usize {
         self.cfg.limit
     }
+
+    fn red_avg(&self) -> Option<f64> {
+        Some(self.avg)
+    }
 }
 
 #[cfg(test)]

@@ -32,8 +32,10 @@ pub struct ChannelStats {
     last_len: usize,
     /// Largest instantaneous queue length seen.
     pub max_qlen: usize,
-    /// Total busy (transmitting) time of the channel.
+    /// Total busy (transmitting) time over *closed* intervals.
     busy: SimDuration,
+    /// Start of the in-progress transmission, if one is open.
+    busy_since: Option<SimTime>,
 }
 
 impl ChannelStats {
@@ -61,9 +63,21 @@ impl ChannelStats {
         self.max_qlen = self.max_qlen.max(len);
     }
 
-    /// Record `d` of transmitter busy time.
-    pub fn record_busy(&mut self, d: SimDuration) {
-        self.busy += d;
+    /// The transmitter went busy at `now`. Busy time is tracked as
+    /// open/closed intervals rather than charged up-front, so a
+    /// measurement deadline that cuts a transmission in half counts only
+    /// the elapsed half (see [`utilization`](Self::utilization)).
+    pub fn record_tx_begin(&mut self, now: SimTime) {
+        debug_assert!(self.busy_since.is_none(), "transmitter already busy");
+        self.busy_since = Some(now);
+    }
+
+    /// The transmitter went idle at `now`, closing the interval opened by
+    /// [`record_tx_begin`](Self::record_tx_begin).
+    pub fn record_tx_end(&mut self, now: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            self.busy += now.saturating_since(since);
+        }
     }
 
     /// Average queue length over `[0, now]`, in packets.
@@ -76,14 +90,17 @@ impl ChannelStats {
         (self.qlen_area + self.last_len as f64 * tail) / total
     }
 
-    /// Fraction of `[0, now]` the transmitter was busy.
+    /// Fraction of `[0, now]` the transmitter was busy. Includes the
+    /// elapsed part of a transmission still in progress at `now`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         let total = now.as_secs_f64();
         if total == 0.0 {
-            0.0
-        } else {
-            (self.busy.as_secs_f64() / total).min(1.0)
+            return 0.0;
         }
+        let open = self
+            .busy_since
+            .map_or(0.0, |since| now.saturating_since(since).as_secs_f64());
+        ((self.busy.as_secs_f64() + open) / total).min(1.0)
     }
 }
 
@@ -322,6 +339,40 @@ mod tests {
         let avg = s.avg_qlen(SimTime::from_secs(5)); // len 0 for 2s
         assert!((avg - 10.0 / 5.0).abs() < 1e-12);
         assert_eq!(s.max_qlen, 5);
+    }
+
+    #[test]
+    fn utilization_counts_only_the_elapsed_part_of_an_open_tx() {
+        let mut s = ChannelStats::default();
+        s.record_tx_begin(SimTime::from_millis(1000));
+        // At 1.5s the transmission is still in flight: only the elapsed
+        // 0.5s counts. The old up-front accounting charged the full
+        // service time at tx start, overstating utilization whenever the
+        // measurement deadline cut a transmission in half.
+        let u = s.utilization(SimTime::from_millis(1500));
+        assert!((u - 0.5 / 1.5).abs() < 1e-12, "got {u}");
+    }
+
+    #[test]
+    fn utilization_sums_closed_intervals() {
+        let mut s = ChannelStats::default();
+        s.record_tx_begin(SimTime::from_secs(1));
+        s.record_tx_end(SimTime::from_secs(2));
+        s.record_tx_begin(SimTime::from_secs(3));
+        s.record_tx_end(SimTime::from_secs(4));
+        let u = s.utilization(SimTime::from_secs(4));
+        assert!((u - 0.5).abs() < 1e-12, "got {u}");
+        // Idle afterwards: the open-interval term stays zero.
+        let u = s.utilization(SimTime::from_secs(8));
+        assert!((u - 0.25).abs() < 1e-12, "got {u}");
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let mut s = ChannelStats::default();
+        s.record_tx_begin(SimTime::ZERO);
+        s.record_tx_end(SimTime::from_secs(5));
+        assert_eq!(s.utilization(SimTime::from_secs(5)), 1.0);
     }
 
     #[test]

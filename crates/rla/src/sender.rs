@@ -142,6 +142,38 @@ impl RlaStats {
     }
 }
 
+impl telemetry::RegistryExport for RlaStats {
+    fn export(&self, reg: &mut telemetry::Registry, prefix: &str, now: SimTime) {
+        reg.record_count(format!("{prefix}.delivered"), self.delivered);
+        reg.record_count(format!("{prefix}.data_sent"), self.data_sent);
+        reg.record_count(
+            format!("{prefix}.retransmits_multicast"),
+            self.retransmits_multicast,
+        );
+        reg.record_count(
+            format!("{prefix}.retransmits_unicast"),
+            self.retransmits_unicast,
+        );
+        reg.record_count(format!("{prefix}.cong_signals"), self.cong_signals);
+        reg.record_count(format!("{prefix}.randomized_cuts"), self.randomized_cuts);
+        reg.record_count(format!("{prefix}.forced_cuts"), self.forced_cuts);
+        reg.record_count(format!("{prefix}.timeouts"), self.timeouts);
+        reg.record_count(format!("{prefix}.skipped_rare"), self.skipped_rare);
+        reg.record_count(format!("{prefix}.unknown_acks"), self.unknown_acks);
+        reg.record_count(
+            format!("{prefix}.early_retransmits"),
+            self.early_retransmits,
+        );
+        reg.record_count(
+            format!("{prefix}.ejected_receivers"),
+            self.ejected_receivers.len() as u64,
+        );
+        reg.record_gauge(format!("{prefix}.throughput_pps"), self.throughput_pps(now));
+        reg.record_gauge(format!("{prefix}.cwnd_avg"), self.cwnd_avg.average(now));
+        reg.record_gauge(format!("{prefix}.rtt_avg"), self.rtt.mean());
+    }
+}
+
 impl FlowStats for RlaStats {
     fn delivered(&self) -> u64 {
         self.delivered
@@ -291,9 +323,10 @@ impl RlaSender {
         self.cut_epoch.mark(now);
     }
 
-    /// The largest smoothed RTT among receivers (for the RTT-scaled
-    /// pthresh policy).
-    fn srtt_max(&self) -> f64 {
+    /// The largest smoothed RTT among receivers, in seconds — the
+    /// session's effective RTT (drives the RTT-scaled pthresh policy and
+    /// the telemetry timeline). Zero until the first RTT sample.
+    pub fn srtt_max(&self) -> f64 {
         self.receivers
             .iter()
             .filter(|r| !r.ejected)
@@ -726,6 +759,22 @@ impl RlaSender {
         }
         self.service_retransmissions(ctx);
         self.try_send(ctx);
+    }
+}
+
+impl telemetry::FlowProbe for RlaSender {
+    fn probe_kind(&self) -> &'static str {
+        "rla"
+    }
+
+    fn flow_sample(&self) -> telemetry::FlowSample {
+        let srtt = self.srtt_max();
+        telemetry::FlowSample {
+            cwnd: self.cwnd(),
+            ssthresh: None,
+            awnd: Some(self.awnd()),
+            rtt: (srtt > 0.0).then_some(srtt),
+        }
     }
 }
 

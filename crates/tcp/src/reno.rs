@@ -77,6 +77,11 @@ impl RenoSender {
         self.win.cwnd()
     }
 
+    /// Current slow-start threshold, packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.win.ssthresh()
+    }
+
     /// Smoothed RTT estimate.
     pub fn srtt(&self) -> Option<netsim::time::SimDuration> {
         self.rtt.srtt()
@@ -186,6 +191,21 @@ impl RenoSender {
         self.high_seq = self.cum_ack;
         self.timer.arm(ctx, self.rtt.rto());
         self.try_send(ctx);
+    }
+}
+
+impl telemetry::FlowProbe for RenoSender {
+    fn probe_kind(&self) -> &'static str {
+        "reno"
+    }
+
+    fn flow_sample(&self) -> telemetry::FlowSample {
+        telemetry::FlowSample {
+            cwnd: self.cwnd(),
+            ssthresh: Some(self.ssthresh()),
+            awnd: None,
+            rtt: self.srtt().map(|d| d.as_secs_f64()),
+        }
     }
 }
 

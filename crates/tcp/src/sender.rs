@@ -184,6 +184,21 @@ impl TcpSender {
     }
 }
 
+impl telemetry::FlowProbe for TcpSender {
+    fn probe_kind(&self) -> &'static str {
+        "tcp-sack"
+    }
+
+    fn flow_sample(&self) -> telemetry::FlowSample {
+        telemetry::FlowSample {
+            cwnd: self.cwnd(),
+            ssthresh: Some(self.ssthresh()),
+            awnd: None,
+            rtt: self.srtt().map(|d| d.as_secs_f64()),
+        }
+    }
+}
+
 impl Agent for TcpSender {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.stats = SenderStats::new(ctx.now(), self.win.cwnd());

@@ -1,0 +1,43 @@
+//! # telemetry — the simulator's observability layer
+//!
+//! The paper's entire evaluation is read off instrumentation: cwnd
+//! sawtooths (figures 4/5), queue-occupancy "buffer periods" (§3.1),
+//! per-receiver congestion-signal counts (figure 8). This crate is the
+//! one place that instrumentation lives, instead of each experiment
+//! binary hand-rolling its own collection over raw
+//! [`Tracer`](netsim::trace::Tracer) callbacks:
+//!
+//! * [`registry`] — a counter/gauge registry with typed handles
+//!   ([`CounterId`], [`GaugeId`]) and plain `&mut` updates (no interior
+//!   mutability, no atomics on the hot path). Snapshots
+//!   ([`Snapshot`]) are sorted, ready for a run manifest.
+//! * [`timeline`] — a per-flow time-series recorder
+//!   ([`TimelineRecorder`]): sampled cwnd/ssthresh/awnd, smoothed RTT,
+//!   queue length and RED average at a configurable period, exported as
+//!   JSONL or CSV.
+//! * [`flight`] — a crash [`FlightRecorder`]: a fixed-depth ring of the
+//!   last N trace events per channel, dumped when a run panics or a
+//!   golden-digest gate trips, so a divergence is debuggable instead of
+//!   opaque.
+//! * [`progress`] — a thread-safe sweep heartbeat ([`SweepProgress`])
+//!   for worker pools: per-job event rate and an ETA, written line-wise
+//!   to stderr so tables on stdout stay clean.
+//!
+//! Everything here is strictly *observer-side*: nothing in this crate
+//! feeds back into simulation behaviour, so enabling or disabling
+//! telemetry can never change a trace digest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod progress;
+pub mod registry;
+pub mod timeline;
+
+pub use flight::{FlightDumpGuard, FlightEvent, FlightRecorder};
+pub use progress::SweepProgress;
+pub use registry::{CounterId, GaugeId, MetricValue, Registry, RegistryExport, Snapshot};
+pub use timeline::{
+    ChannelSample, FlowProbe, FlowSample, TimelineFormat, TimelineRecorder, TimelineSeries,
+};

@@ -1,0 +1,159 @@
+//! Sweep progress reporting for parallel experiment runners.
+//!
+//! A [`SweepProgress`] is shared (via `Arc`) between the worker threads
+//! of a sweep. Each worker calls [`job_finished`] as it completes a
+//! scenario; the reporter prints one line per completion — job count,
+//! per-job event rate, wall time, and an ETA extrapolated from overall
+//! throughput so far — to **stderr**, keeping stdout clean for the
+//! result tables the binaries emit.
+//!
+//! All state is atomics; the only lock is around the single `eprintln!`
+//! (and writes to stderr are line-buffered anyway), so contention is
+//! negligible next to the seconds-long jobs it reports on.
+//!
+//! [`job_finished`]: SweepProgress::job_finished
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Thread-safe progress/heartbeat reporter for a fixed-size batch of
+/// jobs. See the module docs.
+#[derive(Debug)]
+pub struct SweepProgress {
+    total: usize,
+    done: AtomicUsize,
+    events: AtomicU64,
+    started: Instant,
+    enabled: bool,
+}
+
+impl SweepProgress {
+    /// A reporter for `total` jobs. When `enabled` is false every call
+    /// is a no-op (counters still advance, nothing is printed).
+    pub fn new(total: usize, enabled: bool) -> Self {
+        SweepProgress {
+            total,
+            done: AtomicUsize::new(0),
+            events: AtomicU64::new(0),
+            started: Instant::now(),
+            enabled,
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Trace events processed so far, across all completed jobs.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Record a completed job and (when enabled) print its heartbeat
+    /// line. `events` is the job's trace-event count, `wall` its
+    /// wall-clock duration.
+    pub fn job_finished(&self, label: &str, events: u64, wall: Duration) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.events.fetch_add(events, Ordering::Relaxed);
+        if self.enabled {
+            eprintln!(
+                "{}",
+                self.render_line(label, events, wall, done, self.started.elapsed())
+            );
+        }
+    }
+
+    /// The heartbeat line for one completed job (separated from the
+    /// printing so it is testable).
+    fn render_line(
+        &self,
+        label: &str,
+        events: u64,
+        wall: Duration,
+        done: usize,
+        elapsed: Duration,
+    ) -> String {
+        let rate = if wall.as_secs_f64() > 0.0 {
+            events as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let eta = if done > 0 && done < self.total {
+            let per_job = elapsed.as_secs_f64() / done as f64;
+            format!(", eta {:.0}s", per_job * (self.total - done) as f64)
+        } else {
+            String::new()
+        };
+        format!(
+            "[sweep {done}/{}] {label}: {events} events in {:.2}s ({:.2}M ev/s{eta})",
+            self.total,
+            wall.as_secs_f64(),
+            rate / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_advance_even_when_disabled() {
+        let p = SweepProgress::new(3, false);
+        p.job_finished("a", 100, Duration::from_secs(1));
+        p.job_finished("b", 200, Duration::from_secs(1));
+        assert_eq!(p.completed(), 2);
+        assert_eq!(p.events(), 300);
+    }
+
+    #[test]
+    fn line_includes_rate_and_eta() {
+        let p = SweepProgress::new(4, false);
+        let line = p.render_line(
+            "fig7/case-1",
+            2_000_000,
+            Duration::from_secs(2),
+            1,
+            Duration::from_secs(2),
+        );
+        assert!(line.contains("[sweep 1/4] fig7/case-1"), "{line}");
+        assert!(line.contains("(1.00M ev/s"), "{line}");
+        assert!(line.contains("eta 6s"), "{line}");
+    }
+
+    #[test]
+    fn last_job_has_no_eta() {
+        let p = SweepProgress::new(2, false);
+        let line = p.render_line("x", 10, Duration::from_secs(1), 2, Duration::from_secs(2));
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let p = SweepProgress::new(1, false);
+        let line = p.render_line("x", 10, Duration::ZERO, 1, Duration::ZERO);
+        assert!(line.contains("0.00M ev/s"), "{line}");
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        use std::sync::Arc;
+        let p = Arc::new(SweepProgress::new(64, false));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        p.job_finished("j", 5, Duration::from_millis(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.completed(), 64);
+        assert_eq!(p.events(), 320);
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-flow timeline recording: sampled time series of transport and
+//! queue state.
+//!
+//! A [`TimelineRecorder`] holds one series per flow (cwnd / ssthresh /
+//! awnd / smoothed RTT) and per watched channel (queue length / RED
+//! average). The *driver* — the scenario runner — steps the simulation in
+//! increments of the sampling period and pushes one sample per series per
+//! tick; the recorder itself never touches the engine, so it cannot
+//! perturb a trace digest.
+//!
+//! Export is line-oriented: JSONL (one self-describing object per
+//! sample) or CSV (one wide row per sample, empty cells for fields a
+//! series does not have). Both formats share the column set, so a plot
+//! script can consume either.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use netsim::time::{SimDuration, SimTime};
+
+/// Export format for timeline files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineFormat {
+    /// One JSON object per line (`.jsonl`).
+    Jsonl,
+    /// Comma-separated values with a header row (`.csv`).
+    Csv,
+}
+
+impl TimelineFormat {
+    /// The file extension for this format.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            TimelineFormat::Jsonl => "jsonl",
+            TimelineFormat::Csv => "csv",
+        }
+    }
+}
+
+/// One sample of a transport flow's state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowSample {
+    /// Congestion window, packets.
+    pub cwnd: f64,
+    /// Slow-start threshold, packets (window-based TCP only).
+    pub ssthresh: Option<f64>,
+    /// Moving average of the window (the RLA's forced-cut horizon).
+    pub awnd: Option<f64>,
+    /// Smoothed RTT estimate, seconds.
+    pub rtt: Option<f64>,
+}
+
+/// One sample of a channel buffer's state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelSample {
+    /// Instantaneous queue length, packets.
+    pub qlen: usize,
+    /// RED's average queue estimate, if the gateway runs RED.
+    pub red_avg: Option<f64>,
+}
+
+/// A sampled value: either a flow or a channel observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sample {
+    /// Transport-flow state.
+    Flow(FlowSample),
+    /// Channel-buffer state.
+    Channel(ChannelSample),
+}
+
+/// The read surface a sampled transport sender exposes to the recorder.
+/// Implemented by the TCP SACK, Reno and RLA senders.
+pub trait FlowProbe {
+    /// Short series-kind tag (`"tcp-sack"`, `"reno"`, `"rla"`).
+    fn probe_kind(&self) -> &'static str;
+
+    /// The flow's current state.
+    fn flow_sample(&self) -> FlowSample;
+}
+
+/// One named time series.
+#[derive(Debug, Clone)]
+pub struct TimelineSeries {
+    /// Series name (`rla.0`, `tcp.3`, `chan.L1`).
+    pub name: String,
+    /// Kind tag (`rla`, `tcp-sack`, `reno`, `channel`).
+    pub kind: &'static str,
+    /// `(time, sample)` pairs in sampling order.
+    pub samples: Vec<(SimTime, Sample)>,
+}
+
+/// Handle to a series inside a [`TimelineRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// Collects sampled series; see the module docs for the driving contract.
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    /// Sampling period (simulated time between ticks).
+    pub period: SimDuration,
+    series: Vec<TimelineSeries>,
+}
+
+impl TimelineRecorder {
+    /// A recorder sampling every `period` of simulated time.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        TimelineRecorder {
+            period,
+            series: Vec::new(),
+        }
+    }
+
+    /// Register a flow series.
+    pub fn add_flow(&mut self, name: impl Into<String>, kind: &'static str) -> SeriesId {
+        self.series.push(TimelineSeries {
+            name: name.into(),
+            kind,
+            samples: Vec::new(),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Register a channel series.
+    pub fn add_channel(&mut self, name: impl Into<String>) -> SeriesId {
+        self.add_flow(name, "channel")
+    }
+
+    /// Record one flow sample.
+    pub fn record_flow(&mut self, id: SeriesId, now: SimTime, sample: FlowSample) {
+        self.series[id.0].samples.push((now, Sample::Flow(sample)));
+    }
+
+    /// Record one channel sample.
+    pub fn record_channel(&mut self, id: SeriesId, now: SimTime, sample: ChannelSample) {
+        self.series[id.0]
+            .samples
+            .push((now, Sample::Channel(sample)));
+    }
+
+    /// The registered series.
+    pub fn series(&self) -> &[TimelineSeries] {
+        &self.series
+    }
+
+    /// Total samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series.iter().map(|s| s.samples.len()).sum()
+    }
+
+    /// Render every series into one string in `format`, interleaved by
+    /// time (series order breaks ties), so the file reads chronologically.
+    pub fn render(&self, format: TimelineFormat) -> String {
+        let mut rows: Vec<(SimTime, usize, usize)> = Vec::with_capacity(self.sample_count());
+        for (si, s) in self.series.iter().enumerate() {
+            for (pi, (t, _)) in s.samples.iter().enumerate() {
+                rows.push((*t, si, pi));
+            }
+        }
+        rows.sort_by_key(|&(t, si, pi)| (t, si, pi));
+
+        let mut out = String::new();
+        if format == TimelineFormat::Csv {
+            out.push_str("t_secs,series,kind,cwnd,ssthresh,awnd,rtt_secs,qlen,red_avg\n");
+        }
+        for (t, si, pi) in rows {
+            let s = &self.series[si];
+            let (_, sample) = &s.samples[pi];
+            match format {
+                TimelineFormat::Jsonl => render_jsonl(&mut out, t, &s.name, s.kind, sample),
+                TimelineFormat::Csv => render_csv(&mut out, t, &s.name, s.kind, sample),
+            }
+        }
+        out
+    }
+
+    /// Write `<stem>.timeline.<ext>` under `dir`, creating the directory;
+    /// returns the path written.
+    pub fn write_file(
+        &self,
+        dir: &Path,
+        stem: &str,
+        format: TimelineFormat,
+    ) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.timeline.{}", format.extension()));
+        std::fs::write(&path, self.render(format))?;
+        Ok(path)
+    }
+}
+
+/// Render a finite float the shortest way that parses back exactly;
+/// non-finite values become `null` (JSONL) — callers handle CSV.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_jsonl(out: &mut String, t: SimTime, name: &str, kind: &str, sample: &Sample) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"t\":{},\"series\":\"{}\",\"kind\":\"{}\"",
+        fmt_f64(t.as_secs_f64()),
+        name,
+        kind
+    );
+    match sample {
+        Sample::Flow(f) => {
+            let _ = write!(out, ",\"cwnd\":{}", fmt_f64(f.cwnd));
+            if let Some(v) = f.ssthresh {
+                let _ = write!(out, ",\"ssthresh\":{}", fmt_f64(v));
+            }
+            if let Some(v) = f.awnd {
+                let _ = write!(out, ",\"awnd\":{}", fmt_f64(v));
+            }
+            if let Some(v) = f.rtt {
+                let _ = write!(out, ",\"rtt\":{}", fmt_f64(v));
+            }
+        }
+        Sample::Channel(c) => {
+            let _ = write!(out, ",\"qlen\":{}", c.qlen);
+            if let Some(v) = c.red_avg {
+                let _ = write!(out, ",\"red_avg\":{}", fmt_f64(v));
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn render_csv(out: &mut String, t: SimTime, name: &str, kind: &str, sample: &Sample) {
+    use std::fmt::Write as _;
+    let opt = |v: Option<f64>| v.map(fmt_f64).unwrap_or_default();
+    match sample {
+        Sample::Flow(f) => {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},,",
+                fmt_f64(t.as_secs_f64()),
+                name,
+                kind,
+                fmt_f64(f.cwnd),
+                opt(f.ssthresh),
+                opt(f.awnd),
+                opt(f.rtt),
+            );
+        }
+        Sample::Channel(c) => {
+            let _ = writeln!(
+                out,
+                "{},{},{},,,,,{},{}",
+                fmt_f64(t.as_secs_f64()),
+                name,
+                kind,
+                c.qlen,
+                opt(c.red_avg),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder_with_data() -> TimelineRecorder {
+        let mut r = TimelineRecorder::new(SimDuration::from_millis(500));
+        let f = r.add_flow("rla.0", "rla");
+        let c = r.add_channel("chan.L1");
+        r.record_flow(
+            f,
+            SimTime::from_secs(1),
+            FlowSample {
+                cwnd: 10.5,
+                ssthresh: None,
+                awnd: Some(9.0),
+                rtt: Some(0.25),
+            },
+        );
+        r.record_channel(
+            c,
+            SimTime::from_secs(1),
+            ChannelSample {
+                qlen: 7,
+                red_avg: Some(3.25),
+            },
+        );
+        r.record_flow(
+            f,
+            SimTime::from_secs(2),
+            FlowSample {
+                cwnd: 11.5,
+                ssthresh: Some(16.0),
+                awnd: None,
+                rtt: None,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_sample_in_time_order() {
+        let r = recorder_with_data();
+        let out = r.render(TimelineFormat::Jsonl);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"series\":\"rla.0\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"cwnd\":10.5"), "{}", lines[0]);
+        assert!(lines[0].contains("\"awnd\":9"), "{}", lines[0]);
+        assert!(!lines[0].contains("ssthresh"), "absent fields omitted");
+        assert!(lines[1].contains("\"qlen\":7"), "{}", lines[1]);
+        assert!(lines[1].contains("\"red_avg\":3.25"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ssthresh\":16"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn csv_has_header_and_stable_column_count() {
+        let r = recorder_with_data();
+        let out = r.render(TimelineFormat::Csv);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 rows");
+        let cols = lines[0].split(',').count();
+        for line in &lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(lines[2].ends_with("7,3.25"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn sample_count_sums_series() {
+        assert_eq!(recorder_with_data().sample_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_is_rejected() {
+        TimelineRecorder::new(SimDuration::ZERO);
+    }
+}

@@ -9,6 +9,7 @@
 
 use netsim::stats::{Running, TimeWeighted};
 use netsim::time::SimTime;
+use telemetry::{Registry, RegistryExport};
 
 /// The common read surface over a sender's per-flow statistics: the
 /// numbers every paper table reports, regardless of which congestion
@@ -96,6 +97,19 @@ impl SenderStats {
         } else {
             self.delivered as f64 / span
         }
+    }
+}
+
+impl RegistryExport for SenderStats {
+    fn export(&self, reg: &mut Registry, prefix: &str, now: SimTime) {
+        reg.record_count(format!("{prefix}.delivered"), self.delivered);
+        reg.record_count(format!("{prefix}.data_sent"), self.data_sent);
+        reg.record_count(format!("{prefix}.retransmits"), self.retransmits);
+        reg.record_count(format!("{prefix}.window_cuts"), self.window_cuts);
+        reg.record_count(format!("{prefix}.timeouts"), self.timeouts);
+        reg.record_gauge(format!("{prefix}.throughput_pps"), self.throughput_pps(now));
+        reg.record_gauge(format!("{prefix}.cwnd_avg"), self.cwnd_avg.average(now));
+        reg.record_gauge(format!("{prefix}.rtt_avg"), self.rtt.mean());
     }
 }
 

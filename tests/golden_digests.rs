@@ -9,15 +9,29 @@
 //! `cargo test --test golden_digests -- --ignored regenerate` and commit
 //! the new manifests with an explanation.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use bounded_fairness::experiments::manifest::scenario_manifest;
 use bounded_fairness::experiments::{CongestionCase, GatewayKind, ScenarioResult, TreeScenario};
 use netsim::time::SimDuration;
+use telemetry::{FlightDumpGuard, FlightRecorder};
 
-fn run_scenario(gateway: GatewayKind) -> ScenarioResult {
-    TreeScenario::paper(CongestionCase::Case5OneLevel2, gateway)
+/// Runs the pinned scenario with a flight recorder installed as the
+/// tracer: on a digest mismatch the last packet events of every channel
+/// go to stderr with the failure, turning "the hash changed" into
+/// something debuggable. The recorder cannot perturb the result — the
+/// digest is computed independently of the tracer slot.
+fn run_scenario(gateway: GatewayKind) -> (ScenarioResult, Rc<RefCell<FlightRecorder>>) {
+    let scenario = TreeScenario::paper(CongestionCase::Case5OneLevel2, gateway)
         .with_duration(SimDuration::from_secs(60))
-        .with_seed(1)
-        .run()
+        .with_seed(1);
+    let mut world = scenario.build();
+    let recorder = Rc::new(RefCell::new(FlightRecorder::new(
+        telemetry::flight::DEFAULT_FLIGHT_DEPTH,
+    )));
+    world.engine.set_tracer(recorder.clone());
+    (world.run(&scenario), recorder)
 }
 
 fn golden_path(name: &str) -> std::path::PathBuf {
@@ -42,7 +56,9 @@ fn check(name: &str, gateway: GatewayKind) {
     let committed = std::fs::read_to_string(golden_path(name)).unwrap_or_else(|e| {
         panic!("missing committed golden manifest {name}: {e}; regenerate with `cargo test --test golden_digests -- --ignored regenerate`")
     });
-    let r = run_scenario(gateway);
+    let (r, recorder) = run_scenario(gateway);
+    // Dumps the ring to stderr iff one of the asserts below panics.
+    let _flight = FlightDumpGuard::new(name, recorder);
     assert_eq!(
         format!("{:016x}", r.trace_digest),
         extract(&committed, "trace_digest"),
@@ -78,7 +94,7 @@ fn regenerate() {
         ("case5_droptail_60s", GatewayKind::DropTail),
         ("case5_red_60s", GatewayKind::Red),
     ] {
-        let r = run_scenario(gateway);
+        let (r, _) = run_scenario(gateway);
         let json = scenario_manifest(name, SimDuration::from_secs(60), std::slice::from_ref(&r));
         let path = dir.join(format!("{name}.manifest.json"));
         std::fs::write(&path, json.pretty()).expect("write golden");

@@ -1,0 +1,183 @@
+//! Property test for [`Tracer`] event ordering: on every channel the
+//! `qlen` fields carried by Enqueue/Drop/TxStart events must be
+//! self-consistent — each event's occupancy follows from the previous
+//! one — even under multicast fan-out, where one injected packet turns
+//! into many per-channel event streams.
+//!
+//! The model per channel is a single counter `q`:
+//!
+//! * `Enqueue { qlen }` reports the length *after* insertion, so
+//!   `qlen == q + 1`;
+//! * `Drop { qlen }` leaves the buffer untouched (tail, early and fault
+//!   drops all discard the *offered* packet), so `qlen == q`;
+//! * `TxStart { qlen }` reports the length *after* removal: either the
+//!   transmitter was idle and the packet bypassed the buffer
+//!   (`q == 0 && qlen == 0`) or it was pulled off the queue
+//!   (`qlen == q - 1`).
+//!
+//! A second invariant ties the pluggable tracer to the always-on
+//! digest: the per-kind event counts seen through the `Tracer` trait
+//! must equal the engine's `TraceDigest` counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bounded_fairness::prelude::*;
+use netsim::trace::{TraceEvent, Tracer};
+use proptest::prelude::*;
+
+/// Replays the documented qlen transitions and records any event that
+/// contradicts them (violations are collected, not asserted, because
+/// `trace` runs inside the engine's hot loop).
+#[derive(Default)]
+struct QlenModel {
+    q: Vec<usize>,
+    enqueues: u64,
+    drops: u64,
+    tx_starts: u64,
+    violations: Vec<String>,
+}
+
+impl QlenModel {
+    fn occupancy(&mut self, ch: netsim::id::ChannelId) -> usize {
+        let i = ch.index();
+        if self.q.len() <= i {
+            self.q.resize(i + 1, 0);
+        }
+        self.q[i]
+    }
+}
+
+impl Tracer for QlenModel {
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Enqueue { channel, qlen, .. } => {
+                self.enqueues += 1;
+                let q = self.occupancy(*channel);
+                if *qlen != q + 1 {
+                    self.violations.push(format!(
+                        "t={now:?} {channel:?}: enqueue to qlen {qlen}, expected {}",
+                        q + 1
+                    ));
+                }
+                self.q[channel.index()] = *qlen;
+            }
+            TraceEvent::Drop {
+                channel,
+                qlen,
+                reason,
+                ..
+            } => {
+                self.drops += 1;
+                let q = self.occupancy(*channel);
+                if *qlen != q {
+                    self.violations.push(format!(
+                        "t={now:?} {channel:?}: {reason:?} drop at qlen {qlen}, model has {q}"
+                    ));
+                }
+            }
+            TraceEvent::TxStart { channel, qlen, .. } => {
+                self.tx_starts += 1;
+                let q = self.occupancy(*channel);
+                let direct = q == 0 && *qlen == 0;
+                let dequeued = *qlen + 1 == q;
+                if !(direct || dequeued) {
+                    self.violations.push(format!(
+                        "t={now:?} {channel:?}: tx start at qlen {qlen}, model has {q}"
+                    ));
+                }
+                self.q[channel.index()] = *qlen;
+            }
+            TraceEvent::Arrive { .. } | TraceEvent::Deliver { .. } => {}
+        }
+    }
+}
+
+/// A random multicast tree under blaster load, with the model installed
+/// as the run's tracer.
+fn run_traced_tree(
+    seed: u64,
+    arity: usize,
+    depth: usize,
+    bandwidth_kbps: u64,
+    count: u32,
+    limit: usize,
+) -> Result<(), TestCaseError> {
+    use netsim::agent::Sink;
+    use netsim::topology::{kary_tree, LinkSpec};
+
+    let mut engine = Engine::new(seed);
+    let spec = LinkSpec::new(
+        bandwidth_kbps * 1000,
+        SimDuration::from_millis(5),
+        QueueConfig::DropTail { limit },
+    );
+    let specs = vec![spec; depth];
+    let tree = kary_tree(&mut engine, arity, &specs);
+    let group = engine.new_group();
+    for &leaf in tree.leaves().iter() {
+        let s = engine.add_agent(leaf, Box::new(Sink::default()));
+        engine.join_group(group, s);
+    }
+
+    struct Blaster {
+        group: GroupId,
+        count: u32,
+    }
+    impl netsim::agent::Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(Dest::Group(self.group), 1000, Segment::Raw);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let blaster = engine.add_agent(tree.root, Box::new(Blaster { group, count }));
+    engine.compute_routes();
+    engine.build_group_tree(group, tree.root);
+    engine.start_agent_at(blaster, SimTime::ZERO);
+
+    let model = Rc::new(RefCell::new(QlenModel::default()));
+    engine.set_tracer(model.clone());
+    engine.run_until(SimTime::from_secs(120));
+
+    let model = model.borrow();
+    prop_assert!(
+        model.violations.is_empty(),
+        "{} qlen inconsistencies, first: {}",
+        model.violations.len(),
+        model.violations[0]
+    );
+    // The tracer and the always-on digest watched the same stream.
+    let digest = engine.trace_digest();
+    prop_assert_eq!(model.enqueues, digest.enqueues);
+    prop_assert_eq!(model.drops, digest.drops);
+    prop_assert_eq!(model.tx_starts, digest.tx_starts);
+    // Fan-out sanity: multicast duplication means channels saw at least
+    // as many transmissions as injected packets (the root link alone
+    // carries all of them).
+    prop_assert!(digest.tx_starts >= count as u64 - digest.drops.min(count as u64));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qlen_fields_are_self_consistent_under_fanout(
+        seed in 0u64..1000,
+        arity in 1usize..4,
+        depth in 1usize..4,
+        bandwidth_kbps in 100u64..10_000,
+        count in 1u32..200,
+        limit in 1usize..32,
+    ) {
+        run_traced_tree(seed, arity, depth, bandwidth_kbps, count, limit)?;
+    }
+}
