@@ -129,11 +129,15 @@ fn main() {
         }
     }
     experiments::emit_scenario_manifest("debug_probe", scenario.duration, std::slice::from_ref(&r));
+    // A scenario without competing TCP flows has no worst/best row.
+    let tcp_pps = |t: Option<&experiments::metrics::TcpRow>| {
+        t.map_or("n/a".to_string(), |t| format!("{:.1}", t.throughput_pps))
+    };
     println!(
-        "RLA {:.1} pkt/s | WTCP {:.1} | BTCP {:.1} | avgTCP {:.1}",
+        "RLA {:.1} pkt/s | WTCP {} | BTCP {} | avgTCP {:.1}",
         r.rla[0].throughput_pps,
-        r.worst_tcp().unwrap().throughput_pps,
-        r.best_tcp().unwrap().throughput_pps,
+        tcp_pps(r.worst_tcp()),
+        tcp_pps(r.best_tcp()),
         r.avg_tcp_throughput()
     );
 }

@@ -20,6 +20,8 @@
 //!   [`telemetry_options`] (see `EXPERIMENTS.md` for the full story).
 //! * `RLA_PROGRESS` — per-job heartbeat lines on stderr during sweeps
 //!   (`1`/`on` to enable; default off so test output stays clean).
+//! * `RLA_DIFF_THRESHOLD_PCT` — drift threshold for the `rla_diff`
+//!   manifest-comparison tool (percent; the `--threshold` flag wins).
 //!
 //! Any other variable in the `RLA_` namespace is rejected with the list
 //! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
@@ -44,13 +46,14 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 12] = [
+pub const KNOWN_ENV_VARS: [&str; 13] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
     "RLA_RESULTS_DIR",
     "RLA_BENCH_BASELINE",
     "RLA_BENCH_GATE_PCT",
+    "RLA_DIFF_THRESHOLD_PCT",
     "RLA_PROGRESS",
     "RLA_TELEMETRY",
     "RLA_TELEMETRY_SAMPLE_MS",
@@ -156,7 +159,7 @@ pub struct TelemetryOptions {
     /// Record per-flow timelines (`RLA_TELEMETRY=timeline`/`on`/`1`).
     pub timeline: bool,
     /// Sampling period for the timeline recorder
-    /// (`RLA_TELEMETRY_SAMPLE_MS`, default 500 ms, floor 1 ms).
+    /// (`RLA_TELEMETRY_SAMPLE_MS`, default 500 ms; 0 is rejected).
     pub sample_period: SimDuration,
     /// Timeline export format (`RLA_TELEMETRY_FORMAT=jsonl|csv`).
     pub format: TimelineFormat,
@@ -180,41 +183,77 @@ impl Default for TelemetryOptions {
     }
 }
 
-/// Parse the `RLA_TELEMETRY*` knobs. Unrecognized values fail loudly,
-/// like every other knob in this module.
+/// Parse the `RLA_TELEMETRY*` knobs from the process environment.
+/// Unrecognized values fail loudly, like every other knob in this module.
 pub fn telemetry_options() -> TelemetryOptions {
     enforce_known_env();
+    telemetry_options_from(|name| std::env::var(name).ok())
+}
+
+/// [`telemetry_options`] over an arbitrary variable source — pure, so the
+/// rejection paths are testable without mutating the process environment
+/// (the same split as [`unknown_rla_vars_from`]).
+pub fn telemetry_options_from(get: impl Fn(&str) -> Option<String>) -> TelemetryOptions {
     let mut opts = TelemetryOptions::default();
-    if let Ok(v) = std::env::var("RLA_TELEMETRY") {
+    if let Some(v) = get("RLA_TELEMETRY") {
         opts.timeline = match v.as_str() {
             "timeline" | "on" | "1" => true,
             "off" | "0" | "" => false,
             other => panic!("RLA_TELEMETRY={other:?}: expected timeline|on|1|off|0"),
         };
     }
-    if let Ok(v) = std::env::var("RLA_TELEMETRY_SAMPLE_MS") {
+    if let Some(v) = get("RLA_TELEMETRY_SAMPLE_MS") {
         let ms: u64 = v
             .parse()
             .unwrap_or_else(|_| panic!("RLA_TELEMETRY_SAMPLE_MS={v:?}: expected milliseconds"));
-        opts.sample_period = SimDuration::from_millis(ms.max(1));
+        // 0 would reach TimelineRecorder::new's `!period.is_zero()`
+        // assertion and panic without naming the knob; reject it here
+        // with the message the other knobs use.
+        assert!(
+            ms > 0,
+            "RLA_TELEMETRY_SAMPLE_MS=0: the sampling period must be at least 1 ms"
+        );
+        opts.sample_period = SimDuration::from_millis(ms);
     }
-    if let Ok(v) = std::env::var("RLA_TELEMETRY_FORMAT") {
+    if let Some(v) = get("RLA_TELEMETRY_FORMAT") {
         opts.format = match v.as_str() {
             "jsonl" => TimelineFormat::Jsonl,
             "csv" => TimelineFormat::Csv,
             other => panic!("RLA_TELEMETRY_FORMAT={other:?}: expected jsonl|csv"),
         };
     }
-    if let Ok(v) = std::env::var("RLA_TELEMETRY_DIR") {
+    if let Some(v) = get("RLA_TELEMETRY_DIR") {
         opts.dir = PathBuf::from(v);
     }
-    if let Ok(v) = std::env::var("RLA_TELEMETRY_FLIGHT_DEPTH") {
+    if let Some(v) = get("RLA_TELEMETRY_FLIGHT_DEPTH") {
         let depth: usize = v.parse().unwrap_or_else(|_| {
             panic!("RLA_TELEMETRY_FLIGHT_DEPTH={v:?}: expected a packet count")
         });
         opts.flight_depth = depth.max(1);
     }
     opts
+}
+
+/// The `rla_diff` drift threshold from `RLA_DIFF_THRESHOLD_PCT`, percent.
+/// `None` when unset — the tool then uses its built-in default (or the
+/// `--threshold` flag, which beats the environment either way).
+pub fn diff_threshold_pct() -> Option<f64> {
+    enforce_known_env();
+    diff_threshold_pct_from(|name| std::env::var(name).ok())
+}
+
+/// [`diff_threshold_pct`] over an arbitrary variable source (pure).
+pub fn diff_threshold_pct_from(get: impl Fn(&str) -> Option<String>) -> Option<f64> {
+    get("RLA_DIFF_THRESHOLD_PCT").map(|v| {
+        let pct: f64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("RLA_DIFF_THRESHOLD_PCT={v:?}: expected a percentage"));
+        assert!(
+            pct.is_finite() && pct >= 0.0,
+            "RLA_DIFF_THRESHOLD_PCT={v:?}: expected a non-negative percentage"
+        );
+        pct
+    })
 }
 
 /// The bench regression gate: `RLA_BENCH_GATE_PCT` as a percentage
@@ -311,6 +350,47 @@ mod tests {
         if std::env::var("RLA_BENCH_GATE_PCT").is_err() {
             assert_eq!(bench_gate_pct(), None);
         }
+    }
+
+    #[test]
+    fn telemetry_options_parse_from_a_variable_source() {
+        let env = |pairs: &'static [(&'static str, &'static str)]| {
+            move |name: &str| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        let opts = telemetry_options_from(env(&[
+            ("RLA_TELEMETRY", "timeline"),
+            ("RLA_TELEMETRY_SAMPLE_MS", "250"),
+            ("RLA_TELEMETRY_FORMAT", "csv"),
+        ]));
+        assert!(opts.timeline);
+        assert_eq!(opts.sample_period, SimDuration::from_millis(250));
+        assert_eq!(opts.format, TimelineFormat::Csv);
+        assert_eq!(
+            diff_threshold_pct_from(env(&[("RLA_DIFF_THRESHOLD_PCT", "2.5")])),
+            Some(2.5)
+        );
+        assert_eq!(diff_threshold_pct_from(env(&[])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 ms")]
+    fn zero_sample_period_is_rejected_with_a_named_knob() {
+        // Regression: RLA_TELEMETRY_SAMPLE_MS=0 used to reach
+        // TimelineRecorder::new's bare `!period.is_zero()` assertion.
+        telemetry_options_from(|name| (name == "RLA_TELEMETRY_SAMPLE_MS").then(|| "0".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative percentage")]
+    fn negative_diff_threshold_is_rejected() {
+        diff_threshold_pct_from(|name| {
+            (name == "RLA_DIFF_THRESHOLD_PCT").then(|| "-3".to_string())
+        });
     }
 
     #[test]

@@ -24,11 +24,16 @@
 //! Run lengths follow the paper (3000 s) unless `RLA_DURATION_SECS` says
 //! otherwise; every binary reads its knobs through [`cli`] and describes
 //! its scenarios with [`ScenarioSpec`] (see [`prelude`]).
+//!
+//! Two further binaries are tooling rather than paper artifacts:
+//! `debug_probe` (timeline-recorded diagnostic run) and `rla_diff`
+//! (registry comparison between two run manifests, see [`diff`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod diff;
 pub mod manifest;
 pub mod metrics;
 pub mod plots;

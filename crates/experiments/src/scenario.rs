@@ -579,6 +579,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_emits_a_final_sample_at_the_end_of_partial_periods() {
+        // duration = 2.5 × sampling period: the `run_until(min(now +
+        // period, end))` stepping loop must emit one last sample at `end`
+        // even though `end` is not on a period boundary — a truncated
+        // timeline would silently hide everything after the last full
+        // tick.
+        let scenario = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::DropTail)
+            .with_duration(SimDuration::from_secs(150));
+        let opts = TelemetryOptions {
+            timeline: true,
+            sample_period: SimDuration::from_secs(60),
+            ..TelemetryOptions::default()
+        };
+        let mut world = scenario.build();
+        let (_, rec) = world.run_with_telemetry(&scenario, &opts);
+        assert!(!rec.series().is_empty());
+        for s in rec.series() {
+            let times: Vec<f64> = s.samples.iter().map(|(t, _)| t.as_secs_f64()).collect();
+            // Warmup ends at 20 s; full ticks at 80 s and 140 s; the
+            // final partial tick lands exactly on end-of-run.
+            assert_eq!(times, vec![20.0, 80.0, 140.0, 150.0], "series {}", s.name);
+        }
+    }
+
+    #[test]
     fn two_sessions_split_evenly() {
         let mut s = TreeScenario::paper(CongestionCase::Case3AllLeaves, GatewayKind::DropTail)
             .with_duration(SimDuration::from_secs(150));

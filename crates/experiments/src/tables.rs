@@ -69,34 +69,33 @@ pub fn render_throughput_table(title: &str, results: &[ScenarioResult]) -> Strin
             .collect(),
     );
 
+    // A scenario with zero competing TCP flows has no worst/best row;
+    // render `n/a` cells rather than refusing to print the RLA block.
     for (label, pick) in [("WTCP", true), ("BTCP", false)] {
-        let rows: Vec<&crate::metrics::TcpRow> = results
+        let rows: Vec<Option<&crate::metrics::TcpRow>> = results
             .iter()
-            .map(|r| {
-                if pick {
-                    r.worst_tcp().expect("tcp rows")
-                } else {
-                    r.best_tcp().expect("tcp rows")
-                }
-            })
+            .map(|r| if pick { r.worst_tcp() } else { r.best_tcp() })
             .collect();
+        let cells = |fmt: &dyn Fn(&crate::metrics::TcpRow) -> String| -> Vec<String> {
+            rows.iter()
+                .map(|t| t.map_or_else(|| "n/a".to_string(), fmt))
+                .collect()
+        };
         row(
             &format!("{label} thrput (pkt/sec)"),
-            rows.iter()
-                .map(|t| format!("{:.1}", t.throughput_pps))
-                .collect(),
+            cells(&|t| format!("{:.1}", t.throughput_pps)),
         );
         row(
             &format!("{label} cwnd"),
-            rows.iter().map(|t| format!("{:.1}", t.cwnd_avg)).collect(),
+            cells(&|t| format!("{:.1}", t.cwnd_avg)),
         );
         row(
             &format!("{label} RTT (sec)"),
-            rows.iter().map(|t| format!("{:.3}", t.rtt_avg)).collect(),
+            cells(&|t| format!("{:.3}", t.rtt_avg)),
         );
         row(
             &format!("{label} # wnd cut"),
-            rows.iter().map(|t| format!("{}", t.window_cuts)).collect(),
+            cells(&|t| format!("{}", t.window_cuts)),
         );
     }
     out
@@ -130,18 +129,28 @@ pub fn render_signal_table(results: &[ScenarioResult]) -> String {
                 .map(|&j| rla.cong_signals_per_receiver[j])
                 .collect();
             let tcp_counts: Vec<u64> = idxs.iter().map(|&j| r.tcp[j].window_cuts).collect();
-            let rs = BranchSignalStats::from_counts(&rla_counts).expect("branches");
-            let ts = BranchSignalStats::from_counts(&tcp_counts).expect("branches");
+            // Empty branch groups (e.g. zero TCP flows) render as n/a
+            // instead of refusing to summarize the rest of the table.
+            let cells = |s: Option<BranchSignalStats>| match s {
+                Some(s) => (
+                    s.worst.to_string(),
+                    s.best.to_string(),
+                    format!("{:.1}", s.average),
+                ),
+                None => ("n/a".to_string(), "n/a".to_string(), "n/a".to_string()),
+            };
+            let (rw, rb, ra) = cells(BranchSignalStats::from_counts(&rla_counts));
+            let (tw, tb, ta) = cells(BranchSignalStats::from_counts(&tcp_counts));
             out.push_str(&format!(
-                "{:<10}{:<18}{:>8}{:>8}{:>10.1}  |{:>8}{:>8}{:>10.1}\n",
+                "{:<10}{:<18}{:>8}{:>8}{:>10}  |{:>8}{:>8}{:>10}\n",
                 i + 1,
                 name,
-                rs.worst,
-                rs.best,
-                rs.average,
-                ts.worst,
-                ts.best,
-                ts.average
+                rw,
+                rb,
+                ra,
+                tw,
+                tb,
+                ta
             ));
         }
     }
@@ -156,12 +165,28 @@ pub fn render_fig10_table(results: &[ScenarioResult]) -> String {
         "case", "links", "RLAthr", "cwnd", "RTT", "#cong", "#cut", "#forc", "WTCPthr", "cwnd",
         "RTT", "#cut", "BTCPthr", "cwnd", "RTT", "#cut"
     ));
+    // Like the figure-7 table, zero-TCP scenarios get n/a cells in the
+    // WTCP/BTCP blocks rather than a panic.
+    let tcp_cells = |t: Option<&crate::metrics::TcpRow>| match t {
+        Some(t) => (
+            format!("{:.1}", t.throughput_pps),
+            format!("{:.1}", t.cwnd_avg),
+            format!("{:.3}", t.rtt_avg),
+            t.window_cuts.to_string(),
+        ),
+        None => (
+            "n/a".to_string(),
+            "n/a".to_string(),
+            "n/a".to_string(),
+            "n/a".to_string(),
+        ),
+    };
     for (i, r) in results.iter().enumerate() {
         let a = &r.rla[0];
-        let w = r.worst_tcp().expect("tcp rows");
-        let b = r.best_tcp().expect("tcp rows");
+        let (wt, wc, wr, ww) = tcp_cells(r.worst_tcp());
+        let (bt, bc, br, bw) = tcp_cells(r.best_tcp());
         out.push_str(&format!(
-            "{:<6}{:<16}{:>10.1}{:>8.1}{:>8.3}{:>10}{:>8}{:>8} |{:>10.1}{:>8.1}{:>8.3}{:>8} |{:>10.1}{:>8.1}{:>8.3}{:>8}\n",
+            "{:<6}{:<16}{:>10.1}{:>8.1}{:>8.3}{:>10}{:>8}{:>8} |{:>10}{:>8}{:>8}{:>8} |{:>10}{:>8}{:>8}{:>8}\n",
             i + 1,
             r.case_label,
             a.throughput_pps,
@@ -170,14 +195,14 @@ pub fn render_fig10_table(results: &[ScenarioResult]) -> String {
             a.cong_signals,
             a.window_cuts,
             a.forced_cuts,
-            w.throughput_pps,
-            w.cwnd_avg,
-            w.rtt_avg,
-            w.window_cuts,
-            b.throughput_pps,
-            b.cwnd_avg,
-            b.rtt_avg,
-            b.window_cuts
+            wt,
+            wc,
+            wr,
+            ww,
+            bt,
+            bc,
+            br,
+            bw
         ));
     }
     out
@@ -248,5 +273,26 @@ mod tests {
         let t = render_fig10_table(&[fake_result()]);
         assert!(t.contains("144.1"));
         assert!(t.contains("WTCP"));
+    }
+
+    #[test]
+    fn zero_tcp_scenarios_render_na_cells_instead_of_panicking() {
+        let mut r = fake_result();
+        r.tcp.clear();
+        r.rla[0].cong_signals_per_receiver.clear();
+
+        let t = render_throughput_table("figure 7", &[r.clone()]);
+        assert!(t.contains("RLA thrput"));
+        assert!(t.contains("144.1"));
+        assert!(t.contains("WTCP thrput"));
+        assert!(t.contains("n/a"));
+
+        let t = render_fig10_table(&[r.clone()]);
+        assert!(t.contains("144.1"));
+        assert!(t.contains("n/a"));
+
+        let t = render_signal_table(&[r]);
+        assert!(t.contains("all links"));
+        assert!(t.contains("n/a"));
     }
 }

@@ -133,6 +133,13 @@ impl Registry {
 
     /// A point-in-time copy of every metric, sorted by name so manifests
     /// and diffs are stable regardless of registration order.
+    ///
+    /// Ordering contract: entries are sorted by byte-lexicographic
+    /// comparison of the full metric name (so `tcp.10.x` precedes
+    /// `tcp.2.x`), names are unique, and two registries holding the same
+    /// metrics snapshot identically however registration was interleaved.
+    /// The manifest `registry` sections and the `rla_diff` key alignment
+    /// both rely on this.
     pub fn snapshot(&self) -> Snapshot {
         let mut entries: Vec<SnapshotEntry> = self
             .metrics
@@ -254,6 +261,37 @@ mod tests {
         assert_eq!(s.get("m.mid"), Some(MetricValue::Counter(3)));
         assert_eq!(s.get("a.first"), Some(MetricValue::Gauge(1.0)));
         assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_order_is_a_stable_byte_lexicographic_contract() {
+        // Same metrics, opposite registration orders: identical snapshots.
+        let mut a = Registry::new();
+        a.record_count("net.offered", 7);
+        a.record_gauge("chan.L1.utilization", 0.5);
+        a.record_count("engine.drops", 2);
+        let mut b = Registry::new();
+        b.record_count("engine.drops", 2);
+        b.record_count("net.offered", 7);
+        b.record_gauge("chan.L1.utilization", 0.5);
+        assert_eq!(a.snapshot(), b.snapshot());
+
+        // Byte order, not numeric order: tcp.10 sorts before tcp.2. The
+        // manifest emitter and rla_diff both pin this exact order.
+        let mut c = Registry::new();
+        c.record_count("tcp.2.delivered", 0);
+        c.record_count("tcp.10.delivered", 0);
+        let snap = c.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["tcp.10.delivered", "tcp.2.delivered"]);
+
+        // Snapshots are point-in-time: later updates don't leak in.
+        let mut r = Registry::new();
+        let id = r.counter("x");
+        let before = r.snapshot();
+        r.inc(id);
+        assert_eq!(before.get("x"), Some(MetricValue::Counter(0)));
+        assert_eq!(r.snapshot().get("x"), Some(MetricValue::Counter(1)));
     }
 
     #[test]

@@ -199,14 +199,61 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// RFC-4180 CSV field: wrapped in double quotes with inner quotes doubled
+/// when the value contains a comma, quote or line break; verbatim
+/// otherwise. Series names come from topology labels, so they are not
+/// guaranteed comma-free.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains([',', '"', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut quoted = String::with_capacity(s.len() + 2);
+    quoted.push('"');
+    for c in s.chars() {
+        if c == '"' {
+            quoted.push('"');
+        }
+        quoted.push(c);
+    }
+    quoted.push('"');
+    std::borrow::Cow::Owned(quoted)
+}
+
+/// JSON string-escape the characters our series names could smuggle into
+/// a JSONL record (quote, backslash, control characters).
+fn json_escaped(s: &str) -> std::borrow::Cow<'_, str> {
+    use std::fmt::Write as _;
+    if !s
+        .chars()
+        .any(|c| c == '"' || c == '\\' || (c as u32) < 0x20)
+    {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 fn render_jsonl(out: &mut String, t: SimTime, name: &str, kind: &str, sample: &Sample) {
     use std::fmt::Write as _;
     let _ = write!(
         out,
         "{{\"t\":{},\"series\":\"{}\",\"kind\":\"{}\"",
         fmt_f64(t.as_secs_f64()),
-        name,
-        kind
+        json_escaped(name),
+        json_escaped(kind)
     );
     match sample {
         Sample::Flow(f) => {
@@ -240,8 +287,8 @@ fn render_csv(out: &mut String, t: SimTime, name: &str, kind: &str, sample: &Sam
                 out,
                 "{},{},{},{},{},{},{},,",
                 fmt_f64(t.as_secs_f64()),
-                name,
-                kind,
+                csv_field(name),
+                csv_field(kind),
                 fmt_f64(f.cwnd),
                 opt(f.ssthresh),
                 opt(f.awnd),
@@ -253,8 +300,8 @@ fn render_csv(out: &mut String, t: SimTime, name: &str, kind: &str, sample: &Sam
                 out,
                 "{},{},{},,,,,{},{}",
                 fmt_f64(t.as_secs_f64()),
-                name,
-                kind,
+                csv_field(name),
+                csv_field(kind),
                 c.qlen,
                 opt(c.red_avg),
             );
@@ -332,6 +379,55 @@ mod tests {
     #[test]
     fn sample_count_sums_series() {
         assert_eq!(recorder_with_data().sample_count(), 3);
+    }
+
+    #[test]
+    fn csv_quotes_series_names_per_rfc_4180() {
+        let mut r = TimelineRecorder::new(SimDuration::from_millis(500));
+        let c = r.add_channel("chan.\"left\",L1");
+        r.record_channel(
+            c,
+            SimTime::from_secs(1),
+            ChannelSample {
+                qlen: 4,
+                red_avg: None,
+            },
+        );
+        let out = r.render(TimelineFormat::Csv);
+        let row = out.lines().nth(1).expect("data row");
+        // The name is quoted with inner quotes doubled, so the embedded
+        // comma does not split the row.
+        assert!(
+            row.contains(r#""chan.""left"",L1""#),
+            "unquoted series name: {row}"
+        );
+        // Outside quoted fields the row still has the 9-column shape.
+        let unquoted_commas = {
+            let mut depth_in_quotes = false;
+            row.chars()
+                .filter(|&ch| {
+                    if ch == '"' {
+                        depth_in_quotes = !depth_in_quotes;
+                    }
+                    ch == ',' && !depth_in_quotes
+                })
+                .count()
+        };
+        assert_eq!(unquoted_commas, 8, "{row}");
+        // Plain names stay unquoted.
+        assert_eq!(csv_field("chan.L1"), "chan.L1");
+    }
+
+    #[test]
+    fn jsonl_escapes_series_names() {
+        let mut r = TimelineRecorder::new(SimDuration::from_millis(500));
+        let c = r.add_channel("chan.\"x\"\\y");
+        r.record_channel(c, SimTime::from_secs(1), ChannelSample::default());
+        let out = r.render(TimelineFormat::Jsonl);
+        assert!(
+            out.contains(r#""series":"chan.\"x\"\\y""#),
+            "unescaped name: {out}"
+        );
     }
 
     #[test]

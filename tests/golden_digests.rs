@@ -12,7 +12,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bounded_fairness::experiments::manifest::scenario_manifest;
+use bounded_fairness::experiments::diff::{diff_manifests, render_table, DiffOptions};
+use bounded_fairness::experiments::manifest::{scenario_manifest, Json};
 use bounded_fairness::experiments::{CongestionCase, GatewayKind, ScenarioResult, TreeScenario};
 use netsim::time::SimDuration;
 use telemetry::{FlightDumpGuard, FlightRecorder};
@@ -52,6 +53,28 @@ fn extract(json: &str, key: &str) -> String {
     raw.trim().trim_matches('"').to_string()
 }
 
+/// On digest drift, diff the fresh run's registry against the committed
+/// manifest so the failure names the metrics that moved ("retransmits
+/// doubled on chan.L3.4") instead of just "hash mismatch". Degrades to a
+/// one-line note when the committed manifest predates registry sections.
+fn registry_diff_report(name: &str, committed: &str, r: &ScenarioResult) -> String {
+    let baseline = match Json::parse(committed) {
+        Ok(json) => json,
+        Err(e) => return format!("(no registry diff: committed {name} manifest: {e})"),
+    };
+    let candidate = scenario_manifest(name, SimDuration::from_secs(60), std::slice::from_ref(r));
+    match diff_manifests(&baseline, &candidate, &DiffOptions::default()) {
+        Ok(d) if d.has_drift() => format!(
+            "registry diff, committed golden -> this run:\n{}",
+            render_table(&d)
+        ),
+        Ok(_) => "registry diff: no metric moved beyond the default threshold \
+                  (the drift is in event timing only)"
+            .to_string(),
+        Err(e) => format!("(no registry diff: {e})"),
+    }
+}
+
 fn check(name: &str, gateway: GatewayKind) {
     let committed = std::fs::read_to_string(golden_path(name)).unwrap_or_else(|e| {
         panic!("missing committed golden manifest {name}: {e}; regenerate with `cargo test --test golden_digests -- --ignored regenerate`")
@@ -59,12 +82,17 @@ fn check(name: &str, gateway: GatewayKind) {
     let (r, recorder) = run_scenario(gateway);
     // Dumps the ring to stderr iff one of the asserts below panics.
     let _flight = FlightDumpGuard::new(name, recorder);
-    assert_eq!(
-        format!("{:016x}", r.trace_digest),
-        extract(&committed, "trace_digest"),
-        "{name}: trace digest drifted from the committed manifest — if the \
-         behaviour change is intended, regenerate the goldens"
-    );
+    let got_digest = format!("{:016x}", r.trace_digest);
+    let want_digest = extract(&committed, "trace_digest");
+    if got_digest != want_digest {
+        eprintln!("{}", registry_diff_report(name, &committed, &r));
+        panic!(
+            "{name}: trace digest drifted from the committed manifest \
+             (got {got_digest}, committed {want_digest}) — the registry diff \
+             above says which metrics moved; if the behaviour change is \
+             intended, regenerate the goldens"
+        );
+    }
     assert_eq!(
         r.trace_events.to_string(),
         extract(&committed, "trace_events"),
