@@ -1,0 +1,281 @@
+//! Background cross traffic: a Poisson short-flow generator.
+//!
+//! The paper's §5 evaluation runs against persistent bulk TCP only; the
+//! dynamic-scenario work layers web-like cross traffic over the same
+//! bottlenecks. [`PoissonFlowSource`] models an aggregate of short flows:
+//! flow arrivals are a Poisson process (exponential inter-arrival times
+//! drawn from the engine RNG, so runs stay deterministic per seed), each
+//! flow is a geometric-ish burst of raw unicast packets toward a randomly
+//! chosen sink, sent back-to-back so the burst contends for queue space
+//! exactly like a short TCP flow's initial window would.
+//!
+//! [`BurstSource`] is the one-shot variant used by scheduled
+//! `StartBackgroundFlow` events: a fixed-size burst to a fixed sink, fired
+//! when the agent is started.
+
+use std::any::Any;
+
+use rand::Rng;
+
+use netsim::agent::Agent;
+use netsim::engine::Context;
+use netsim::id::AgentId;
+use netsim::packet::{Dest, Packet};
+use netsim::time::SimDuration;
+use netsim::wire::Segment;
+
+/// Timer token: the next flow arrival.
+const ARRIVAL_TOKEN: u64 = 1;
+
+/// Shape of the background-traffic aggregate.
+#[derive(Debug, Clone)]
+pub struct BackgroundConfig {
+    /// Mean flow arrival rate, flows per second (the Poisson intensity).
+    pub flows_per_sec: f64,
+    /// Mean flow length, packets (exponential, rounded up).
+    pub mean_flow_packets: f64,
+    /// Cap on a single flow's length, packets (keeps one unlucky draw from
+    /// hogging a bottleneck for the rest of the run).
+    pub max_flow_packets: u32,
+    /// Packet size, bytes.
+    pub packet_size: u32,
+}
+
+impl BackgroundConfig {
+    /// An aggregate of `flows_per_sec` short flows averaging
+    /// `mean_flow_packets` packets, with the default packet size and cap.
+    pub fn new(flows_per_sec: f64, mean_flow_packets: f64) -> Self {
+        assert!(
+            flows_per_sec > 0.0 && flows_per_sec.is_finite(),
+            "background flow rate must be positive and finite"
+        );
+        assert!(
+            mean_flow_packets >= 1.0 && mean_flow_packets.is_finite(),
+            "mean flow length must be at least one packet"
+        );
+        BackgroundConfig {
+            flows_per_sec,
+            mean_flow_packets,
+            max_flow_packets: 256,
+            packet_size: 1000,
+        }
+    }
+}
+
+/// What the generator has injected so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackgroundStats {
+    /// Flows started.
+    pub flows: u64,
+    /// Packets sent across all flows.
+    pub packets: u64,
+    /// Bytes sent across all flows.
+    pub bytes: u64,
+}
+
+/// A Poisson short-flow background-traffic agent. Place it at a node whose
+/// routes toward `sinks` cross the links under study; every flow picks one
+/// sink uniformly at random.
+#[derive(Debug)]
+pub struct PoissonFlowSource {
+    cfg: BackgroundConfig,
+    sinks: Vec<AgentId>,
+    /// Running totals.
+    pub stats: BackgroundStats,
+}
+
+impl PoissonFlowSource {
+    /// A source that sprays flows at the given sinks.
+    pub fn new(cfg: BackgroundConfig, sinks: Vec<AgentId>) -> Self {
+        assert!(
+            !sinks.is_empty(),
+            "background source needs at least one sink"
+        );
+        PoissonFlowSource {
+            cfg,
+            sinks,
+            stats: BackgroundStats::default(),
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_>) {
+        let u: f64 = ctx.rng().gen::<f64>().max(1e-12);
+        let gap = SimDuration::from_secs_f64(-u.ln() / self.cfg.flows_per_sec);
+        ctx.set_timer(gap, ARRIVAL_TOKEN);
+    }
+
+    fn start_flow(&mut self, ctx: &mut Context<'_>) {
+        let sink = self.sinks[ctx.rng().gen_range(0..self.sinks.len())];
+        let u: f64 = ctx.rng().gen::<f64>().max(1e-12);
+        let len = ((-u.ln() * self.cfg.mean_flow_packets).ceil() as u32)
+            .clamp(1, self.cfg.max_flow_packets);
+        for _ in 0..len {
+            ctx.send(Dest::Agent(sink), self.cfg.packet_size, Segment::Raw);
+        }
+        self.stats.flows += 1;
+        self.stats.packets += u64::from(len);
+        self.stats.bytes += u64::from(len) * u64::from(self.cfg.packet_size);
+    }
+}
+
+impl Agent for PoissonFlowSource {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        debug_assert_eq!(token, ARRIVAL_TOKEN);
+        self.start_flow(ctx);
+        self.schedule_next(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A one-shot burst toward a fixed sink, fired when the agent starts —
+/// the executor behind scheduled `StartBackgroundFlow` events.
+#[derive(Debug)]
+pub struct BurstSource {
+    sink: AgentId,
+    packets: u32,
+    packet_size: u32,
+    /// Packets actually injected (0 until started).
+    pub sent: u64,
+}
+
+impl BurstSource {
+    /// A burst of `packets` packets of `packet_size` bytes toward `sink`.
+    pub fn new(sink: AgentId, packets: u32, packet_size: u32) -> Self {
+        assert!(packets > 0, "a background burst must carry packets");
+        BurstSource {
+            sink,
+            packets,
+            packet_size,
+            sent: 0,
+        }
+    }
+}
+
+impl Agent for BurstSource {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..self.packets {
+            ctx.send(Dest::Agent(self.sink), self.packet_size, Segment::Raw);
+        }
+        self.sent += u64::from(self.packets);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::agent::Sink;
+    use netsim::engine::Engine;
+    use netsim::queue::QueueConfig;
+    use netsim::time::SimTime;
+    use netsim::topology::{kary_tree, LinkSpec};
+
+    fn two_leaf_world(seed: u64) -> (Engine, Vec<AgentId>) {
+        let mut e = Engine::new(seed);
+        let spec = LinkSpec::new(
+            10_000_000,
+            SimDuration::from_millis(5),
+            QueueConfig::paper_droptail(),
+        );
+        let tree = kary_tree(&mut e, 2, std::slice::from_ref(&spec));
+        let sinks: Vec<AgentId> = tree
+            .leaves()
+            .iter()
+            .map(|&n| e.add_agent(n, Box::new(Sink::default())))
+            .collect();
+        (e, sinks)
+    }
+
+    #[test]
+    fn poisson_source_injects_flows_at_roughly_the_configured_rate() {
+        let (mut e, sinks) = two_leaf_world(3);
+        let root = netsim::id::NodeId(0);
+        let src = e.add_agent(
+            root,
+            Box::new(PoissonFlowSource::new(
+                BackgroundConfig::new(5.0, 10.0),
+                sinks,
+            )),
+        );
+        e.compute_routes();
+        e.start_agent_at(src, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(100));
+        let s: &PoissonFlowSource = e.agent_as(src).unwrap();
+        // ~500 flows expected; allow generous slack for the seeded draw.
+        assert!(
+            s.stats.flows > 300 && s.stats.flows < 800,
+            "flows = {}",
+            s.stats.flows
+        );
+        assert!(s.stats.packets >= s.stats.flows);
+        assert_eq!(s.stats.bytes, s.stats.packets * 1000);
+    }
+
+    #[test]
+    fn poisson_source_is_deterministic_per_seed() {
+        let run = |seed| {
+            let (mut e, sinks) = two_leaf_world(seed);
+            let src = e.add_agent(
+                netsim::id::NodeId(0),
+                Box::new(PoissonFlowSource::new(
+                    BackgroundConfig::new(2.0, 8.0),
+                    sinks,
+                )),
+            );
+            e.compute_routes();
+            e.start_agent_at(src, SimTime::ZERO);
+            e.run_until(SimTime::from_secs(50));
+            let s: &PoissonFlowSource = e.agent_as(src).unwrap();
+            (s.stats.flows, s.stats.packets, e.trace_digest().value())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2);
+    }
+
+    #[test]
+    fn burst_source_delivers_its_burst() {
+        let (mut e, sinks) = two_leaf_world(1);
+        let target = sinks[0];
+        // 15 packets fit under the paper drop-tail limit of 20, so the
+        // whole burst must arrive.
+        let src = e.add_agent(
+            netsim::id::NodeId(0),
+            Box::new(BurstSource::new(target, 15, 1000)),
+        );
+        e.compute_routes();
+        e.start_agent_at(src, SimTime::from_secs(1));
+        e.run_until(SimTime::from_secs(5));
+        let s: &BurstSource = e.agent_as(src).unwrap();
+        assert_eq!(s.sent, 15);
+        let sink: &Sink = e.agent_as(target).unwrap();
+        assert_eq!(sink.received, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_flow_rate_rejected() {
+        BackgroundConfig::new(0.0, 10.0);
+    }
+}

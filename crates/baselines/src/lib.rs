@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod background;
 pub mod ltrc;
 pub mod mbfc;
 pub mod rate_sender;
 
+pub use background::{BackgroundConfig, BackgroundStats, BurstSource, PoissonFlowSource};
 pub use ltrc::{Ltrc, LtrcConfig};
 pub use mbfc::{Mbfc, MbfcConfig};
 pub use rate_sender::{RateConfig, RateController, RateReceiver, RateSender, ReceiverReport};

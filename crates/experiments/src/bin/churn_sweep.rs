@@ -1,0 +1,130 @@
+//! Dynamic-scenario sweep: receiver churn × background load across the
+//! five figure-7 congestion cases.
+//!
+//! For every case the sweep runs four combinations on the *same seed*:
+//!
+//! | manifest             | churn | background |
+//! |----------------------|-------|------------|
+//! | `churn_sweep_static` |  off  |    off     |
+//! | `churn_sweep_churn`  |  on   |    off     |
+//! | `churn_sweep_bg`     |  off  |    on      |
+//! | `churn_sweep`        |  on   |    on      |
+//!
+//! Each combination goes into its own manifest so every manifest has
+//! unique `(case, gateway, seed)` labels — `rla_diff` can then self-diff
+//! any of them (clean) and compare the static manifest against a dynamic
+//! one (which must report drift: dynamic runs add the `net.churn.*`
+//! registry block, including the `reconverge_ms` gauge).
+//!
+//! Knobs: `RLA_CHURN_RATE` (default 0.2 events/s when unset or 0) and
+//! `RLA_BG_LOAD` (default 2.0 flows/s when unset or 0) set the sweep's
+//! dynamic operating point; `RLA_EVENTS_FILE` appends a fixed schedule to
+//! the churn combinations; the usual `RLA_DURATION_SECS` / `RLA_SEED` /
+//! `RLA_JOBS` apply.
+
+use experiments::prelude::*;
+use telemetry::MetricValue;
+
+/// The sweep's default churn rate when `RLA_CHURN_RATE` is unset/0.
+const DEFAULT_CHURN_RATE: f64 = 0.2;
+/// The sweep's default background load when `RLA_BG_LOAD` is unset/0.
+const DEFAULT_BG_LOAD: f64 = 2.0;
+/// Mean background flow length, packets.
+const BG_MEAN_PACKETS: f64 = 20.0;
+
+/// One sweep combination: manifest stem plus its scenario constructor.
+type Combo = (&'static str, Box<dyn Fn(CongestionCase) -> TreeScenario>);
+
+fn main() {
+    let duration = cli::scaled_duration(4.0, 120.0);
+    let seed = cli::base_seed();
+    let churn = match cli::churn_rate() {
+        r if r > 0.0 => r,
+        _ => DEFAULT_CHURN_RATE,
+    };
+    let bg = match cli::bg_load() {
+        r if r > 0.0 => r,
+        _ => DEFAULT_BG_LOAD,
+    };
+    let extra_events = cli::events_file();
+
+    let spec = move |case: CongestionCase| {
+        ScenarioSpec::paper(case)
+            .with_duration(duration)
+            .with_seed(seed)
+    };
+    let combos: [Combo; 4] = [
+        ("churn_sweep_static", Box::new(move |c| spec(c).build())),
+        (
+            "churn_sweep_churn",
+            Box::new({
+                let extra = extra_events.clone();
+                move |c| {
+                    spec(c)
+                        .with_churn_rate(churn)
+                        .with_events(extra.clone())
+                        .build()
+                }
+            }),
+        ),
+        (
+            "churn_sweep_bg",
+            Box::new(move |c| spec(c).with_background_load(bg, BG_MEAN_PACKETS).build()),
+        ),
+        (
+            "churn_sweep",
+            Box::new({
+                let extra = extra_events.clone();
+                move |c| {
+                    spec(c)
+                        .with_churn_rate(churn)
+                        .with_background_load(bg, BG_MEAN_PACKETS)
+                        .with_events(extra.clone())
+                        .build()
+                }
+            }),
+        ),
+    ];
+
+    eprintln!(
+        "churn sweep: 5 cases x 4 combos, {:.0} s each, churn {churn} ev/s, bg {bg} flows/s...",
+        duration.as_secs_f64()
+    );
+
+    println!(
+        "Dynamic-scenario sweep (drop-tail, seed {seed}, {:.0} s runs)",
+        duration.as_secs_f64()
+    );
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>7} {:>7} {:>12}",
+        "combo/case", "rla", "wtcp", "btcp", "events", "bgpkts", "reconv_ms"
+    );
+    for (name, build) in &combos {
+        let scenarios: Vec<TreeScenario> = CongestionCase::FIGURE7_CASES
+            .iter()
+            .map(|&case| build(case))
+            .collect();
+        let results = run_parallel(scenarios);
+        for r in &results {
+            let gauge = |key: &str| match r.registry.get(key) {
+                Some(MetricValue::Gauge(v)) => v,
+                _ => 0.0,
+            };
+            let count = |key: &str| match r.registry.get(key) {
+                Some(MetricValue::Counter(v)) => v,
+                _ => 0,
+            };
+            println!(
+                "{:<22} {:>6.1} {:>8.1} {:>8.1} {:>7} {:>7} {:>12.1}",
+                format!("{name}/{}", r.case_label),
+                r.rla[0].throughput_pps,
+                r.worst_tcp().map_or(0.0, |t| t.throughput_pps),
+                r.best_tcp().map_or(0.0, |t| t.throughput_pps),
+                r.events.len(),
+                count("net.churn.bg_packets"),
+                gauge("net.churn.reconverge_ms"),
+            );
+        }
+        emit_scenario_manifest(name, duration, &results);
+    }
+}

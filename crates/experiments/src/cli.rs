@@ -22,6 +22,12 @@
 //!   (`1`/`on` to enable; default off so test output stays clean).
 //! * `RLA_DIFF_THRESHOLD_PCT` — drift threshold for the `rla_diff`
 //!   manifest-comparison tool (percent; the `--threshold` flag wins).
+//! * `RLA_CHURN_RATE` — receiver leave/rejoin events per second for the
+//!   dynamic-scenario binaries (default 0 — static membership).
+//! * `RLA_BG_LOAD` — Poisson background short-flow arrivals per second
+//!   (default 0 — no cross traffic).
+//! * `RLA_EVENTS_FILE` — path to a JSON event schedule applied to each
+//!   run (see EXPERIMENTS.md for the format).
 //!
 //! Any other variable in the `RLA_` namespace is rejected with the list
 //! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
@@ -46,13 +52,16 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 13] = [
+pub const KNOWN_ENV_VARS: [&str; 16] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
     "RLA_RESULTS_DIR",
     "RLA_BENCH_BASELINE",
     "RLA_BENCH_GATE_PCT",
+    "RLA_CHURN_RATE",
+    "RLA_BG_LOAD",
+    "RLA_EVENTS_FILE",
     "RLA_DIFF_THRESHOLD_PCT",
     "RLA_PROGRESS",
     "RLA_TELEMETRY",
@@ -256,6 +265,69 @@ pub fn diff_threshold_pct_from(get: impl Fn(&str) -> Option<String>) -> Option<f
     })
 }
 
+/// Receiver churn rate for the dynamic-scenario binaries:
+/// `RLA_CHURN_RATE` as leave/rejoin events per second (default 0 —
+/// static membership).
+pub fn churn_rate() -> f64 {
+    enforce_known_env();
+    churn_rate_from(|name| std::env::var(name).ok())
+}
+
+/// [`churn_rate`] over an arbitrary variable source (pure).
+pub fn churn_rate_from(get: impl Fn(&str) -> Option<String>) -> f64 {
+    rate_knob(&get, "RLA_CHURN_RATE", "leave/rejoin events per second")
+}
+
+/// Background-traffic intensity for the dynamic-scenario binaries:
+/// `RLA_BG_LOAD` as Poisson short-flow arrivals per second (default 0 —
+/// no cross traffic).
+pub fn bg_load() -> f64 {
+    enforce_known_env();
+    bg_load_from(|name| std::env::var(name).ok())
+}
+
+/// [`bg_load`] over an arbitrary variable source (pure).
+pub fn bg_load_from(get: impl Fn(&str) -> Option<String>) -> f64 {
+    rate_knob(&get, "RLA_BG_LOAD", "flow arrivals per second")
+}
+
+/// Shared parser for the non-negative-rate knobs.
+fn rate_knob(get: &impl Fn(&str) -> Option<String>, name: &str, what: &str) -> f64 {
+    get(name).map_or(0.0, |v| {
+        let rate: f64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?}: expected {what}"));
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "{name}={v:?}: the rate must be non-negative and finite"
+        );
+        rate
+    })
+}
+
+/// The event schedule from `RLA_EVENTS_FILE`, if set: a JSON array of
+/// event objects (or an object with an `"events"` array — a manifest's
+/// `events` section replays directly). Empty when unset. Malformed files
+/// fail loudly with the offending event named.
+pub fn events_file() -> Vec<crate::events::ScenarioEvent> {
+    enforce_known_env();
+    events_file_from(|name| std::env::var(name).ok())
+}
+
+/// [`events_file`] over an arbitrary variable source; reads the named
+/// path from disk.
+pub fn events_file_from(get: impl Fn(&str) -> Option<String>) -> Vec<crate::events::ScenarioEvent> {
+    let Some(path) = get("RLA_EVENTS_FILE") else {
+        return Vec::new();
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("RLA_EVENTS_FILE={path:?}: cannot read the file: {e}"));
+    let json = crate::manifest::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("RLA_EVENTS_FILE={path:?}: invalid JSON: {e}"));
+    crate::events::events_from_json(&json)
+        .unwrap_or_else(|e| panic!("RLA_EVENTS_FILE={path:?}: {e}"))
+}
+
 /// The bench regression gate: `RLA_BENCH_GATE_PCT` as a percentage
 /// (e.g. `5` = fail if events/s drops more than 5% below the committed
 /// baseline). `None` when unset — the bench then only reports.
@@ -383,6 +455,60 @@ mod tests {
         // Regression: RLA_TELEMETRY_SAMPLE_MS=0 used to reach
         // TimelineRecorder::new's bare `!period.is_zero()` assertion.
         telemetry_options_from(|name| (name == "RLA_TELEMETRY_SAMPLE_MS").then(|| "0".to_string()));
+    }
+
+    #[test]
+    fn churn_and_bg_knobs_parse_with_zero_defaults() {
+        let env = |pairs: &'static [(&'static str, &'static str)]| {
+            move |name: &str| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        assert_eq!(churn_rate_from(env(&[])), 0.0);
+        assert_eq!(bg_load_from(env(&[])), 0.0);
+        assert_eq!(churn_rate_from(env(&[("RLA_CHURN_RATE", "0.25")])), 0.25);
+        assert_eq!(bg_load_from(env(&[("RLA_BG_LOAD", "3")])), 3.0);
+        assert!(events_file_from(env(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_CHURN_RATE")]
+    fn negative_churn_rate_is_rejected_with_a_named_knob() {
+        churn_rate_from(|name| (name == "RLA_CHURN_RATE").then(|| "-1".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_BG_LOAD")]
+    fn non_numeric_bg_load_is_rejected_with_a_named_knob() {
+        bg_load_from(|name| (name == "RLA_BG_LOAD").then(|| "heavy".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read the file")]
+    fn missing_events_file_is_rejected_with_the_path() {
+        events_file_from(|name| {
+            (name == "RLA_EVENTS_FILE").then(|| "/nonexistent/events.json".to_string())
+        });
+    }
+
+    #[test]
+    fn events_file_round_trips_through_the_json_format() {
+        use crate::events::{events_json, ScenarioEvent};
+        let events = vec![
+            ScenarioEvent::leave(25.0, 0, 2),
+            ScenarioEvent::degrade(30.0, "L2.1", 0.03, Some(800)),
+        ];
+        let dir = std::env::temp_dir().join("rla_cli_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.json");
+        std::fs::write(&path, events_json(&events).pretty()).unwrap();
+        let path_str = path.to_str().unwrap().to_string();
+        let loaded =
+            events_file_from(move |name| (name == "RLA_EVENTS_FILE").then(|| path_str.clone()));
+        assert_eq!(loaded, events);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod cli;
 pub mod diff;
+pub mod events;
 pub mod manifest;
 pub mod metrics;
 pub mod plots;
@@ -44,6 +45,7 @@ pub mod star;
 pub mod tables;
 pub mod tree;
 
+pub use events::{BackgroundLoad, EventCommand, ScenarioEvent};
 pub use manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
 pub use metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
 pub use runner::{run_parallel, run_parallel_with_jobs};
@@ -71,6 +73,7 @@ pub use tree::{build_tree, CongestionCase, TertiaryTree};
 /// ```
 pub mod prelude {
     pub use crate::cli;
+    pub use crate::events::{BackgroundLoad, EventCommand, ScenarioEvent};
     pub use crate::manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
     pub use crate::metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
     pub use crate::runner::{run_parallel, run_parallel_with_jobs};

@@ -545,7 +545,7 @@ pub fn snapshot_json(s: &telemetry::Snapshot) -> Json {
 /// headline metrics every paper table reports, and the full registry
 /// snapshot.
 pub fn scenario_entry(r: &ScenarioResult) -> Json {
-    Json::obj(vec![
+    let mut fields: Vec<(&str, Json)> = vec![
         ("case", r.case_label.as_str().into()),
         ("gateway", gateway_str(r.gateway).into()),
         ("seed", r.seed.into()),
@@ -556,6 +556,13 @@ pub fn scenario_entry(r: &ScenarioResult) -> Json {
             "congested_leaves",
             Json::Arr(r.congested_leaves.iter().map(|&i| i.into()).collect()),
         ),
+    ];
+    // Recorded only for dynamic runs, so the longstanding static
+    // manifests (and the golden files) keep their exact byte layout.
+    if !r.events.is_empty() {
+        fields.push(("events", crate::events::events_json(&r.events)));
+    }
+    fields.extend(vec![
         (
             "rla_throughput_pps",
             Json::Arr(r.rla.iter().map(|s| s.throughput_pps.into()).collect()),
@@ -571,7 +578,8 @@ pub fn scenario_entry(r: &ScenarioResult) -> Json {
         ),
         ("avg_tcp_pps", r.avg_tcp_throughput().into()),
         ("registry", snapshot_json(&r.registry)),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 /// Standard manifest for a binary that ran a batch of tree scenarios.
@@ -754,6 +762,7 @@ mod tests {
                 reg.record_gauge("chan.L1.utilization", 0.75);
                 reg.snapshot()
             },
+            events: vec![],
             rla: vec![],
             tcp: vec![TcpRow {
                 receiver_index: 0,

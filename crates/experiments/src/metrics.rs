@@ -1,5 +1,6 @@
 //! Result rows collected from a scenario run.
 
+use crate::events::ScenarioEvent;
 use crate::scenario::GatewayKind;
 
 /// The RLA sender's row of figure 7/9/10.
@@ -63,6 +64,10 @@ pub struct ScenarioResult {
     pub trace_digest: u64,
     /// Number of trace events folded into `trace_digest`.
     pub trace_events: u64,
+    /// The scheduled event sequence the run executed (empty for static
+    /// scenarios). Recorded in the manifest so a dynamic run is fully
+    /// described by its entry.
+    pub events: Vec<ScenarioEvent>,
     /// RLA sessions, in creation order.
     pub rla: Vec<RlaRow>,
     /// TCP connections, in receiver order.
@@ -159,6 +164,7 @@ mod tests {
             seed: 1,
             trace_digest: 0,
             trace_events: 0,
+            events: vec![],
             registry: telemetry::Snapshot::default(),
             rla: vec![],
             tcp: tputs

@@ -7,12 +7,16 @@
 //! the warmup, resets statistics (the paper discards the first 100 s),
 //! completes the run, and extracts per-flow rows.
 
+use std::collections::VecDeque;
+
+use netsim::agent::Sink;
 use netsim::engine::Engine;
-use netsim::id::{AgentId, ChannelId};
+use netsim::id::{AgentId, ChannelId, GroupId};
 use netsim::packet::tx_nanos;
 use netsim::queue::QueueConfig;
 use netsim::time::{SimDuration, SimTime};
 
+use baselines::{BackgroundConfig, BurstSource, PoissonFlowSource};
 use rla::{McastReceiver, PthreshPolicy, RlaConfig, RlaSender};
 
 use tcp_sack::{RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
@@ -21,8 +25,9 @@ use telemetry::{ChannelSample, FlowProbe, FlowSample, RegistryExport, TimelineRe
 use transport::CcVariant;
 
 use crate::cli::TelemetryOptions;
+use crate::events::{BackgroundLoad, EventCommand, ScenarioEvent};
 use crate::metrics::{RlaRow, ScenarioResult, TcpRow};
-use crate::tree::{build_tree, CongestionCase, TertiaryTree};
+use crate::tree::{build_tree, pps_to_bps, CongestionCase, TertiaryTree};
 
 /// Gateway type for every buffer in the scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +72,14 @@ pub struct TreeScenario {
     /// paper's tables use SACK; the Reno variant measures how sensitive
     /// the fairness results are to the TCP flavor.
     pub tcp_cc: CcVariant,
+    /// Scheduled mid-run commands (receiver churn, link degradation,
+    /// background bursts), sorted by time. Empty for the static paper
+    /// scenarios. Populated via `ScenarioSpec::with_events` /
+    /// `with_churn_rate`, which also validate the schedule.
+    pub events: Vec<ScenarioEvent>,
+    /// Poisson short-flow background traffic sharing the tree's links
+    /// (`None` for the static paper scenarios).
+    pub bg_load: Option<BackgroundLoad>,
 }
 
 impl TreeScenario {
@@ -89,6 +102,8 @@ impl TreeScenario {
                 ..RlaConfig::default()
             },
             tcp_cc: CcVariant::Sack,
+            events: Vec::new(),
+            bg_load: None,
         }
     }
 
@@ -223,6 +238,73 @@ impl TreeScenario {
             t += SimDuration::from_millis(173);
         }
 
+        // Dynamic-scenario machinery, built only when the scenario has
+        // scheduled events or background load. A static scenario adds no
+        // agents beyond this point and takes none of the executor paths,
+        // so its trace digest and registry stay byte-identical to the
+        // pre-event-layer code.
+        let dynamics = (!self.events.is_empty() || self.bg_load.is_some()).then(|| {
+            let mut bg_sinks: Vec<Option<AgentId>> = vec![None; tree.leaves.len()];
+            let bg_source = self.bg_load.as_ref().map(|load| {
+                let sinks: Vec<AgentId> = (0..tree.leaves.len())
+                    .map(|leaf| bg_sink(&mut engine, &tree, &mut bg_sinks, leaf))
+                    .collect();
+                let src = engine.add_agent(
+                    tree.root,
+                    Box::new(PoissonFlowSource::new(
+                        BackgroundConfig::new(load.flows_per_sec, load.mean_flow_packets),
+                        sinks,
+                    )),
+                );
+                engine.start_agent_at(src, SimTime::ZERO);
+                src
+            });
+            // Burst agents for scheduled StartBackgroundFlow commands are
+            // created now, in schedule order (deterministic agent ids),
+            // and fired by the executor at event time.
+            let mut events = self.events.clone();
+            events.sort_by_key(|ev| ev.at);
+            let pending = events
+                .iter()
+                .map(|ev| {
+                    let burst = match ev.command {
+                        EventCommand::StartBackgroundFlow { leaf, packets } => {
+                            let sink = bg_sink(&mut engine, &tree, &mut bg_sinks, leaf);
+                            Some(engine.add_agent(
+                                tree.root,
+                                Box::new(BurstSource::new(sink, packets, rla_cfg.packet_size)),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    PendingEvent {
+                        at: SimTime::ZERO + ev.at,
+                        command: ev.command.clone(),
+                        burst,
+                    }
+                })
+                .collect();
+            let active_rx = rla_receivers
+                .iter()
+                .map(|rxs| {
+                    rxs.iter()
+                        .take(tree.leaves.len())
+                        .map(|&a| Some(a))
+                        .collect()
+                })
+                .collect();
+            Dynamics {
+                pending,
+                ack_size: rla_cfg.ack_size,
+                active_rx,
+                bg_source,
+                counters: ChurnCounters::default(),
+                degraded: Vec::new(),
+                watch: None,
+                reconverge_ms: Vec::new(),
+            }
+        });
+
         ScenarioWorld {
             engine,
             tree,
@@ -230,8 +312,79 @@ impl TreeScenario {
             tcp_receivers,
             rla_senders,
             rla_receivers,
+            dynamics,
         }
     }
+}
+
+/// Seconds since simulation start, for event-error messages.
+fn span_secs(now: SimTime) -> f64 {
+    now.saturating_since(SimTime::ZERO).as_secs_f64()
+}
+
+/// Get-or-create the background-traffic sink at `leaf`. Sinks are shared
+/// between the Poisson aggregate and scheduled bursts, and only exist in
+/// dynamic scenarios.
+fn bg_sink(
+    engine: &mut Engine,
+    tree: &TertiaryTree,
+    sinks: &mut [Option<AgentId>],
+    leaf: usize,
+) -> AgentId {
+    if let Some(a) = sinks[leaf] {
+        return a;
+    }
+    let a = engine.add_agent(tree.leaves[leaf], Box::new(Sink::default()));
+    sinks[leaf] = Some(a);
+    a
+}
+
+/// What the event executor has done so far (the `net.churn.*` block).
+#[derive(Debug, Default)]
+struct ChurnCounters {
+    joins: u64,
+    leaves: u64,
+    link_degrades: u64,
+    link_restores: u64,
+    bg_bursts: u64,
+}
+
+/// One scheduled command, resolved to engine terms at build time.
+#[derive(Debug)]
+struct PendingEvent {
+    at: SimTime,
+    command: EventCommand,
+    /// The pre-created burst agent for `StartBackgroundFlow` commands.
+    burst: Option<AgentId>,
+}
+
+/// A reconvergence watch: after a churn event, the troubled-receiver
+/// count is polled until it returns to its pre-event band.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    since: SimTime,
+    session: usize,
+    baseline: usize,
+}
+
+/// Executor state for dynamic scenarios; `None` on static runs.
+#[derive(Debug)]
+struct Dynamics {
+    /// Events not yet applied, in time-then-schedule (FIFO) order.
+    pending: VecDeque<PendingEvent>,
+    /// Ack size for receivers constructed by `ReceiverJoin`.
+    ack_size: u32,
+    /// The live receiver at `[session][leaf]`, `None` while departed.
+    active_rx: Vec<Vec<Option<AgentId>>>,
+    /// The Poisson background aggregate, if configured.
+    bg_source: Option<AgentId>,
+    counters: ChurnCounters,
+    /// Every link ever degraded, with its channel (for `loss_injected`).
+    degraded: Vec<(String, ChannelId)>,
+    /// The active reconvergence watch, if any.
+    watch: Option<Watch>,
+    /// Resolved reconvergence times, milliseconds.
+    reconverge_ms: Vec<f64>,
 }
 
 /// A built scenario: the engine plus the agent handles needed to reset and
@@ -249,15 +402,247 @@ pub struct ScenarioWorld {
     pub rla_senders: Vec<AgentId>,
     /// RLA receivers per session, in receiver-node order.
     pub rla_receivers: Vec<Vec<AgentId>>,
+    /// Event-executor state; `None` for static scenarios.
+    dynamics: Option<Dynamics>,
 }
 
 impl ScenarioWorld {
-    /// Run warmup + measurement and collect the rows.
+    /// Run warmup + measurement and collect the rows. Scheduled events
+    /// are applied on the way (see [`run_span`](ScenarioWorld::run_span)).
     pub fn run(&mut self, scenario: &TreeScenario) -> ScenarioResult {
-        self.engine.run_until(SimTime::ZERO + scenario.warmup);
+        self.run_span(SimTime::ZERO + scenario.warmup);
         self.reset_stats();
-        self.engine.run_until(SimTime::ZERO + scenario.duration);
+        self.run_span(SimTime::ZERO + scenario.duration);
         self.collect(scenario)
+    }
+
+    /// Advance the engine to `end`, applying scheduled events on the way.
+    ///
+    /// The engine is stepped with plain `run_until` calls — to each event
+    /// timestamp, and in short increments only while a reconvergence
+    /// watch is active — which processes exactly the same packet events
+    /// at the same simulated times as one uninterrupted call. A static
+    /// scenario (no pending events, no watch) therefore degenerates to a
+    /// single `run_until(end)`: trace digests are preserved, and dynamic
+    /// runs reproduce bit-identically across repetitions and worker-pool
+    /// sizes. Events sharing a timestamp apply in schedule order (FIFO),
+    /// mirroring the engine calendar's own tie-break.
+    pub fn run_span(&mut self, end: SimTime) {
+        let scan = SimDuration::from_millis(250);
+        loop {
+            let next = self
+                .dynamics
+                .as_ref()
+                .and_then(|d| d.pending.front())
+                .map(|p| p.at)
+                .filter(|&t| t <= end);
+            let target = next.unwrap_or(end);
+            while self.engine.now() < target {
+                let step = if self.dynamics.as_ref().is_some_and(|d| d.watch.is_some()) {
+                    std::cmp::min(self.engine.now() + scan, target)
+                } else {
+                    target
+                };
+                self.engine.run_until(step);
+                self.check_reconvergence();
+            }
+            if next.is_none() {
+                return;
+            }
+            loop {
+                let due = match self.dynamics.as_mut() {
+                    Some(d) if d.pending.front().is_some_and(|p| p.at == target) => {
+                        d.pending.pop_front().expect("front checked")
+                    }
+                    _ => break,
+                };
+                self.apply_event(due);
+            }
+        }
+    }
+
+    /// Apply one scheduled command at the current simulated time, then
+    /// (re)arm the reconvergence watch against the pre-event troubled
+    /// count.
+    fn apply_event(&mut self, ev: PendingEvent) {
+        let now = self.engine.now();
+        let session = match &ev.command {
+            EventCommand::ReceiverJoin { session, .. }
+            | EventCommand::ReceiverLeave { session, .. } => *session,
+            _ => 0,
+        };
+        let baseline = self.troubled_count(session, now);
+        match &ev.command {
+            EventCommand::ReceiverJoin { session, leaf } => {
+                self.apply_join(*session, *leaf, now);
+            }
+            EventCommand::ReceiverLeave { session, leaf } => {
+                self.apply_leave(*session, *leaf, now);
+            }
+            EventCommand::LinkDegrade {
+                link,
+                loss,
+                bandwidth_pps,
+            } => {
+                let c = self.channel_for(link, now);
+                let bw = bandwidth_pps.map(pps_to_bps);
+                self.engine.world_mut().channel_mut(c).degrade(*loss, bw);
+                let d = self.dynamics.as_mut().expect("dynamic scenario");
+                if !d.degraded.iter().any(|(l, _)| l == link) {
+                    d.degraded.push((link.clone(), c));
+                }
+                d.counters.link_degrades += 1;
+            }
+            EventCommand::LinkRestore { link } => {
+                let c = self.channel_for(link, now);
+                assert!(
+                    self.engine.world().channel(c).degraded,
+                    "LinkRestore at {:.3}s: link {link:?} is not degraded — \
+                     schedule a LinkDegrade first",
+                    span_secs(now)
+                );
+                self.engine.world_mut().channel_mut(c).restore();
+                let d = self.dynamics.as_mut().expect("dynamic scenario");
+                d.counters.link_restores += 1;
+            }
+            EventCommand::StartBackgroundFlow { .. } => {
+                let burst = ev.burst.expect("burst agent pre-created at build");
+                self.engine.start_agent_at(burst, now);
+                let d = self.dynamics.as_mut().expect("dynamic scenario");
+                d.counters.bg_bursts += 1;
+                // A burst is cross traffic, not a membership change: it
+                // does not arm the reconvergence watch.
+                return;
+            }
+        }
+        let d = self.dynamics.as_mut().expect("dynamic scenario");
+        d.watch = Some(Watch {
+            since: now,
+            session,
+            baseline,
+        });
+    }
+
+    /// A joining receiver enters at the sender's *current* sequence: its
+    /// cumulative ack starts at `next_seq`, and the sender's fresh
+    /// scoreboard for it is pre-advanced to the same point, so in-flight
+    /// packets below it (which the joiner may never see) can never open a
+    /// hole that would freeze the session's `min_last_ack`.
+    fn apply_join(&mut self, session: usize, leaf: usize, now: SimTime) {
+        let d = self.dynamics.as_ref().expect("dynamic scenario");
+        assert!(
+            d.active_rx[session][leaf].is_none(),
+            "ReceiverJoin at {:.3}s: session {session} already has a live receiver \
+             at leaf {leaf} — schedule a ReceiverLeave first",
+            span_secs(now)
+        );
+        let ack_size = d.ack_size;
+        let sender = self.rla_senders[session];
+        let started = self
+            .engine
+            .agent_as::<RlaSender>(sender)
+            .expect("rla sender")
+            .receiver_count()
+            > 0;
+        let next_seq = self
+            .engine
+            .agent_as::<RlaSender>(sender)
+            .expect("rla sender")
+            .next_seq();
+        let rx = self.engine.add_agent(
+            self.tree.leaves[leaf],
+            Box::new(McastReceiver::joining_at(next_seq, ack_size)),
+        );
+        self.engine
+            .set_send_overhead(rx, SimDuration::from_millis(2));
+        self.engine.join_group(GroupId::from(session), rx);
+        self.engine
+            .build_group_tree(GroupId::from(session), self.tree.root);
+        if started {
+            self.engine
+                .agent_as_mut::<RlaSender>(sender)
+                .expect("rla sender")
+                .add_receiver(rx, now);
+        }
+        let d = self.dynamics.as_mut().expect("dynamic scenario");
+        d.active_rx[session][leaf] = Some(rx);
+        d.counters.joins += 1;
+        // Keep the handle so reset_stats touches the joiner too.
+        self.rla_receivers[session].push(rx);
+    }
+
+    /// The departing receiver is pruned from the distribution tree and
+    /// detached from the sender's control loop.
+    fn apply_leave(&mut self, session: usize, leaf: usize, now: SimTime) {
+        let d = self.dynamics.as_ref().expect("dynamic scenario");
+        let rx = d.active_rx[session][leaf].unwrap_or_else(|| {
+            panic!(
+                "ReceiverLeave at {:.3}s: session {session} has no live receiver \
+                 at leaf {leaf}",
+                span_secs(now)
+            )
+        });
+        let live = d.active_rx[session].iter().flatten().count();
+        assert!(
+            live > 1,
+            "ReceiverLeave at {:.3}s: leaf {leaf} is session {session}'s last \
+             receiver — a session cannot run empty",
+            span_secs(now)
+        );
+        let left = self.engine.leave_group(GroupId::from(session), rx);
+        assert!(left, "receiver {rx:?} was not in group {session}");
+        self.engine
+            .build_group_tree(GroupId::from(session), self.tree.root);
+        let sender = self.rla_senders[session];
+        let s = self
+            .engine
+            .agent_as_mut::<RlaSender>(sender)
+            .expect("rla sender");
+        if s.receiver_count() > 0 {
+            s.remove_receiver(rx);
+        }
+        let d = self.dynamics.as_mut().expect("dynamic scenario");
+        d.active_rx[session][leaf] = None;
+        d.counters.leaves += 1;
+    }
+
+    /// Resolve a paper-style link label (`L1`, `L2.1`, `L4.12`) or panic
+    /// with the label and time in the message.
+    fn channel_for(&self, link: &str, now: SimTime) -> ChannelId {
+        self.tree.channel_by_label(link).unwrap_or_else(|| {
+            panic!(
+                "link event at {:.3}s names unknown link {link:?} \
+                 (expected a label like \"L1\", \"L2.1\" or \"L4.12\")",
+                span_secs(now)
+            )
+        })
+    }
+
+    /// Troubled-receiver count of `session` right now (0 before start).
+    fn troubled_count(&self, session: usize, now: SimTime) -> usize {
+        let s: &RlaSender = self
+            .engine
+            .agent_as(self.rla_senders[session])
+            .expect("rla sender");
+        s.num_trouble_rcvr(now)
+    }
+
+    /// Resolve the active reconvergence watch if the troubled count has
+    /// returned to (or below) its pre-event baseline.
+    fn check_reconvergence(&mut self) {
+        let Some(d) = self.dynamics.as_ref() else {
+            return;
+        };
+        let Some(w) = d.watch else {
+            return;
+        };
+        let now = self.engine.now();
+        if self.troubled_count(w.session, now) <= w.baseline {
+            let ms = now.saturating_since(w.since).as_secs_f64() * 1e3;
+            let d = self.dynamics.as_mut().expect("dynamic scenario");
+            d.reconverge_ms.push(ms);
+            d.watch = None;
+        }
     }
 
     /// Run warmup + measurement while sampling a per-flow timeline every
@@ -288,7 +673,7 @@ impl ScenarioWorld {
             .map(|(label, c)| (rec.add_channel(format!("chan.{label}")), c))
             .collect();
 
-        self.engine.run_until(SimTime::ZERO + scenario.warmup);
+        self.run_span(SimTime::ZERO + scenario.warmup);
         self.reset_stats();
         let end = SimTime::ZERO + scenario.duration;
         loop {
@@ -297,7 +682,7 @@ impl ScenarioWorld {
             if now >= end {
                 break;
             }
-            self.engine.run_until(std::cmp::min(now + rec.period, end));
+            self.run_span(std::cmp::min(now + rec.period, end));
         }
         (self.collect(scenario), rec)
     }
@@ -434,6 +819,7 @@ impl ScenarioWorld {
             trace_digest: self.engine.trace_digest().value(),
             trace_events: self.engine.trace_digest().events(),
             registry: self.registry_snapshot(),
+            events: scenario.events.clone(),
             rla,
             tcp,
         }
@@ -490,6 +876,40 @@ impl ScenarioWorld {
         reg.record_count("engine.tx_starts", d.tx_starts);
         reg.record_count("engine.arrivals", d.arrivals);
         reg.record_count("engine.deliveries", d.deliveries);
+
+        // The churn/background block exists only on dynamic runs, so a
+        // static run's registry (and manifest) stays byte-identical, and
+        // `rla_diff` flags static-vs-dynamic as added-key drift.
+        if let Some(dy) = &self.dynamics {
+            reg.record_count("net.churn.joins", dy.counters.joins);
+            reg.record_count("net.churn.leaves", dy.counters.leaves);
+            reg.record_count("net.churn.link_degrades", dy.counters.link_degrades);
+            reg.record_count("net.churn.link_restores", dy.counters.link_restores);
+            reg.record_count("net.churn.bg_bursts", dy.counters.bg_bursts);
+            let (flows, packets) = dy
+                .bg_source
+                .map(|a| {
+                    let s: &PoissonFlowSource = self.engine.agent_as(a).expect("bg source");
+                    (s.stats.flows, s.stats.packets)
+                })
+                .unwrap_or((0, 0));
+            reg.record_count("net.churn.bg_flows", flows);
+            reg.record_count("net.churn.bg_packets", packets);
+            // Mean time for the troubled-receiver count to return to its
+            // pre-event band, over the resolved watches.
+            let mean_ms = if dy.reconverge_ms.is_empty() {
+                0.0
+            } else {
+                dy.reconverge_ms.iter().sum::<f64>() / dy.reconverge_ms.len() as f64
+            };
+            reg.record_gauge("net.churn.reconverge_ms", mean_ms);
+            for (label, c) in &dy.degraded {
+                reg.record_count(
+                    format!("chan.{label}.loss_injected"),
+                    self.engine.world().channel(*c).stats.fault_drops,
+                );
+            }
+        }
         reg.snapshot()
     }
 }
@@ -497,6 +917,7 @@ impl ScenarioWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::ScenarioSpec;
 
     fn quick(case: CongestionCase, gateway: GatewayKind) -> ScenarioResult {
         TreeScenario::paper(case, gateway)
@@ -601,6 +1022,126 @@ mod tests {
             // final partial tick lands exactly on end-of-run.
             assert_eq!(times, vec![20.0, 80.0, 140.0, 150.0], "series {}", s.name);
         }
+    }
+
+    #[test]
+    fn canonical_churn_scenario_executes_its_schedule() {
+        use telemetry::MetricValue;
+        let r = crate::events::canonical_churn_spec().run();
+        let count = |key: &str| match r.registry.get(key) {
+            Some(MetricValue::Counter(v)) => v,
+            other => panic!("{key} missing or wrong kind: {other:?}"),
+        };
+        assert_eq!(count("net.churn.joins"), 1);
+        assert_eq!(count("net.churn.leaves"), 1);
+        assert_eq!(count("net.churn.link_degrades"), 1);
+        assert_eq!(count("net.churn.link_restores"), 1);
+        assert_eq!(count("net.churn.bg_bursts"), 0);
+        // The degraded congested link carried traffic while lossy.
+        assert!(count("chan.L2.1.loss_injected") > 0, "injected loss");
+        match r.registry.get("net.churn.reconverge_ms") {
+            Some(MetricValue::Gauge(v)) => assert!(v >= 0.0, "reconverge {v}"),
+            other => panic!("reconverge_ms missing: {other:?}"),
+        }
+        // The manifest entry records the schedule.
+        assert_eq!(r.events.len(), 4);
+        let entry = crate::manifest::scenario_entry(&r).pretty();
+        assert!(entry.contains(r#""events""#), "{entry}");
+        assert!(entry.contains(r#""command": "link_degrade""#), "{entry}");
+    }
+
+    #[test]
+    fn canonical_bgload_scenario_injects_cross_traffic() {
+        use telemetry::MetricValue;
+        let r = crate::events::canonical_bgload_spec().run();
+        let count = |key: &str| match r.registry.get(key) {
+            Some(MetricValue::Counter(v)) => v,
+            other => panic!("{key} missing or wrong kind: {other:?}"),
+        };
+        assert_eq!(count("net.churn.bg_bursts"), 1);
+        assert!(count("net.churn.bg_flows") > 0, "Poisson flows arrived");
+        assert!(
+            count("net.churn.bg_packets") >= count("net.churn.bg_flows"),
+            "every flow is at least one packet"
+        );
+        // Static registry keys are still there alongside the churn block.
+        assert!(r.registry.get("net.offered").is_some());
+    }
+
+    #[test]
+    fn membership_event_on_a_sample_boundary_yields_exactly_one_sample() {
+        // Extends the final-sample pin above: a leave scheduled exactly on
+        // the 80 s telemetry boundary must neither drop that sample nor
+        // double it — the event applies when the engine reaches 80 s, then
+        // the loop takes its one sample.
+        let scenario = {
+            let mut s = TreeScenario::paper(CongestionCase::Case1RootLink, GatewayKind::DropTail)
+                .with_duration(SimDuration::from_secs(150));
+            s.events = vec![ScenarioEvent::leave(80.0, 0, 0)];
+            s
+        };
+        let opts = TelemetryOptions {
+            timeline: true,
+            sample_period: SimDuration::from_secs(60),
+            ..TelemetryOptions::default()
+        };
+        let mut world = scenario.build();
+        let (r, rec) = world.run_with_telemetry(&scenario, &opts);
+        for s in rec.series() {
+            let times: Vec<f64> = s.samples.iter().map(|(t, _)| t.as_secs_f64()).collect();
+            assert_eq!(times, vec![20.0, 80.0, 140.0, 150.0], "series {}", s.name);
+        }
+        use telemetry::MetricValue;
+        assert_eq!(
+            r.registry.get("net.churn.leaves"),
+            Some(MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn full_loss_degrade_blacks_out_a_link_until_restore() {
+        use telemetry::MetricValue;
+        let r = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::degrade(25.0, "L4.1", 1.0, None))
+            .with_event(ScenarioEvent::restore(30.0, "L4.1"))
+            .run();
+        match r.registry.get("chan.L4.1.loss_injected") {
+            Some(MetricValue::Counter(v)) => {
+                assert!(v > 0, "a 100% lossy leaf link must drop traffic")
+            }
+            other => panic!("loss_injected missing: {other:?}"),
+        }
+        // The session survives the 5 s blackout of one leaf.
+        assert!(r.rla[0].throughput_pps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not degraded")]
+    fn restore_without_degrade_is_rejected_with_the_link_named() {
+        let _ = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::restore(25.0, "L2.1"))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn unknown_link_label_is_rejected_at_event_time() {
+        let _ = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::degrade(25.0, "L9.9", 0.1, None))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no live receiver")]
+    fn leaving_twice_from_the_same_leaf_is_rejected() {
+        let _ = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::leave(25.0, 0, 3))
+            .with_event(ScenarioEvent::leave(26.0, 0, 3))
+            .run();
     }
 
     #[test]

@@ -14,6 +14,7 @@ use netsim::time::SimDuration;
 use rla::RlaConfig;
 use transport::CcVariant;
 
+use crate::events::{synth_churn, BackgroundLoad, EventCommand, ScenarioEvent};
 use crate::metrics::ScenarioResult;
 use crate::scenario::{GatewayKind, TreeScenario};
 use crate::tree::CongestionCase;
@@ -32,6 +33,9 @@ pub struct ScenarioSpec {
     duration: Option<SimDuration>,
     rla_config: Option<RlaConfig>,
     tcp_cc: Option<CcVariant>,
+    events: Vec<ScenarioEvent>,
+    churn_rate: f64,
+    bg_load: Option<BackgroundLoad>,
 }
 
 impl ScenarioSpec {
@@ -46,6 +50,9 @@ impl ScenarioSpec {
             duration: None,
             rla_config: None,
             tcp_cc: None,
+            events: Vec::new(),
+            churn_rate: 0.0,
+            bg_load: None,
         }
     }
 
@@ -92,6 +99,48 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replace the scheduled event list (default: none — a static run).
+    /// Event times must fall strictly inside the run; [`build`] rejects
+    /// out-of-range events with a clear error.
+    ///
+    /// [`build`]: ScenarioSpec::build
+    pub fn with_events(mut self, events: Vec<ScenarioEvent>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Append one scheduled event (see [`with_events`]).
+    ///
+    /// [`with_events`]: ScenarioSpec::with_events
+    pub fn with_event(mut self, event: ScenarioEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Synthesize receiver churn at `rate_hz` leave/rejoin events per
+    /// second (default 0 — no churn). The schedule is drawn from a salted
+    /// RNG seeded by the scenario seed, so it is deterministic and does
+    /// not perturb the engine RNG stream. See [`synth_churn`].
+    pub fn with_churn_rate(mut self, rate_hz: f64) -> Self {
+        assert!(
+            rate_hz >= 0.0 && rate_hz.is_finite(),
+            "churn rate must be non-negative and finite (got {rate_hz})"
+        );
+        self.churn_rate = rate_hz;
+        self
+    }
+
+    /// Add Poisson short-flow background traffic sharing the scenario's
+    /// bottleneck links: `flows_per_sec` arrivals averaging
+    /// `mean_flow_packets` packets (default: none).
+    pub fn with_background_load(mut self, flows_per_sec: f64, mean_flow_packets: f64) -> Self {
+        self.bg_load = Some(BackgroundLoad {
+            flows_per_sec,
+            mean_flow_packets,
+        });
+        self
+    }
+
     /// The congestion case this spec describes.
     pub fn case(&self) -> CongestionCase {
         self.case
@@ -119,12 +168,91 @@ impl ScenarioSpec {
         if let Some(cc) = self.tcp_cc {
             s = s.with_tcp_cc(cc);
         }
+        let mut events = self.events.clone();
+        if self.churn_rate > 0.0 {
+            events.extend(synth_churn(self.churn_rate, s.seed, s.warmup, s.duration));
+        }
+        for ev in &events {
+            validate_event(ev, s.duration, self.sessions);
+        }
+        // Stable sort: equal timestamps keep schedule order, pinning the
+        // FIFO tie-break the executor relies on.
+        events.sort_by_key(|ev| ev.at);
+        s.events = events;
+        s.bg_load = self.bg_load.clone();
         s
     }
 
     /// Build, run and measure in one step.
     pub fn run(&self) -> ScenarioResult {
         self.build().run()
+    }
+}
+
+/// Reject a malformed scheduled event at build time with an error that
+/// names the offending field, mirroring the named-knob style of [`cli`].
+///
+/// [`cli`]: crate::cli
+fn validate_event(ev: &ScenarioEvent, duration: SimDuration, sessions: usize) {
+    let t = ev.at.as_secs_f64();
+    assert!(
+        ev.at > SimDuration::ZERO && ev.at < duration,
+        "scenario event at {t}s is outside the run: event times must satisfy \
+         0 < t < duration ({}s) — call with_duration before scheduling, or move the event",
+        duration.as_secs_f64()
+    );
+    let check_leaf = |leaf: usize| {
+        assert!(
+            leaf < 27,
+            "scenario event at {t}s names leaf {leaf}: the tertiary tree has leaves 0..27"
+        );
+    };
+    let check_session = |session: usize| {
+        assert!(
+            session < sessions,
+            "scenario event at {t}s names session {session}: \
+             this spec runs {sessions} session(s)"
+        );
+    };
+    match &ev.command {
+        EventCommand::ReceiverJoin { session, leaf }
+        | EventCommand::ReceiverLeave { session, leaf } => {
+            check_session(*session);
+            check_leaf(*leaf);
+        }
+        EventCommand::LinkDegrade {
+            link,
+            loss,
+            bandwidth_pps,
+        } => {
+            assert!(
+                !link.is_empty(),
+                "scenario event at {t}s: LinkDegrade needs a link label (e.g. \"L2.1\")"
+            );
+            assert!(
+                (0.0..=1.0).contains(loss),
+                "scenario event at {t}s: injected loss rate {loss} outside 0.0..=1.0"
+            );
+            if let Some(bw) = bandwidth_pps {
+                assert!(
+                    *bw > 0,
+                    "scenario event at {t}s: degraded bandwidth must be positive"
+                );
+            }
+        }
+        EventCommand::LinkRestore { link } => {
+            assert!(
+                !link.is_empty(),
+                "scenario event at {t}s: LinkRestore needs a link label (e.g. \"L2.1\")"
+            );
+        }
+        EventCommand::StartBackgroundFlow { leaf, packets } => {
+            check_leaf(*leaf);
+            assert!(
+                *packets > 0,
+                "scenario event at {t}s: a background burst must carry packets"
+            );
+        }
     }
 }
 
@@ -178,6 +306,78 @@ mod tests {
         assert_eq!(s.rla_config.pthresh_policy, PthreshPolicy::Equal);
         let g3 = ScenarioSpec::paper(CongestionCase::Fig10AllLevel2).build();
         assert_ne!(g3.rla_config.pthresh_policy, PthreshPolicy::Equal);
+    }
+
+    #[test]
+    fn events_are_sorted_with_a_stable_tie_break() {
+        let s = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::leave(30.0, 0, 1))
+            .with_event(ScenarioEvent::leave(10.0, 0, 0))
+            .with_event(ScenarioEvent::leave(30.0, 0, 2))
+            .build();
+        assert_eq!(
+            s.events,
+            vec![
+                ScenarioEvent::leave(10.0, 0, 0),
+                // Equal timestamps keep their schedule order (FIFO).
+                ScenarioEvent::leave(30.0, 0, 1),
+                ScenarioEvent::leave(30.0, 0, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn churn_rate_synthesizes_a_deterministic_schedule() {
+        let spec = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(120))
+            .with_churn_rate(0.5);
+        let a = spec.build();
+        let b = spec.build();
+        assert!(!a.events.is_empty(), "0.5 Hz over 100 s should churn");
+        assert_eq!(a.events, b.events);
+        let other_seed = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(120))
+            .with_seed(9)
+            .with_churn_rate(0.5)
+            .build();
+        assert_ne!(a.events, other_seed.events, "churn must track the seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the run")]
+    fn event_after_the_run_ends_is_rejected_at_build_time() {
+        ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::leave(60.0, 0, 0))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the run")]
+    fn event_at_time_zero_is_rejected_at_build_time() {
+        ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::join(0.0, 0, 0))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn degrade_with_out_of_range_loss_is_rejected_at_build_time() {
+        ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::degrade(30.0, "L2.1", 1.5, None))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "session 3")]
+    fn event_naming_a_missing_session_is_rejected_at_build_time() {
+        ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+            .with_duration(SimDuration::from_secs(60))
+            .with_event(ScenarioEvent::leave(30.0, 3, 0))
+            .build();
     }
 
     #[test]

@@ -223,6 +223,7 @@ mod tests {
             seed: 1,
             trace_digest: 0,
             trace_events: 0,
+            events: vec![],
             registry: telemetry::Snapshot::default(),
             rla: vec![RlaRow {
                 throughput_pps: 144.1,

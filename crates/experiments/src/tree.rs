@@ -161,6 +161,26 @@ impl TertiaryTree {
         }
     }
 
+    /// Resolve a paper-style link label (`L1`, `L2.1`, `L3.4`, `L4.12`;
+    /// 1-based indices, matching [`TertiaryTree::congested_channels`]) to
+    /// its downstream channel — the addressing scheme scheduled
+    /// `LinkDegrade`/`LinkRestore` events use. Any label, congested or
+    /// not, resolves; `None` means the label names no link in this tree.
+    pub fn channel_by_label(&self, label: &str) -> Option<ChannelId> {
+        if label == "L1" {
+            return Some(self.l1_down);
+        }
+        let (level, idx) = label.split_once('.')?;
+        let i: usize = idx.parse().ok()?;
+        let chans = match level {
+            "L2" => &self.l2_down,
+            "L3" => &self.l3_down,
+            "L4" => &self.l4_down,
+            _ => return None,
+        };
+        chans.get(i.checked_sub(1)?).copied()
+    }
+
     /// Base (zero-queueing) RTT from the root to leaf receivers.
     pub fn leaf_rtt() -> SimDuration {
         SimDuration::from_millis(2 * (5 + 5 + 5 + 100))

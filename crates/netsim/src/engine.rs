@@ -511,6 +511,21 @@ impl Engine {
         }
     }
 
+    /// Remove `agent` from `group`'s receiver set; returns `false` when it
+    /// was not a member. The distribution tree is untouched — call
+    /// [`Engine::build_group_tree`] afterwards so in-flight multicast stops
+    /// fanning out to pruned branches.
+    pub fn leave_group(&mut self, group: GroupId, agent: AgentId) -> bool {
+        let g = &mut self.world.groups[group.index()];
+        match g.members.iter().position(|&m| m == agent) {
+            Some(i) => {
+                g.members.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Compute all-pairs unicast next-hop routes with BFS (all links are
     /// one hop). Call after the topology is final and before running.
     pub fn compute_routes(&mut self) {

@@ -32,6 +32,11 @@ pub struct Channel {
     pub fault: Option<FaultInjector>,
     /// Collected statistics.
     pub stats: ChannelStats,
+    /// The bandwidth the channel was constructed with; [`Channel::restore`]
+    /// returns to this value whatever overrides a degrade applied.
+    pub base_bandwidth_bps: u64,
+    /// `true` while a [`Channel::degrade`] override is in effect.
+    pub degraded: bool,
 }
 
 impl Channel {
@@ -55,12 +60,49 @@ impl Channel {
             busy: false,
             fault: None,
             stats: ChannelStats::default(),
+            base_bandwidth_bps: bandwidth_bps,
+            degraded: false,
         }
     }
 
     /// Service time of one `size_bytes` packet on this channel.
     pub fn service_time(&self, size_bytes: u32) -> SimDuration {
         SimDuration::from_nanos(crate::packet::tx_nanos(size_bytes, self.bandwidth_bps))
+    }
+
+    /// Degrade the channel in place: inject `loss` (a probability in
+    /// `0.0..=1.0`; `0.0` installs no fault injector, so a pure bandwidth
+    /// override perturbs no RNG draws) and optionally cap the bandwidth at
+    /// `bandwidth_bps`. Degrading an already-degraded channel replaces the
+    /// previous override — the eventual [`Channel::restore`] still returns
+    /// to the construction-time bandwidth. Drops caused by the injected
+    /// loss accumulate in [`ChannelStats::fault_drops`] across repeated
+    /// degrade/restore cycles.
+    pub fn degrade(&mut self, loss: f64, bandwidth_bps: Option<u64>) {
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "injected loss rate {loss} outside 0.0..=1.0"
+        );
+        self.fault = (loss > 0.0).then(|| FaultInjector::new(loss));
+        if let Some(bw) = bandwidth_bps {
+            assert!(bw > 0, "degraded bandwidth must be positive");
+            self.bandwidth_bps = bw;
+        }
+        self.degraded = true;
+    }
+
+    /// Undo a [`Channel::degrade`]: remove the fault injector and return
+    /// the bandwidth to its construction-time value. Panics when the
+    /// channel is not degraded — a restore with no matching degrade is a
+    /// schedule bug, not a no-op.
+    pub fn restore(&mut self) {
+        assert!(
+            self.degraded,
+            "restore on a channel that is not degraded — degrade it first"
+        );
+        self.fault = None;
+        self.bandwidth_bps = self.base_bandwidth_bps;
+        self.degraded = false;
     }
 }
 
@@ -80,6 +122,76 @@ mod tests {
         );
         // 1000 B = 8000 bits at 800 kbps -> 10 ms.
         assert_eq!(ch.service_time(1000), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn degrade_and_restore_round_trip_bandwidth_and_fault() {
+        let mut ch = Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            800_000,
+            SimDuration::from_millis(5),
+            &QueueConfig::paper_droptail(),
+        );
+        ch.degrade(0.05, Some(400_000));
+        assert!(ch.degraded);
+        assert!(ch.fault.is_some());
+        assert_eq!(ch.bandwidth_bps, 400_000);
+        // Re-degrading replaces the override; restore still returns to the
+        // construction-time bandwidth.
+        ch.degrade(0.5, Some(200_000));
+        assert_eq!(ch.bandwidth_bps, 200_000);
+        ch.restore();
+        assert!(!ch.degraded);
+        assert!(ch.fault.is_none());
+        assert_eq!(ch.bandwidth_bps, 800_000);
+    }
+
+    #[test]
+    fn zero_loss_degrade_installs_no_fault_injector() {
+        let mut ch = Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            800_000,
+            SimDuration::ZERO,
+            &QueueConfig::paper_droptail(),
+        );
+        ch.degrade(0.0, Some(100_000));
+        assert!(ch.fault.is_none(), "0% loss must not perturb the RNG");
+        assert_eq!(ch.bandwidth_bps, 100_000);
+        ch.restore();
+        assert_eq!(ch.bandwidth_bps, 800_000);
+    }
+
+    #[test]
+    fn full_loss_degrade_is_accepted() {
+        let mut ch = Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            800_000,
+            SimDuration::ZERO,
+            &QueueConfig::paper_droptail(),
+        );
+        ch.degrade(1.0, None);
+        assert!(ch.fault.is_some());
+        assert_eq!(ch.bandwidth_bps, 800_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not degraded")]
+    fn restore_without_degrade_panics() {
+        let mut ch = Channel::new(
+            ChannelId(0),
+            NodeId(0),
+            NodeId(1),
+            800_000,
+            SimDuration::ZERO,
+            &QueueConfig::paper_droptail(),
+        );
+        ch.restore();
     }
 
     #[test]

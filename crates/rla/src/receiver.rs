@@ -45,6 +45,20 @@ impl McastReceiver {
         }
     }
 
+    /// A late-joining receiver that enters an in-progress session at
+    /// sequence `next_seq` (the sender's next new sequence number at join
+    /// time). Everything below `next_seq` counts as already held:
+    /// stragglers from packets that were in flight when the tree was
+    /// rebuilt are acknowledged as duplicates rather than opening holes
+    /// the sender no longer tracks for this receiver.
+    pub fn joining_at(next_seq: u64, ack_size: u32) -> Self {
+        McastReceiver {
+            cum_ack: next_seq,
+            ack_size,
+            ..Default::default()
+        }
+    }
+
     /// Next expected in-order sequence number.
     pub fn cum_ack(&self) -> u64 {
         self.cum_ack

@@ -300,6 +300,69 @@ impl RlaSender {
         self.stats = RlaStats::new(now, self.win.cwnd(), self.receivers.len());
     }
 
+    /// The next new sequence number the sender will transmit. A receiver
+    /// joining mid-session starts its cumulative ack here
+    /// ([`crate::receiver::McastReceiver::joining_at`]).
+    pub fn next_seq(&self) -> u64 {
+        self.high_seq
+    }
+
+    /// Number of receivers the sender tracks (including ejected ones).
+    /// Zero until [`Agent::on_start`] reads the group membership.
+    pub fn receiver_count(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Attach a receiver that joined the multicast group mid-session. The
+    /// caller must already have added `id` to the group and rebuilt the
+    /// distribution tree; the new receiver's scoreboard is pre-advanced to
+    /// [`RlaSender::next_seq`], so only packets sent from now on gate the
+    /// window or trigger repairs for it. Panics when the sender has not
+    /// started yet (pre-start joiners are simply picked up by `on_start`)
+    /// or when `id` is already tracked.
+    pub fn add_receiver(&mut self, id: AgentId, now: SimTime) {
+        assert!(
+            !self.receivers.is_empty(),
+            "add_receiver before the sender started — a pre-start joiner is \
+             picked up by on_start from the group membership"
+        );
+        assert!(
+            !self.index_of.contains_key(&id),
+            "receiver {id} is already tracked by this sender"
+        );
+        let mut scoreboard = Scoreboard::new();
+        let _ = scoreboard.on_ack(self.high_seq, &[], self.cfg.dupack_threshold);
+        let idx = self.receivers.len();
+        self.receivers.push(ReceiverState {
+            id,
+            scoreboard,
+            rtt: RttEstimator::new(self.cfg.min_rto, self.cfg.max_rto),
+            cperiod: CongestionEpoch::new(),
+            last_ack_at: now,
+            ejected: false,
+        });
+        self.index_of.insert(id, idx);
+        self.trouble.add_receiver();
+        self.stats.cong_signals_per_receiver.push(0);
+    }
+
+    /// Detach a receiver that left the multicast group mid-session:
+    /// it stops gating the window, feeding the troubled count, or being
+    /// owed repairs. Unlike a slow-receiver ejection (§4.3) this is a
+    /// voluntary leave, so it is not reported in
+    /// [`RlaStats::ejected_receivers`]. Returns `false` when `id` is
+    /// unknown or already detached.
+    pub fn remove_receiver(&mut self, id: AgentId) -> bool {
+        let Some(&idx) = self.index_of.get(&id) else {
+            return false;
+        };
+        if self.receivers[idx].ejected {
+            return false;
+        }
+        self.detach(idx);
+        true
+    }
+
     // ------------------------------------------------------------------
     // Window management
     // ------------------------------------------------------------------
@@ -677,11 +740,19 @@ impl RlaSender {
     }
 
     fn eject(&mut self, idx: usize, _now: SimTime) {
-        let r = &mut self.receivers[idx];
-        r.ejected = true;
+        let id = self.receivers[idx].id;
+        self.detach(idx);
+        self.stats.ejected_receivers.push(id);
+    }
+
+    /// Shared by ejection and voluntary leave: drop `idx` out of the
+    /// control loop without forgetting its identity (in-flight acks from
+    /// it still resolve through `index_of` and hit the ejected early
+    /// return).
+    fn detach(&mut self, idx: usize) {
+        self.receivers[idx].ejected = true;
         self.trouble.deactivate(idx);
-        self.stats.ejected_receivers.push(r.id);
-        // Repairs owed only to the ejected receiver are cancelled; shared
+        // Repairs owed only to the detached receiver are cancelled; shared
         // ones stay pending for the remaining requesters.
         let pending: Vec<u64> = self.pending_rexmit.iter().copied().collect();
         for seq in pending {
@@ -1049,6 +1120,53 @@ mod tests {
         e.run_until(SimTime::from_secs(30));
         let s: &RlaSender = e.agent_as(sender).unwrap();
         assert!(s.stats.ejected_receivers.is_empty());
+    }
+
+    #[test]
+    fn mid_session_leave_and_join_keep_the_session_consistent() {
+        let (mut e, sender, receivers) = session(29, 2, 100_000_000, RlaConfig::default());
+        e.run_until(SimTime::from_secs(5));
+        let group = GroupId::from(0usize);
+        let root = e.world().agent_node(sender);
+        // Receiver 0 leaves: group membership, tree, then sender state.
+        assert!(e.leave_group(group, receivers[0]));
+        e.build_group_tree(group, root);
+        {
+            let s: &mut RlaSender = e.agent_as_mut(sender).unwrap();
+            assert!(s.remove_receiver(receivers[0]));
+            assert!(!s.remove_receiver(receivers[0]), "double leave is a no-op");
+        }
+        e.run_until(SimTime::from_secs(10));
+        // A fresh receiver joins at the same leaf mid-session.
+        let leaf = e.world().agent_node(receivers[0]);
+        let now = e.now();
+        let next = {
+            let s: &RlaSender = e.agent_as(sender).unwrap();
+            s.next_seq()
+        };
+        let joiner = e.add_agent(leaf, Box::new(McastReceiver::joining_at(next, 40)));
+        e.join_group(group, joiner);
+        e.build_group_tree(group, root);
+        {
+            let s: &mut RlaSender = e.agent_as_mut(sender).unwrap();
+            s.add_receiver(joiner, now);
+        }
+        e.run_until(SimTime::from_secs(30));
+        let s: &RlaSender = e.agent_as(sender).unwrap();
+        assert!(
+            s.max_reach_all() > next + 500,
+            "session must keep moving after churn (reach_all {} vs join seq {next})",
+            s.max_reach_all()
+        );
+        let rx: &McastReceiver = e.agent_as(joiner).unwrap();
+        assert!(
+            rx.cum_ack() >= s.max_reach_all(),
+            "joiner's in-order prefix must reach reach_all"
+        );
+        assert!(
+            s.stats.ejected_receivers.is_empty(),
+            "a voluntary leave is not an ejection"
+        );
     }
 
     #[test]

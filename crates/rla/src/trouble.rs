@@ -130,6 +130,14 @@ impl TroubleTracker {
         self.histories[idx] = CongestionHistory::default();
     }
 
+    /// Track one more receiver (a mid-session join): it starts with an
+    /// empty history, so it is not troubled until it signals. Returns the
+    /// new receiver's index.
+    pub fn add_receiver(&mut self) -> usize {
+        self.histories.push(CongestionHistory::default());
+        self.histories.len() - 1
+    }
+
     /// Number of tracked receivers.
     pub fn len(&self) -> usize {
         self.histories.len()

@@ -1,5 +1,8 @@
-//! Golden-digest regression: two short paper scenarios pinned to
-//! committed manifests under `results/golden/`.
+//! Golden-digest regression: four short scenarios pinned to committed
+//! manifests under `results/golden/` — the two static paper runs plus
+//! the two canonical *dynamic* runs (scheduled receiver churn with a
+//! link degrade, and Poisson background load), which pin the
+//! event-executor's digest determinism.
 //!
 //! The digests cover the *entire* packet-event stream (every enqueue,
 //! drop, transmission start, arrival and delivery with its timestamp), so
@@ -13,20 +16,36 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bounded_fairness::experiments::diff::{diff_manifests, render_table, DiffOptions};
+use bounded_fairness::experiments::events::{canonical_bgload_spec, canonical_churn_spec};
 use bounded_fairness::experiments::manifest::{scenario_manifest, Json};
 use bounded_fairness::experiments::{CongestionCase, GatewayKind, ScenarioResult, TreeScenario};
 use netsim::time::SimDuration;
 use telemetry::{FlightDumpGuard, FlightRecorder};
+
+/// The pinned scenario behind each committed golden manifest.
+fn scenario_for(name: &str) -> TreeScenario {
+    match name {
+        "case5_droptail_60s" => {
+            TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
+                .with_duration(SimDuration::from_secs(60))
+                .with_seed(1)
+        }
+        "case5_red_60s" => TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::Red)
+            .with_duration(SimDuration::from_secs(60))
+            .with_seed(1),
+        "case5_droptail_churn_60s" => canonical_churn_spec().build(),
+        "case5_droptail_bgload_60s" => canonical_bgload_spec().build(),
+        other => panic!("no pinned scenario named {other:?}"),
+    }
+}
 
 /// Runs the pinned scenario with a flight recorder installed as the
 /// tracer: on a digest mismatch the last packet events of every channel
 /// go to stderr with the failure, turning "the hash changed" into
 /// something debuggable. The recorder cannot perturb the result — the
 /// digest is computed independently of the tracer slot.
-fn run_scenario(gateway: GatewayKind) -> (ScenarioResult, Rc<RefCell<FlightRecorder>>) {
-    let scenario = TreeScenario::paper(CongestionCase::Case5OneLevel2, gateway)
-        .with_duration(SimDuration::from_secs(60))
-        .with_seed(1);
+fn run_scenario(name: &str) -> (ScenarioResult, Rc<RefCell<FlightRecorder>>) {
+    let scenario = scenario_for(name);
     let mut world = scenario.build();
     let recorder = Rc::new(RefCell::new(FlightRecorder::new(
         telemetry::flight::DEFAULT_FLIGHT_DEPTH,
@@ -75,11 +94,11 @@ fn registry_diff_report(name: &str, committed: &str, r: &ScenarioResult) -> Stri
     }
 }
 
-fn check(name: &str, gateway: GatewayKind) {
+fn check(name: &str) {
     let committed = std::fs::read_to_string(golden_path(name)).unwrap_or_else(|e| {
         panic!("missing committed golden manifest {name}: {e}; regenerate with `cargo test --test golden_digests -- --ignored regenerate`")
     });
-    let (r, recorder) = run_scenario(gateway);
+    let (r, recorder) = run_scenario(name);
     // Dumps the ring to stderr iff one of the asserts below panics.
     let _flight = FlightDumpGuard::new(name, recorder);
     let got_digest = format!("{:016x}", r.trace_digest);
@@ -103,12 +122,22 @@ fn check(name: &str, gateway: GatewayKind) {
 
 #[test]
 fn case5_droptail_matches_committed_manifest() {
-    check("case5_droptail_60s", GatewayKind::DropTail);
+    check("case5_droptail_60s");
 }
 
 #[test]
 fn case5_red_matches_committed_manifest() {
-    check("case5_red_60s", GatewayKind::Red);
+    check("case5_red_60s");
+}
+
+#[test]
+fn case5_droptail_churn_matches_committed_manifest() {
+    check("case5_droptail_churn_60s");
+}
+
+#[test]
+fn case5_droptail_bgload_matches_committed_manifest() {
+    check("case5_droptail_bgload_60s");
 }
 
 /// Rewrites the committed goldens from the current code. Run explicitly
@@ -118,11 +147,13 @@ fn case5_red_matches_committed_manifest() {
 fn regenerate() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/golden");
     std::fs::create_dir_all(&dir).expect("create results/golden");
-    for (name, gateway) in [
-        ("case5_droptail_60s", GatewayKind::DropTail),
-        ("case5_red_60s", GatewayKind::Red),
+    for name in [
+        "case5_droptail_60s",
+        "case5_red_60s",
+        "case5_droptail_churn_60s",
+        "case5_droptail_bgload_60s",
     ] {
-        let (r, _) = run_scenario(gateway);
+        let (r, _) = run_scenario(name);
         let json = scenario_manifest(name, SimDuration::from_secs(60), std::slice::from_ref(&r));
         let path = dir.join(format!("{name}.manifest.json"));
         std::fs::write(&path, json.pretty()).expect("write golden");
