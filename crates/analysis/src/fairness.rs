@@ -94,6 +94,35 @@ impl FairnessCheck {
     }
 }
 
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over a set of throughputs:
+/// 1 when everything is equal, `1/n` when one flow takes all. Zero and
+/// negative entries count toward `n` (a starved flow lowers the index);
+/// an empty or all-zero set yields 0.
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    if throughputs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (throughputs.len() as f64 * sum_sq)
+}
+
+/// Worst pairwise throughput ratio `max(x) / min(x)` — the paper's
+/// fairness-table shape reduced to one number. 1 means perfectly even;
+/// `+∞` when some flow is starved to zero (or negative).
+pub fn worst_pair_ratio(throughputs: &[f64]) -> f64 {
+    assert!(!throughputs.is_empty(), "need at least one throughput");
+    let max = throughputs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = throughputs.iter().cloned().fold(f64::MAX, f64::min);
+    if min <= 0.0 {
+        return f64::INFINITY;
+    }
+    max / min
+}
+
 /// The soft bottleneck of a multicast session (§2.2): the branch with the
 /// smallest per-connection share `μ_i / (m_i + 1)`, where `μ_i` is the
 /// branch's available bandwidth (pkt/s) and `m_i` its competing TCP count.
@@ -156,6 +185,28 @@ mod tests {
         assert!(b.contains(100.0, 100.0));
         assert!(!b.contains(101.0, 100.0));
         assert_eq!(b.tightness(), 1.0);
+    }
+
+    #[test]
+    fn jain_index_spans_its_range() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+        assert!((jain_index(&[100.0, 100.0, 100.0]) - 1.0).abs() < 1e-12);
+        // One flow takes all: index collapses to 1/n.
+        let n = 4;
+        let mut xs = vec![0.0; n];
+        xs[0] = 250.0;
+        assert!((jain_index(&xs) - 1.0 / n as f64).abs() < 1e-12);
+        // Mild skew lands strictly between.
+        let j = jain_index(&[100.0, 80.0, 120.0]);
+        assert!(j > 0.9 && j < 1.0, "jain {j}");
+    }
+
+    #[test]
+    fn worst_pair_ratio_reports_spread() {
+        assert_eq!(worst_pair_ratio(&[100.0]), 1.0);
+        assert!((worst_pair_ratio(&[50.0, 100.0, 75.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(worst_pair_ratio(&[0.0, 100.0]), f64::INFINITY);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Five congestion placements on the four-level tertiary tree, soft
 //! bottleneck share normalized to 100 pkt/s. Prints the paper's table:
 //! RLA throughput/cwnd/RTT/signals/cuts plus the worst and best competing
-//! TCP. Honours `RLA_DURATION_SECS` (default 3000 s, the paper's length).
+//! TCP. Honours `RLA_DURATION_SECS` (default 3000 s, the paper's
+//! length) and `RLA_TCP_CC` (background TCP congestion controller).
 
 use experiments::prelude::*;
 use experiments::tables::render_throughput_table;
@@ -16,6 +17,7 @@ fn main() {
             ScenarioSpec::paper(case)
                 .with_duration(duration)
                 .with_seed(cli::base_seed())
+                .with_tcp_cc(cli::tcp_cc())
                 .build()
         })
         .collect();

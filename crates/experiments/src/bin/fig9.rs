@@ -17,6 +17,7 @@ fn main() {
                 .with_gateway(GatewayKind::Red)
                 .with_duration(duration)
                 .with_seed(cli::base_seed())
+                .with_tcp_cc(cli::tcp_cc())
                 .build()
         })
         .collect();

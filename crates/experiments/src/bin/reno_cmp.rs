@@ -1,15 +1,20 @@
 //! TCP-flavor sensitivity: the RLA's fairness against SACK vs Reno.
 //!
 //! The paper's tables measure the RLA against TCP SACK background
-//! traffic. With the congestion controller now pluggable, the same tree
+//! traffic. With the congestion controller pluggable, the same tree
 //! scenarios can run with TCP Reno flows instead. The claim under test:
 //! the RLA's bounded-fairness results do not hinge on the SACK choice —
 //! the fairness ratio (RLA throughput over the worst TCP's) should land
 //! in the same band for both flavors, with Reno's worst TCP at most a
 //! little lower because it repairs only one loss per round trip.
+//!
+//! This binary is the two-variant, two-case corner of the full
+//! [`experiments::ccmatrix`] grid (`cc_matrix` runs everything); it
+//! keeps its historical name and manifest schema.
 
+use experiments::ccmatrix::entry_with_cc;
 use experiments::prelude::*;
-use transport::CcVariant;
+use tcp_sack::CcVariant;
 
 fn main() {
     let duration = cli::scaled_duration(2.0, 120.0);
@@ -17,25 +22,19 @@ fn main() {
 
     // Case 3 (all leaves congested, the hardest fairness test) and
     // case 1 (root-link bottleneck), drop-tail gateways as in figure 7.
-    let cases = [
-        CongestionCase::Case3AllLeaves,
-        CongestionCase::Case1RootLink,
-    ];
-    let variants = [CcVariant::Sack, CcVariant::Reno];
-
-    let scenarios: Vec<TreeScenario> = cases
-        .iter()
-        .flat_map(|&case| {
-            variants.iter().map(move |&cc| {
-                ScenarioSpec::paper(case)
-                    .with_duration(duration)
-                    .with_seed(seed)
-                    .with_tcp_cc(cc)
-                    .build()
-            })
-        })
-        .collect();
-    let results = run_parallel(scenarios.clone());
+    let cfg = MatrixConfig {
+        cases: vec![
+            CongestionCase::Case3AllLeaves,
+            CongestionCase::Case1RootLink,
+        ],
+        variants: vec![
+            CcVariant::sack(),
+            CcVariant::parse("reno").expect("reno is registered"),
+        ],
+        duration,
+        seed,
+    };
+    let cells = run_matrix(&cfg);
 
     println!(
         "RLA fairness vs TCP flavor (drop-tail, {} s runs, seed {seed})",
@@ -46,25 +45,18 @@ fn main() {
         "case", "tcp", "rla", "wtcp", "avg tcp", "rla/wtcp"
     );
     let mut run_entries = Vec::new();
-    for (scenario, r) in scenarios.iter().zip(&results) {
-        let cc = scenario.tcp_cc.name();
-        let rla = r.rla[0].throughput_pps;
-        let wtcp = r.worst_tcp().map_or(0.0, |t| t.throughput_pps);
-        let ratio = rla / wtcp.max(1e-9);
+    for cell in &cells {
+        let r = &cell.result;
         println!(
             "{:<10} {:<6} {:>10.1} {:>10.1} {:>10.1} {:>10.2}",
             r.case_label,
-            cc,
-            rla,
-            wtcp,
+            cell.cc.name(),
+            r.rla[0].throughput_pps,
+            r.worst_tcp().map_or(0.0, |t| t.throughput_pps),
             r.avg_tcp_throughput(),
-            ratio
+            cell.rla_over_wtcp(),
         );
-        let mut entry = experiments::manifest::scenario_entry(r);
-        if let Json::Obj(ref mut fields) = entry {
-            fields.insert(2, ("tcp_cc".to_string(), cc.into()));
-        }
-        run_entries.push(entry);
+        run_entries.push(entry_with_cc(r, cell.cc));
     }
 
     let manifest = Json::obj(vec![

@@ -22,6 +22,8 @@
 //!   (`1`/`on` to enable; default off so test output stays clean).
 //! * `RLA_DIFF_THRESHOLD_PCT` — drift threshold for the `rla_diff`
 //!   manifest-comparison tool (percent; the `--threshold` flag wins).
+//! * `RLA_TCP_CC` — congestion controller for the background TCP flows
+//!   (default `sack`; any name in the `tcp_sack` registry).
 //! * `RLA_CHURN_RATE` — receiver leave/rejoin events per second for the
 //!   dynamic-scenario binaries (default 0 — static membership).
 //! * `RLA_BG_LOAD` — Poisson background short-flow arrivals per second
@@ -52,10 +54,11 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 16] = [
+pub const KNOWN_ENV_VARS: [&str; 17] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
+    "RLA_TCP_CC",
     "RLA_RESULTS_DIR",
     "RLA_BENCH_BASELINE",
     "RLA_BENCH_GATE_PCT",
@@ -262,6 +265,28 @@ pub fn diff_threshold_pct_from(get: impl Fn(&str) -> Option<String>) -> Option<f
             "RLA_DIFF_THRESHOLD_PCT={v:?}: expected a non-negative percentage"
         );
         pct
+    })
+}
+
+/// The TCP congestion controller for the background flows:
+/// `RLA_TCP_CC` looked up in the `tcp_sack` registry (default: the
+/// paper's SACK).
+pub fn tcp_cc() -> tcp_sack::CcVariant {
+    enforce_known_env();
+    tcp_cc_from(|name| std::env::var(name).ok())
+}
+
+/// [`tcp_cc`] over an arbitrary variable source (pure). A name missing
+/// from the registry fails loudly listing every valid one, so the error
+/// stays correct as controllers are added.
+pub fn tcp_cc_from(get: impl Fn(&str) -> Option<String>) -> tcp_sack::CcVariant {
+    get("RLA_TCP_CC").map_or_else(tcp_sack::CcVariant::sack, |v| {
+        tcp_sack::CcVariant::parse(&v).unwrap_or_else(|| {
+            panic!(
+                "RLA_TCP_CC={v:?}: unknown congestion controller. Valid names: {}",
+                tcp_sack::CcVariant::names().join(", ")
+            )
+        })
     })
 }
 
@@ -472,6 +497,21 @@ mod tests {
         assert_eq!(churn_rate_from(env(&[("RLA_CHURN_RATE", "0.25")])), 0.25);
         assert_eq!(bg_load_from(env(&[("RLA_BG_LOAD", "3")])), 3.0);
         assert!(events_file_from(env(&[])).is_empty());
+    }
+
+    #[test]
+    fn tcp_cc_parses_registry_names_and_defaults_to_sack() {
+        assert_eq!(tcp_cc_from(|_| None), tcp_sack::CcVariant::sack());
+        for name in tcp_sack::CcVariant::names() {
+            let cc = tcp_cc_from(move |k| (k == "RLA_TCP_CC").then(|| name.to_string()));
+            assert_eq!(cc.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sack, reno, cubic, bbr")]
+    fn unknown_tcp_cc_is_rejected_listing_the_registry() {
+        tcp_cc_from(|name| (name == "RLA_TCP_CC").then(|| "vegas".to_string()));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! | `buffer_period` | §3.1           | drop-tail buffer oscillation trace |
 //! | `phase_effect`  | §3.1           | drop pattern with/without random overhead |
 //! | `baseline_cmp`  | §1             | LTRC/MBFC vs RLA fairness to TCP |
+//! | `reno_cmp`      | robustness     | RLA fairness vs the TCP flavor (SACK/Reno) |
+//! | `cc_matrix`     | robustness     | every CC variant × the five §5 cases, fairness grid |
 //!
 //! Run lengths follow the paper (3000 s) unless `RLA_DURATION_SECS` says
 //! otherwise; every binary reads its knobs through [`cli`] and describes
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ccmatrix;
 pub mod cli;
 pub mod diff;
 pub mod events;
@@ -45,6 +48,7 @@ pub mod star;
 pub mod tables;
 pub mod tree;
 
+pub use ccmatrix::{run_matrix, MatrixCell, MatrixConfig};
 pub use events::{BackgroundLoad, EventCommand, ScenarioEvent};
 pub use manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};
 pub use metrics::{BranchSignalStats, RlaRow, ScenarioResult, TcpRow};
@@ -72,6 +76,7 @@ pub use tree::{build_tree, CongestionCase, TertiaryTree};
 /// emit_scenario_manifest("example", cli::run_duration(), &rows);
 /// ```
 pub mod prelude {
+    pub use crate::ccmatrix::{run_matrix, MatrixCell, MatrixConfig};
     pub use crate::cli;
     pub use crate::events::{BackgroundLoad, EventCommand, ScenarioEvent};
     pub use crate::manifest::{emit_analysis_manifest, emit_scenario_manifest, Json};

@@ -19,10 +19,9 @@ use netsim::time::{SimDuration, SimTime};
 use baselines::{BackgroundConfig, BurstSource, PoissonFlowSource};
 use rla::{McastReceiver, PthreshPolicy, RlaConfig, RlaSender};
 
-use tcp_sack::{RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
+use tcp_sack::{CcVariant, RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
 use telemetry::timeline::SeriesId;
 use telemetry::{ChannelSample, FlowProbe, FlowSample, RegistryExport, TimelineRecorder};
-use transport::CcVariant;
 
 use crate::cli::TelemetryOptions;
 use crate::events::{BackgroundLoad, EventCommand, ScenarioEvent};
@@ -101,7 +100,7 @@ impl TreeScenario {
                 },
                 ..RlaConfig::default()
             },
-            tcp_cc: CcVariant::Sack,
+            tcp_cc: CcVariant::sack(),
             events: Vec::new(),
             bg_load: None,
         }
@@ -164,14 +163,9 @@ impl TreeScenario {
         let mut tcp_senders = Vec::new();
         for &node in &tcp_nodes {
             let rx = engine.add_agent(node, Box::new(TcpReceiver::new(tcp_cfg.ack_size)));
-            let tx = match self.tcp_cc {
-                CcVariant::Sack => {
-                    engine.add_agent(tree.root, Box::new(TcpSender::new(rx, tcp_cfg.clone())))
-                }
-                CcVariant::Reno => {
-                    engine.add_agent(tree.root, Box::new(RenoSender::new(rx, tcp_cfg.clone())))
-                }
-            };
+            // The registry builds the right sender for the configured
+            // variant — adding a controller never touches this site.
+            let tx = engine.add_agent(tree.root, self.tcp_cc.build_sender(rx, tcp_cfg.clone()));
             tcp_receivers.push(rx);
             tcp_senders.push(tx);
         }

@@ -12,7 +12,7 @@
 use netsim::time::SimDuration;
 
 use rla::RlaConfig;
-use transport::CcVariant;
+use tcp_sack::CcVariant;
 
 use crate::events::{synth_churn, BackgroundLoad, EventCommand, ScenarioEvent};
 use crate::metrics::ScenarioResult;

@@ -16,6 +16,13 @@
 //!
 //! The receiver ([`TcpReceiver`]) acknowledges every data packet with a
 //! cumulative ack plus up to three RFC 2018 SACK blocks.
+//!
+//! Beyond the paper's SACK baseline the crate carries a small zoo of
+//! alternative senders — Reno ([`RenoSender`]), CUBIC and BBRv1 (riding
+//! [`TcpSender::with_cc`] with the `transport` policies) — selected
+//! declaratively through the string-keyed registry in [`variants`]
+//! ([`CcVariant`]), so fairness sweeps can pit the RLA against modern
+//! competitors without new wiring per algorithm.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +33,7 @@ pub mod reno;
 pub mod rto;
 pub mod scoreboard;
 pub mod sender;
+pub mod variants;
 
 pub use config::TcpConfig;
 pub use receiver::{ReceiverStats, TcpReceiver};
@@ -33,3 +41,4 @@ pub use reno::RenoSender;
 pub use rto::RttEstimator;
 pub use scoreboard::Scoreboard;
 pub use sender::{SenderStats, TcpSender};
+pub use variants::{CcEntry, CcVariant, CC_REGISTRY};

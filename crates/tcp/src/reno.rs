@@ -24,7 +24,9 @@ use netsim::packet::{Dest, Packet};
 use netsim::time::SimTime;
 use netsim::wire::{Segment, TcpAck, TcpData};
 
-use transport::{AckEvent, CongestionControl, RenoCc, RexmitTimer, RttEstimator, WindowState};
+use transport::{
+    AckEvent, CcSignals, CongestionControl, RenoCc, RexmitTimer, RttEstimator, WindowState,
+};
 
 use crate::config::TcpConfig;
 use crate::sender::SenderStats;
@@ -47,6 +49,9 @@ pub struct RenoSender {
     /// Unacked sequences that have been retransmitted (Karn's ambiguity
     /// set; pruned as the cumulative ack advances).
     retransmitted: BTreeSet<u64>,
+    /// Path signals for the policy (RenoCc is signal-blind, but the v2
+    /// seam feeds every policy the same view).
+    signals: CcSignals,
     /// Collected statistics.
     pub stats: SenderStats,
 }
@@ -68,6 +73,7 @@ impl RenoSender {
             high_water: 0,
             timer: RexmitTimer::new(),
             retransmitted: BTreeSet::new(),
+            signals: CcSignals::new(),
             stats: SenderStats::new(SimTime::ZERO, cwnd),
         }
     }
@@ -96,7 +102,7 @@ impl RenoSender {
     fn try_send(&mut self, ctx: &mut Context<'_>) {
         loop {
             let in_flight = self.high_seq.saturating_sub(self.cum_ack);
-            if in_flight >= self.cc.allowed_window(&self.win) {
+            if in_flight >= self.cc.allowed_window(&self.win, &self.signals) {
                 break;
             }
             // Receiver-buffer bound, as in the SACK sender.
@@ -141,10 +147,10 @@ impl RenoSender {
                 .range(self.cum_ack..ack.cum_ack)
                 .next()
                 .is_some();
-        if self
+        let sample_taken = self
             .rtt
-            .karn_sample(now.saturating_since(ack.echo_timestamp), ambiguous)
-        {
+            .karn_sample(now.saturating_since(ack.echo_timestamp), ambiguous);
+        if sample_taken {
             self.stats
                 .rtt
                 .push(now.saturating_since(ack.echo_timestamp).as_secs_f64());
@@ -160,10 +166,19 @@ impl RenoSender {
         let ev = AckEvent {
             cum_ack: self.cum_ack,
             newly_acked: advanced,
-            newly_lost: 0, // no scoreboard: RenoCc counts duplicates itself
+            newly_delivered: advanced, // no selective acks to report early
+            newly_lost: 0,             // no scoreboard: RenoCc counts duplicates itself
             high_seq: self.high_seq,
+            ack_time: now,
+            // Only unambiguous (Karn-accepted) samples feed the filters.
+            rtt_sample: sample_taken.then(|| now.saturating_since(ack.echo_timestamp)),
+            in_flight: self.high_seq.saturating_sub(self.cum_ack),
+            // No per-segment send state without a scoreboard: the
+            // delivery-rate sample stays absent (RenoCc never reads it).
+            rate: None,
         };
-        let out = self.cc.on_ack(&mut self.win, &ev);
+        self.signals.on_ack(&ev);
+        let out = self.cc.on_ack(&mut self.win, &ev, &self.signals);
         self.stats.window_cuts += out.cuts;
         self.stats.cwnd_avg.set(now, self.win.cwnd());
         if let Some(seq) = out.retransmit {
@@ -182,7 +197,7 @@ impl RenoSender {
             return; // nothing outstanding; idle
         }
         self.rtt.on_timeout();
-        self.cc.on_timeout(&mut self.win);
+        self.cc.on_timeout(&mut self.win, now);
         self.stats.cwnd_avg.set(now, self.win.cwnd());
         self.stats.timeouts += 1;
         // Go-back-N: without per-segment state, resume from the hole. The

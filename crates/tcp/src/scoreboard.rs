@@ -282,6 +282,15 @@ impl Scoreboard {
         self.n_tracked - self.n_sacked - self.n_lost
     }
 
+    /// Outstanding packets currently SACKed (received above a hole).
+    /// `cum_ack() + sacked()` is the sender's known-delivered count, the
+    /// basis for delivery-rate samples: it advances when a packet is
+    /// *first* reported received, so a hole-fill's cumulative jump does
+    /// not re-count packets SACKed round trips ago.
+    pub fn sacked(&self) -> u64 {
+        self.n_sacked
+    }
+
     /// Number of tracked (outstanding) packets.
     pub fn outstanding(&self) -> u64 {
         self.n_tracked

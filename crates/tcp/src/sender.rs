@@ -11,22 +11,52 @@
 //! [`CongestionControl`] policy one [`AckEvent`] per acknowledgment. The
 //! default policy is [`transport::SackCc`]; the golden trace digests
 //! certify this wiring bit-for-bit against the pre-refactor sender.
+//!
+//! ## Rate signals and pacing (CC API v2)
+//!
+//! Alongside the scoreboard the sender keeps BBR-style delivery-rate
+//! bookkeeping: every transmission records its send time and the value of
+//! the delivered counter at that moment, and every cumulative-ack advance
+//! turns that into a [`transport::RateSample`] folded (with the RTT
+//! sample) into the connection's [`CcSignals`]. Policies that ignore the
+//! signals (SACK, Reno) behave exactly as before — the bookkeeping emits
+//! no events.
+//!
+//! When the policy returns a pacing rate ([`CongestionControl::pacing_rate`],
+//! BBR), the send loop stops releasing back-to-back packets: each
+//! transmission pushes `next_send_at` one inter-packet gap into the
+//! future, and when the gate is closed the loop parks a
+//! [`PacingTimer`] instead of sending. Unpaced policies never arm it, so
+//! their event streams are untouched.
 
 use std::any::Any;
+use std::collections::BTreeMap;
 
 use netsim::agent::Agent;
 use netsim::engine::Context;
 use netsim::id::AgentId;
 use netsim::packet::{Dest, Packet};
-use netsim::time::SimTime;
+use netsim::time::{SimDuration, SimTime};
 use netsim::wire::{Segment, TcpAck, TcpData};
 
-use transport::{AckEvent, CongestionControl, RexmitTimer, RttEstimator, SackCc, WindowState};
+use transport::{
+    AckEvent, CcSignals, CongestionControl, PacingTimer, RateSample, RexmitTimer, RttEstimator,
+    SackCc, WindowState,
+};
 
 use crate::config::TcpConfig;
 use crate::scoreboard::Scoreboard;
 
 pub use transport::stats::SenderStats;
+
+/// Per-packet delivery-rate bookkeeping recorded at transmit time.
+#[derive(Debug, Clone, Copy)]
+struct SendMeta {
+    /// When the packet (or its latest retransmission) left.
+    sent_at: SimTime,
+    /// The sender's delivered counter at that moment.
+    delivered_at_send: u64,
+}
 
 /// A TCP sender with infinite data (the paper's persistent source).
 pub struct TcpSender {
@@ -40,6 +70,15 @@ pub struct TcpSender {
     scoreboard: Scoreboard,
     rtt: RttEstimator,
     timer: RexmitTimer,
+    /// Path signals (windowed min-RTT, bandwidth filter, delivered count)
+    /// accumulated for the policy.
+    signals: CcSignals,
+    /// Delivery-rate bookkeeping for in-flight sequences (pruned at the
+    /// cumulative ack; retransmissions overwrite their entry).
+    meta: BTreeMap<u64, SendMeta>,
+    /// Pacing release timer and gate (only armed by pacing policies).
+    pacer: PacingTimer,
+    next_send_at: SimTime,
     /// Collected statistics.
     pub stats: SenderStats,
 }
@@ -68,6 +107,10 @@ impl TcpSender {
             high_seq: 0,
             scoreboard: Scoreboard::new(),
             timer: RexmitTimer::new(),
+            signals: CcSignals::new(),
+            meta: BTreeMap::new(),
+            pacer: PacingTimer::new(),
+            next_send_at: SimTime::ZERO,
             stats: SenderStats::new(SimTime::ZERO, cwnd),
         }
     }
@@ -93,32 +136,60 @@ impl TcpSender {
         self.stats = SenderStats::new(now, self.win.cwnd());
     }
 
-    /// Transmit whatever the window currently allows: retransmissions of
-    /// declared-lost packets first, then new data.
+    /// Transmit whatever the window (and, for pacing policies, the
+    /// pacing gate) currently allows: retransmissions of declared-lost
+    /// packets first, then new data.
     fn try_send(&mut self, ctx: &mut Context<'_>) {
-        let allowed = self.cc.allowed_window(&self.win);
+        let allowed = self.cc.allowed_window(&self.win, &self.signals);
+        let pace = self.cc.pacing_rate(&self.signals).filter(|r| *r > 0.0);
         loop {
             if self.scoreboard.in_flight() >= allowed {
                 break;
             }
-            if let Some(seq) = self.scoreboard.next_lost() {
-                self.transmit(ctx, seq, true);
-                continue;
-            }
+            let lost = self.scoreboard.next_lost();
             // Receiver-buffer bound (§3.3 rule 5 analogue for TCP): don't
             // run more than max_cwnd past the cumulative ack.
-            if self.high_seq >= self.scoreboard.cum_ack() + self.cfg.max_cwnd as u64 {
+            if lost.is_none()
+                && self.high_seq >= self.scoreboard.cum_ack() + self.cfg.max_cwnd as u64
+            {
                 break;
             }
-            let seq = self.high_seq;
-            self.high_seq += 1;
-            self.transmit(ctx, seq, false);
+            if let Some(rate) = pace {
+                // The gate is closed: park the pacing timer and let it
+                // call back instead of bursting.
+                let now = ctx.now();
+                if now < self.next_send_at {
+                    self.pacer.arm_at(ctx, self.next_send_at);
+                    break;
+                }
+                // Charge one inter-packet gap, carrying over any credit
+                // (ack clocks may lag the ideal schedule).
+                let gap = SimDuration::from_secs_f64(1.0 / rate);
+                self.next_send_at = self.next_send_at.max(now) + gap;
+            }
+            match lost {
+                Some(seq) => self.transmit(ctx, seq, true),
+                None => {
+                    let seq = self.high_seq;
+                    self.high_seq += 1;
+                    self.transmit(ctx, seq, false);
+                }
+            }
         }
     }
 
     fn transmit(&mut self, ctx: &mut Context<'_>, seq: u64, retransmit: bool) {
         let now = ctx.now();
         self.scoreboard.on_send(seq, now);
+        // Delivery-rate bookkeeping: a retransmission overwrites its
+        // entry, so the eventual sample measures the copy that was acked.
+        self.meta.insert(
+            seq,
+            SendMeta {
+                sent_at: now,
+                delivered_at_send: self.signals.delivered(),
+            },
+        );
         self.stats.data_sent += 1;
         if retransmit {
             self.stats.retransmits += 1;
@@ -142,19 +213,48 @@ impl TcpSender {
         self.rtt.sample(now.saturating_since(ack.echo_timestamp));
 
         let before = self.scoreboard.cum_ack();
+        let sacked_before = self.scoreboard.sacked();
         let newly_lost = self
             .scoreboard
             .on_ack(ack.cum_ack, &ack.sack, self.cfg.dupack_threshold);
         let advanced = self.scoreboard.cum_ack().saturating_sub(before);
+        // First-time delivery reports: the cumulative advance net of
+        // packets an earlier SACK already reported, plus newly SACKed
+        // ones (cum + sacked is monotone, so this never underflows).
+        let newly_delivered = (advanced + self.scoreboard.sacked()).saturating_sub(sacked_before);
         self.stats.delivered += advanced;
 
+        // Delivery-rate sample off the last packet of the acked range
+        // (the persistent source is never application-limited), then
+        // prune the bookkeeping below the new cumulative ack.
+        let cum = self.scoreboard.cum_ack();
+        let rate = if advanced > 0 {
+            self.meta.get(&(cum - 1)).map(|m| RateSample {
+                newly_acked_bytes: advanced * self.cfg.packet_size as u64,
+                sent_at: m.sent_at,
+                delivered_at_send: m.delivered_at_send,
+                app_limited: false,
+            })
+        } else {
+            None
+        };
+        if advanced > 0 {
+            self.meta = self.meta.split_off(&cum);
+        }
+
         let ev = AckEvent {
-            cum_ack: self.scoreboard.cum_ack(),
+            cum_ack: cum,
             newly_acked: advanced,
+            newly_delivered,
             newly_lost: newly_lost as u64,
             high_seq: self.high_seq,
+            ack_time: now,
+            rtt_sample: Some(now.saturating_since(ack.echo_timestamp)),
+            in_flight: self.scoreboard.in_flight(),
+            rate,
         };
-        let out = self.cc.on_ack(&mut self.win, &ev);
+        self.signals.on_ack(&ev);
+        let out = self.cc.on_ack(&mut self.win, &ev, &self.signals);
         self.stats.window_cuts += out.cuts;
         self.stats.cwnd_avg.set(now, self.win.cwnd());
         debug_assert!(
@@ -175,7 +275,7 @@ impl TcpSender {
             return; // nothing outstanding; idle
         }
         self.rtt.on_timeout();
-        self.cc.on_timeout(&mut self.win);
+        self.cc.on_timeout(&mut self.win, now);
         self.stats.cwnd_avg.set(now, self.win.cwnd());
         self.scoreboard.mark_all_lost();
         self.stats.timeouts += 1;
@@ -214,6 +314,13 @@ impl Agent for TcpSender {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if PacingTimer::matches(token) {
+            // The pacing gate re-opened: resume the send loop.
+            if self.pacer.is_current(token) {
+                self.try_send(ctx);
+            }
+            return;
+        }
         if !self.timer.is_current(token) {
             return; // superseded timer
         }
@@ -348,6 +455,64 @@ mod tests {
             t.stats.total_cuts(),
             t.stats.retransmits
         );
+    }
+
+    #[test]
+    fn cubic_fills_an_uncongested_pipe() {
+        use crate::variants::CcVariant;
+        let mut e = Engine::new(3);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::DropTail { limit: 100 },
+        );
+        let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let cc = CcVariant::parse("cubic").unwrap();
+        let tx = e.add_agent(a, cc.build_sender(rx, TcpConfig::default()));
+        e.compute_routes();
+        e.start_agent_at(tx, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(30));
+        let rx: &TcpReceiver = e.agent_as(rx).unwrap();
+        assert!(
+            rx.stats.delivered > 27_000,
+            "cubic delivered {}",
+            rx.stats.delivered
+        );
+    }
+
+    #[test]
+    fn bbr_paces_near_the_bottleneck_rate() {
+        use crate::variants::CcVariant;
+        let mut e = Engine::new(3);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        // 1000 pkt/s bottleneck; BBR must model it and pace close to it
+        // without collapsing into timeouts.
+        e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::DropTail { limit: 100 },
+        );
+        let rx = e.add_agent(b, Box::new(TcpReceiver::new(40)));
+        let cc = CcVariant::parse("bbr").unwrap();
+        let tx = e.add_agent(a, cc.build_sender(rx, TcpConfig::default()));
+        e.compute_routes();
+        e.start_agent_at(tx, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(30));
+        let rxs: &TcpReceiver = e.agent_as(rx).unwrap();
+        let rate = rxs.stats.delivered as f64 / 30.0;
+        assert!(
+            rate > 600.0 && rate <= 1_001.0,
+            "bbr goodput {rate} pkt/s should track the 1000 pkt/s bottleneck"
+        );
+        let txs: &TcpSender = e.agent_as(tx).unwrap();
+        assert_eq!(txs.stats.timeouts, 0, "bbr must not stall on a clean path");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Windowed extrema filters over simulated time.
+//!
+//! Rate-based congestion controllers reason about two slowly-decaying
+//! estimates: the *minimum* round-trip time seen recently (the propagation
+//! delay, once queues drain) and the *maximum* delivery rate seen recently
+//! (the bottleneck bandwidth, once the pipe fills). Both are windowed
+//! extrema — a plain running min/max would never forget a route change —
+//! so this module provides [`MinRttFilter`] and [`BandwidthFilter`]: the
+//! classic monotonic-deque sliding-window algorithm keyed by [`SimTime`].
+//!
+//! Each `update` is amortised O(1): a new sample evicts every older sample
+//! it dominates (a smaller RTT makes older, larger RTTs irrelevant for the
+//! rest of their lifetime; symmetrically for bandwidth), then samples that
+//! have aged out of the window are dropped from the front.
+
+use std::collections::VecDeque;
+
+use netsim::time::{SimDuration, SimTime};
+
+/// Sliding-window minimum of RTT samples.
+///
+/// `current()` is the smallest RTT observed in the last `window` of
+/// simulated time (relative to the newest `update` timestamp).
+#[derive(Debug, Clone)]
+pub struct MinRttFilter {
+    window: SimDuration,
+    /// Samples with strictly increasing RTTs; the front is the window min.
+    samples: VecDeque<(SimTime, SimDuration)>,
+}
+
+impl MinRttFilter {
+    /// A filter forgetting samples older than `window`.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "zero-length filter window");
+        MinRttFilter {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Fold in an RTT sample taken at `now`. Timestamps must be
+    /// non-decreasing (simulated time never runs backwards).
+    pub fn update(&mut self, now: SimTime, rtt: SimDuration) {
+        while matches!(self.samples.back(), Some(&(_, v)) if v >= rtt) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, rtt));
+        let horizon = now - self.window;
+        while matches!(self.samples.front(), Some(&(t, _)) if t < horizon) {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The windowed minimum, or `None` before the first sample.
+    pub fn current(&self) -> Option<SimDuration> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    /// When the sample currently defining the minimum was taken.
+    pub fn stamp(&self) -> Option<SimTime> {
+        self.samples.front().map(|&(t, _)| t)
+    }
+}
+
+/// Sliding-window maximum of delivery-rate samples (packets per second).
+///
+/// `current()` is the largest rate observed in the last `window` of
+/// simulated time (relative to the newest `update` timestamp).
+#[derive(Debug, Clone)]
+pub struct BandwidthFilter {
+    window: SimDuration,
+    /// Samples with strictly decreasing rates; the front is the window max.
+    samples: VecDeque<(SimTime, f64)>,
+}
+
+impl BandwidthFilter {
+    /// A filter forgetting samples older than `window`.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "zero-length filter window");
+        BandwidthFilter {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Fold in a delivery-rate sample (pkt/s) taken at `now`. Non-finite
+    /// rates are rejected (a zero-length sampling interval upstream);
+    /// timestamps must be non-decreasing.
+    pub fn update(&mut self, now: SimTime, rate_pps: f64) {
+        if !rate_pps.is_finite() || rate_pps < 0.0 {
+            return;
+        }
+        while matches!(self.samples.back(), Some(&(_, v)) if v <= rate_pps) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, rate_pps));
+        let horizon = now - self.window;
+        while matches!(self.samples.front(), Some(&(t, _)) if t < horizon) {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The windowed maximum, or `None` before the first sample.
+    pub fn current(&self) -> Option<f64> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    /// When the sample currently defining the maximum was taken.
+    pub fn stamp(&self) -> Option<SimTime> {
+        self.samples.front().map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn min_filter_tracks_window_minimum() {
+        let mut f = MinRttFilter::new(SimDuration::from_secs(1));
+        assert_eq!(f.current(), None);
+        f.update(at(0), ms(100));
+        f.update(at(100), ms(80));
+        f.update(at(200), ms(120));
+        assert_eq!(f.current(), Some(ms(80)));
+        assert_eq!(f.stamp(), Some(at(100)));
+    }
+
+    #[test]
+    fn min_filter_forgets_expired_minimum() {
+        let mut f = MinRttFilter::new(SimDuration::from_secs(1));
+        f.update(at(0), ms(50));
+        f.update(at(500), ms(90));
+        // The 50 ms sample ages out; the min rises to the surviving one.
+        f.update(at(1200), ms(110));
+        assert_eq!(f.current(), Some(ms(90)));
+        f.update(at(1600), ms(130));
+        assert_eq!(f.current(), Some(ms(110)));
+    }
+
+    #[test]
+    fn min_filter_new_minimum_displaces_older_larger_samples() {
+        let mut f = MinRttFilter::new(SimDuration::from_secs(10));
+        f.update(at(0), ms(100));
+        f.update(at(100), ms(90));
+        f.update(at(200), ms(40));
+        assert_eq!(f.current(), Some(ms(40)));
+        assert_eq!(f.stamp(), Some(at(200)));
+    }
+
+    #[test]
+    fn bw_filter_tracks_window_maximum() {
+        let mut f = BandwidthFilter::new(SimDuration::from_secs(1));
+        assert_eq!(f.current(), None);
+        f.update(at(0), 100.0);
+        f.update(at(100), 250.0);
+        f.update(at(200), 150.0);
+        assert_eq!(f.current(), Some(250.0));
+        // Expire the 250 pkt/s peak: the max falls back to 150.
+        f.update(at(1200), 50.0);
+        assert_eq!(f.current(), Some(150.0));
+    }
+
+    #[test]
+    fn bw_filter_rejects_non_finite_samples() {
+        let mut f = BandwidthFilter::new(SimDuration::from_secs(1));
+        f.update(at(0), f64::NAN);
+        f.update(at(0), f64::INFINITY);
+        f.update(at(0), -1.0);
+        assert_eq!(f.current(), None);
+        f.update(at(10), 42.0);
+        assert_eq!(f.current(), Some(42.0));
+    }
+
+    #[test]
+    fn filters_hold_extremum_exactly_through_the_window() {
+        // A sample taken at t survives queries up to t + window inclusive.
+        let mut f = MinRttFilter::new(SimDuration::from_secs(1));
+        f.update(at(0), ms(10));
+        f.update(at(1000), ms(99));
+        assert_eq!(f.current(), Some(ms(10)), "still inside the window");
+        f.update(at(1001), ms(99));
+        assert_eq!(f.current(), Some(ms(99)), "one tick past: expired");
+    }
+}

@@ -11,6 +11,8 @@ use netsim::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct RttEstimator {
     srtt: Option<SimDuration>,
+    /// The raw most-recent accepted sample (Karn-ambiguous ones excluded).
+    last_sample: Option<SimDuration>,
     rttvar: SimDuration,
     min_rto: SimDuration,
     max_rto: SimDuration,
@@ -23,6 +25,7 @@ impl RttEstimator {
     pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
         RttEstimator {
             srtt: None,
+            last_sample: None,
             rttvar: SimDuration::ZERO,
             min_rto,
             max_rto,
@@ -33,6 +36,7 @@ impl RttEstimator {
     /// Fold in a new RTT sample (and clear any timeout backoff, since a
     /// sample implies forward progress).
     pub fn sample(&mut self, rtt: SimDuration) {
+        self.last_sample = Some(rtt);
         match self.srtt {
             None => {
                 self.srtt = Some(rtt);
@@ -65,8 +69,22 @@ impl RttEstimator {
     }
 
     /// The smoothed round-trip time, if any sample has been taken.
+    ///
+    /// `None` before the first measurement — callers must not invent a
+    /// default here; reporting an SRTT that was never measured is exactly
+    /// the bug the raw accessors exist to avoid.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.srtt
+    }
+
+    /// The raw, unsmoothed most-recent RTT sample, if any has been
+    /// accepted. Karn-ambiguous samples (rejected by
+    /// [`RttEstimator::karn_sample`]) do not appear here: an ambiguous
+    /// measurement is as wrong for a min-RTT filter as it is for the
+    /// smoother. This is the accessor BBR's min-RTT filter feeds on —
+    /// smoothing would hide exactly the queue-drain minima it looks for.
+    pub fn last_sample(&self) -> Option<SimDuration> {
+        self.last_sample
     }
 
     /// The current retransmission timeout (backoff included, clamped).
@@ -103,6 +121,29 @@ mod tests {
         assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
         // rto = srtt + 4*rttvar = 100 + 4*50 = 300 ms.
         assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn no_estimate_is_reported_before_any_measurement() {
+        // Regression: a fresh estimator must answer `None` for both the
+        // smoothed and the raw views — not an NS2-style default the
+        // caller could mistake for a measurement.
+        let e = est();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.last_sample(), None);
+    }
+
+    #[test]
+    fn last_sample_is_raw_and_karn_filtered() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        e.sample(SimDuration::from_millis(60));
+        // The smoother has barely moved, the raw view is exactly 60 ms.
+        assert_eq!(e.last_sample(), Some(SimDuration::from_millis(60)));
+        assert!(e.srtt().unwrap() > SimDuration::from_millis(90));
+        // A Karn-ambiguous sample must not leak into the raw view either.
+        assert!(!e.karn_sample(SimDuration::from_secs(5), true));
+        assert_eq!(e.last_sample(), Some(SimDuration::from_millis(60)));
     }
 
     #[test]

@@ -1,13 +1,24 @@
-//! Generation-tokened retransmission-timer management.
+//! Generation-tokened timer management (retransmission and pacing).
 //!
 //! The engine's [`Context::set_timer`] cannot cancel a pending timer, so
 //! window-based senders re-arm by bumping a generation counter and using
 //! it as the timer token: when a timer fires with a stale token it has
-//! been superseded by a later re-arm and is ignored. This type owns that
-//! counter so every sender spells the protocol the same way.
+//! been superseded by a later re-arm and is ignored. [`RexmitTimer`] owns
+//! that counter so every sender spells the protocol the same way.
+//!
+//! [`PacingTimer`] applies the same protocol to the pacing release timer
+//! a rate-based sender arms between transmissions. Both timers deliver
+//! through the same `Agent::on_timer(token)` entry point, so the pacing
+//! tokens carry a high tag bit ([`PACING_TOKEN_BIT`]) that keeps the two
+//! token spaces disjoint: the sender routes on the bit, then validates
+//! the generation.
 
 use netsim::engine::Context;
-use netsim::time::SimDuration;
+use netsim::time::{SimDuration, SimTime};
+
+/// Tag bit marking a timer token as a pacing token. Generation counters
+/// are far below `2^63`, so the bit is unambiguous.
+pub const PACING_TOKEN_BIT: u64 = 1 << 63;
 
 /// A re-armable retransmission timer built on the engine's one-shot
 /// timers.
@@ -33,6 +44,39 @@ impl RexmitTimer {
     /// must be ignored).
     pub fn is_current(&self, token: u64) -> bool {
         token == self.generation
+    }
+}
+
+/// A re-armable pacing timer: wakes the sender when the pacing gate
+/// opens. Its tokens carry [`PACING_TOKEN_BIT`] so they cannot collide
+/// with a [`RexmitTimer`] sharing the agent's `on_timer`.
+#[derive(Debug, Clone, Default)]
+pub struct PacingTimer {
+    generation: u64,
+}
+
+impl PacingTimer {
+    /// A timer that has never been armed.
+    pub fn new() -> Self {
+        PacingTimer { generation: 0 }
+    }
+
+    /// (Re)arm the timer to fire at the absolute instant `at`. Any
+    /// previously armed firing becomes stale.
+    pub fn arm_at(&mut self, ctx: &mut Context<'_>, at: SimTime) {
+        self.generation += 1;
+        ctx.set_timer_at(at, PACING_TOKEN_BIT | self.generation);
+    }
+
+    /// Whether `token` belongs to the pacing token space at all (route on
+    /// this first, then check [`PacingTimer::is_current`]).
+    pub fn matches(token: u64) -> bool {
+        token & PACING_TOKEN_BIT != 0
+    }
+
+    /// Whether a firing with `token` is the current arm.
+    pub fn is_current(&self, token: u64) -> bool {
+        token == PACING_TOKEN_BIT | self.generation
     }
 }
 
@@ -77,6 +121,71 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    /// An agent running a rexmit and a pacing timer side by side: the
+    /// token spaces must stay disjoint and each generation protocol must
+    /// work through the shared `on_timer`.
+    struct DualTimer {
+        rexmit: RexmitTimer,
+        pacer: PacingTimer,
+        rexmit_fired: u64,
+        pacing_current: u64,
+        pacing_stale: u64,
+    }
+
+    impl Agent for DualTimer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.rexmit.arm(ctx, SimDuration::from_millis(50));
+            self.pacer.arm_at(ctx, SimTime::from_millis(100));
+            // Supersede the pacing arm: only the second may be current.
+            self.pacer.arm_at(ctx, SimTime::from_millis(150));
+        }
+
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_>) {
+            if PacingTimer::matches(token) {
+                if self.pacer.is_current(token) {
+                    self.pacing_current += 1;
+                } else {
+                    self.pacing_stale += 1;
+                }
+            } else if self.rexmit.is_current(token) {
+                self.rexmit_fired += 1;
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn pacing_and_rexmit_tokens_stay_disjoint() {
+        let mut e = Engine::new(1);
+        let n = e.add_node("n");
+        let a = e.add_agent(
+            n,
+            Box::new(DualTimer {
+                rexmit: RexmitTimer::new(),
+                pacer: PacingTimer::new(),
+                rexmit_fired: 0,
+                pacing_current: 0,
+                pacing_stale: 0,
+            }),
+        );
+        e.compute_routes();
+        e.start_agent_at(a, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let agent: &DualTimer = e.agent_as(a).unwrap();
+        assert_eq!(agent.rexmit_fired, 1, "rexmit arm must fire current");
+        assert_eq!(agent.pacing_stale, 1, "first pacing arm must be stale");
+        assert_eq!(agent.pacing_current, 1, "second pacing arm is current");
     }
 
     #[test]

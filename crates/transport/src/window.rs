@@ -90,6 +90,19 @@ impl WindowState {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.set(1.0)
     }
+
+    /// A multiplicative decrease by an arbitrary factor `beta` in `(0, 1]`
+    /// (CUBIC cuts by 0.7 where AIMD halves): scale the window (floor one
+    /// packet) and pull `ssthresh` down to the scaled value (floor two).
+    /// Returns the new window. [`WindowState::cut`] keeps its own exact
+    /// expression — the golden digests certify it — so the two must stay
+    /// separate even though `cut_by(0.5)` is numerically close.
+    pub fn cut_by(&mut self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta <= 1.0, "decrease factor out of (0, 1]");
+        let scaled = (self.cwnd * beta).max(1.0);
+        self.ssthresh = scaled.max(2.0);
+        self.set(scaled)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +160,19 @@ mod tests {
         assert_eq!(w.cwnd(), 8.0);
         w.open();
         assert_eq!(w.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn cut_by_scales_and_floors() {
+        let mut w = WindowState::new(10.0, 64.0, 10_000.0);
+        w.cut_by(0.7);
+        assert!((w.cwnd() - 7.0).abs() < 1e-12);
+        assert!((w.ssthresh() - 7.0).abs() < 1e-12);
+        // Floors: window never below 1, ssthresh never below 2.
+        let mut w = WindowState::new(1.0, 64.0, 10_000.0);
+        w.cut_by(0.7);
+        assert_eq!(w.cwnd(), 1.0);
+        assert_eq!(w.ssthresh(), 2.0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Golden-digest regression: four short scenarios pinned to committed
-//! manifests under `results/golden/` — the two static paper runs plus
-//! the two canonical *dynamic* runs (scheduled receiver churn with a
-//! link degrade, and Poisson background load), which pin the
-//! event-executor's digest determinism.
+//! Golden-digest regression: five short scenarios pinned to committed
+//! manifests under `results/golden/` — the two static paper runs, the
+//! two canonical *dynamic* runs (scheduled receiver churn with a link
+//! degrade, and Poisson background load) pinning the event-executor's
+//! digest determinism, and a CUBIC-background run pinning the v2
+//! congestion-control surface (signals bookkeeping, registry-built
+//! senders, the cubic window math).
 //!
 //! The digests cover the *entire* packet-event stream (every enqueue,
 //! drop, transmission start, arrival and delivery with its timestamp), so
@@ -35,6 +37,14 @@ fn scenario_for(name: &str) -> TreeScenario {
             .with_seed(1),
         "case5_droptail_churn_60s" => canonical_churn_spec().build(),
         "case5_droptail_bgload_60s" => canonical_bgload_spec().build(),
+        "case5_droptail_cubic_60s" => {
+            TreeScenario::paper(CongestionCase::Case5OneLevel2, GatewayKind::DropTail)
+                .with_duration(SimDuration::from_secs(60))
+                .with_seed(1)
+                .with_tcp_cc(
+                    bounded_fairness::tcp::CcVariant::parse("cubic").expect("cubic is registered"),
+                )
+        }
         other => panic!("no pinned scenario named {other:?}"),
     }
 }
@@ -140,6 +150,11 @@ fn case5_droptail_bgload_matches_committed_manifest() {
     check("case5_droptail_bgload_60s");
 }
 
+#[test]
+fn case5_droptail_cubic_matches_committed_manifest() {
+    check("case5_droptail_cubic_60s");
+}
+
 /// Rewrites the committed goldens from the current code. Run explicitly
 /// (`--ignored regenerate`) after an intended behavioural change.
 #[test]
@@ -152,6 +167,7 @@ fn regenerate() {
         "case5_red_60s",
         "case5_droptail_churn_60s",
         "case5_droptail_bgload_60s",
+        "case5_droptail_cubic_60s",
     ] {
         let (r, _) = run_scenario(name);
         let json = scenario_manifest(name, SimDuration::from_secs(60), std::slice::from_ref(&r));
