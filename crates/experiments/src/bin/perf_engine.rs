@@ -16,17 +16,27 @@
 //! and exits nonzero if events/s fell more than `p` percent below the
 //! recorded figure. CI uses `p = 5` to pin the telemetry-disabled hot
 //! path to the baseline.
+//!
+//! A second phase benches the domain-partitioned executor on the case-5
+//! 60 s scenario and writes `BENCH_engine_parallel.manifest.json`: the
+//! measured single-worker throughput plus the modeled aggregate at 2 and
+//! 4 shards. The model is a critical path over the recorded per-epoch
+//! domain loads — each epoch costs its most-loaded worker bucket (the
+//! barrier waits for it), so it is exact for the round-robin placement
+//! the engine uses and independent of how many cores the bench machine
+//! happens to have. The same gate percentage applies to this manifest's
+//! single-worker figure.
 
 use std::time::Instant;
 
 use experiments::manifest::{results_dir, write_manifest};
 use experiments::prelude::*;
 
-/// `events_per_sec` from the committed bench manifest, if one exists.
+/// `events_per_sec` from a committed bench manifest, if one exists.
 /// The manifest is this repo's own hand-rolled JSON, so a key scan is
 /// enough — no parser needed.
-fn committed_events_per_sec() -> Option<f64> {
-    let text = std::fs::read_to_string(results_dir().join("BENCH_engine.manifest.json")).ok()?;
+fn committed_events_per_sec(manifest: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(results_dir().join(manifest)).ok()?;
     let rest = &text[text.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
     let num: String = rest
         .trim_start()
@@ -36,11 +46,47 @@ fn committed_events_per_sec() -> Option<f64> {
     num.parse().ok()
 }
 
+/// Events on the critical path of a `workers`-wide run: per epoch, the
+/// barrier releases when the most-loaded bucket finishes, so the epoch
+/// costs `max` over buckets of the bucket's event total (domains are
+/// placed round-robin, `domain % workers`, exactly as the engine does).
+fn critical_path_events(loads: &[Vec<u64>], workers: usize) -> u64 {
+    loads
+        .iter()
+        .map(|row| {
+            let mut buckets = vec![0u64; workers];
+            for (d, &n) in row.iter().enumerate() {
+                buckets[d % workers] += n;
+            }
+            buckets.into_iter().max().unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Exit nonzero when `events_per_sec` fell more than `pct` percent below
+/// the figure committed in `manifest` before this run overwrote it.
+fn apply_gate(manifest: &str, committed: Option<f64>, events_per_sec: f64, pct: f64) {
+    let Some(base) = committed else {
+        eprintln!("gate: RLA_BENCH_GATE_PCT set but no committed {manifest} to compare");
+        std::process::exit(1);
+    };
+    let floor = base * (1.0 - pct / 100.0);
+    println!("gate floor         {floor:>12.0} ({pct}% below {base:.0})");
+    if events_per_sec < floor {
+        eprintln!(
+            "gate: FAIL — {events_per_sec:.0} ev/s is more than {pct}% below the committed {base:.0} in {manifest}"
+        );
+        std::process::exit(1);
+    }
+    println!("gate               {:>12}", "ok");
+}
+
 fn main() {
     let duration = cli::duration_or(SimDuration::from_secs(60));
-    // Read before the run: the manifest write below overwrites the file
-    // the gate compares against.
-    let committed = committed_events_per_sec();
+    // Read before the run: the manifest writes below overwrite the files
+    // the gates compare against.
+    let committed = committed_events_per_sec("BENCH_engine.manifest.json");
+    let committed_parallel = committed_events_per_sec("BENCH_engine_parallel.manifest.json");
     let spec = ScenarioSpec::paper(CongestionCase::Case1RootLink)
         .with_gateway(GatewayKind::DropTail)
         .with_duration(duration)
@@ -92,18 +138,88 @@ fn main() {
     }
 
     if let Some(pct) = cli::bench_gate_pct() {
-        let Some(base) = committed else {
-            eprintln!("gate: RLA_BENCH_GATE_PCT set but no committed bench manifest to compare");
-            std::process::exit(1);
-        };
-        let floor = base * (1.0 - pct / 100.0);
-        println!("gate floor         {floor:>12.0} ({pct}% below {base:.0})");
-        if events_per_sec < floor {
-            eprintln!(
-                "gate: FAIL — {events_per_sec:.0} ev/s is more than {pct}% below the committed {base:.0}"
-            );
-            std::process::exit(1);
-        }
-        println!("gate               {:>12}", "ok");
+        apply_gate("BENCH_engine.manifest.json", committed, events_per_sec, pct);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: domain-partitioned executor on the case-5 scenario.
+    // ------------------------------------------------------------------
+    eprintln!(
+        "perf_engine: case-5 drop-tail partitioned, {:.0} s simulated...",
+        duration.as_secs_f64()
+    );
+    let spec = ScenarioSpec::paper(CongestionCase::Case5OneLevel2)
+        .with_gateway(GatewayKind::DropTail)
+        .with_duration(duration)
+        .with_seed(cli::base_seed());
+    let scenario = spec.build().with_shards(1);
+    let mut world = scenario.build();
+    world.engine.record_epoch_loads(true);
+    let wall = Instant::now();
+    let result = world.run(&scenario);
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let loads: Vec<Vec<u64>> = world
+        .engine
+        .epoch_loads()
+        .expect("inline partitioned run records epoch loads")
+        .to_vec();
+    let events = result.trace_events;
+    let events_per_sec_seq = events as f64 / wall_secs;
+    let domains = world.engine.domain_count();
+    println!("domains            {domains:>12}");
+    println!("packet events      {events:>12}");
+    println!("wall clock         {wall_secs:>12.2} s");
+    println!("events / wall-sec  {events_per_sec_seq:>12.0}  (1 shard, measured)");
+
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("binary", "perf_engine".into()),
+        ("scenario", "case5 one-level-2 drop-tail partitioned".into()),
+        ("duration_secs", duration.as_secs_f64().into()),
+        ("seed", result.seed.into()),
+        (
+            "trace_digest",
+            format!("{:016x}", result.trace_digest).into(),
+        ),
+        ("trace_events", events.into()),
+        ("domains", (domains as u64).into()),
+        ("epochs", (loads.len() as u64).into()),
+        ("wall_secs", wall_secs.into()),
+        ("events_per_sec", events_per_sec_seq.into()),
+    ];
+    for workers in [2usize, 4] {
+        let crit = critical_path_events(&loads, workers);
+        let speedup = events as f64 / crit as f64;
+        let aggregate = events_per_sec_seq * speedup;
+        println!(
+            "events / wall-sec  {aggregate:>12.0}  ({workers} shards, modeled, {speedup:.2}x)"
+        );
+        fields.push((
+            match workers {
+                2 => "events_per_sec_2_shards",
+                _ => "events_per_sec_4_shards",
+            },
+            aggregate.into(),
+        ));
+        fields.push((
+            match workers {
+                2 => "model_speedup_2_shards",
+                _ => "model_speedup_4_shards",
+            },
+            speedup.into(),
+        ));
+    }
+    match write_manifest("BENCH_engine_parallel", &Json::obj(fields)) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("manifest: could not write BENCH_engine_parallel.manifest.json: {e}"),
+    }
+
+    if let Some(pct) = cli::bench_gate_pct() {
+        apply_gate(
+            "BENCH_engine_parallel.manifest.json",
+            committed_parallel,
+            events_per_sec_seq,
+            pct,
+        );
     }
 }

@@ -30,6 +30,10 @@
 //!   (default 0 — no cross traffic).
 //! * `RLA_EVENTS_FILE` — path to a JSON event schedule applied to each
 //!   run (see EXPERIMENTS.md for the format).
+//! * `RLA_SHARDS` — worker threads for the domain-partitioned engine
+//!   *within* one scenario run (default 1 — the epochs run inline on the
+//!   calling thread). Digests are identical at every value; this knob
+//!   trades wall-clock only.
 //!
 //! Any other variable in the `RLA_` namespace is rejected with the list
 //! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
@@ -54,10 +58,11 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 17] = [
+pub const KNOWN_ENV_VARS: [&str; 18] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
+    "RLA_SHARDS",
     "RLA_TCP_CC",
     "RLA_RESULTS_DIR",
     "RLA_BENCH_BASELINE",
@@ -358,9 +363,45 @@ pub fn events_file_from(get: impl Fn(&str) -> Option<String>) -> Vec<crate::even
 /// baseline). `None` when unset — the bench then only reports.
 pub fn bench_gate_pct() -> Option<f64> {
     enforce_known_env();
-    std::env::var("RLA_BENCH_GATE_PCT").ok().map(|v| {
-        v.parse::<f64>()
-            .unwrap_or_else(|_| panic!("RLA_BENCH_GATE_PCT={v:?}: expected a percentage"))
+    bench_gate_pct_from(|name| std::env::var(name).ok())
+}
+
+/// [`bench_gate_pct`] over an arbitrary variable source (pure). A
+/// negative or non-finite gate would make the bench unfailable (any
+/// regression beats "-5% below baseline", and NaN comparisons are always
+/// false), so both are rejected with the knob named.
+pub fn bench_gate_pct_from(get: impl Fn(&str) -> Option<String>) -> Option<f64> {
+    get("RLA_BENCH_GATE_PCT").map(|v| {
+        let pct: f64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("RLA_BENCH_GATE_PCT={v:?}: expected a percentage"));
+        assert!(
+            pct.is_finite() && pct >= 0.0,
+            "RLA_BENCH_GATE_PCT={v:?}: expected a non-negative percentage"
+        );
+        pct
+    })
+}
+
+/// Worker threads for the domain-partitioned engine within one scenario
+/// run: `RLA_SHARDS` (default 1 — the epoch executor runs inline). This
+/// knob never changes results: the partition, and with it every digest,
+/// is a pure function of the topology and the seed.
+pub fn shards() -> usize {
+    enforce_known_env();
+    shards_from(|name| std::env::var(name).ok())
+}
+
+/// [`shards`] over an arbitrary variable source (pure). Zero is rejected
+/// — "no workers" cannot run anything — as is non-numeric input, each
+/// with the knob named.
+pub fn shards_from(get: impl Fn(&str) -> Option<String>) -> usize {
+    get("RLA_SHARDS").map_or(1, |v| {
+        let n: usize = v
+            .parse()
+            .unwrap_or_else(|_| panic!("RLA_SHARDS={v:?}: expected a worker count"));
+        assert!(n > 0, "RLA_SHARDS=0: at least one worker is required");
+        n
     })
 }
 
@@ -557,6 +598,63 @@ mod tests {
         diff_threshold_pct_from(|name| {
             (name == "RLA_DIFF_THRESHOLD_PCT").then(|| "-3".to_string())
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_DIFF_THRESHOLD_PCT")]
+    fn non_finite_diff_threshold_is_rejected() {
+        diff_threshold_pct_from(|name| {
+            (name == "RLA_DIFF_THRESHOLD_PCT").then(|| "NaN".to_string())
+        });
+    }
+
+    #[test]
+    fn bench_gate_parses_from_a_variable_source() {
+        assert_eq!(bench_gate_pct_from(|_| None), None);
+        assert_eq!(
+            bench_gate_pct_from(|name| (name == "RLA_BENCH_GATE_PCT").then(|| "5".to_string())),
+            Some(5.0)
+        );
+        assert_eq!(
+            bench_gate_pct_from(|name| (name == "RLA_BENCH_GATE_PCT").then(|| "0".to_string())),
+            Some(0.0),
+            "zero is a legal (maximally strict) gate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_BENCH_GATE_PCT")]
+    fn negative_bench_gate_is_rejected_with_a_named_knob() {
+        // A negative gate would let every regression pass; see
+        // bench_gate_pct_from.
+        bench_gate_pct_from(|name| (name == "RLA_BENCH_GATE_PCT").then(|| "-5".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative percentage")]
+    fn non_finite_bench_gate_is_rejected() {
+        bench_gate_pct_from(|name| (name == "RLA_BENCH_GATE_PCT").then(|| "inf".to_string()));
+    }
+
+    #[test]
+    fn shards_default_to_one_and_parse() {
+        assert_eq!(shards_from(|_| None), 1);
+        assert_eq!(
+            shards_from(|name| (name == "RLA_SHARDS").then(|| "4".to_string())),
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_SHARDS=0")]
+    fn zero_shards_is_rejected_with_a_named_knob() {
+        shards_from(|name| (name == "RLA_SHARDS").then(|| "0".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a worker count")]
+    fn non_numeric_shards_is_rejected() {
+        shards_from(|name| (name == "RLA_SHARDS").then(|| "many".to_string()));
     }
 
     #[test]

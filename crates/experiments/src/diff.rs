@@ -45,6 +45,29 @@ impl Default for DiffOptions {
     }
 }
 
+impl DiffOptions {
+    /// Check both knobs are usable: finite and non-negative. A NaN
+    /// threshold makes every comparison in [`MetricDelta::exceeds`]
+    /// silently false (no drift ever reported, however far the registries
+    /// diverge), and a negative one flags unchanged metrics — both are
+    /// configuration mistakes worth an error that names the knob, not a
+    /// clean-looking diff.
+    pub fn validate(&self) -> Result<(), DiffError> {
+        let knobs = [
+            ("threshold_pct", self.threshold_pct),
+            ("abs_epsilon", self.abs_epsilon),
+        ];
+        for (name, v) in knobs {
+            if !v.is_finite() || v < 0.0 {
+                return Err(DiffError::Options(format!(
+                    "{name}={v}: expected a finite, non-negative number"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What went wrong while loading or aligning manifests.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DiffError {
@@ -52,6 +75,9 @@ pub enum DiffError {
     Parse(JsonParseError),
     /// The JSON parsed but is not a run manifest with registries.
     Schema(String),
+    /// The [`DiffOptions`] thresholds are unusable (negative or
+    /// non-finite) — see [`DiffOptions::validate`].
+    Options(String),
 }
 
 impl fmt::Display for DiffError {
@@ -59,6 +85,7 @@ impl fmt::Display for DiffError {
         match self {
             DiffError::Parse(e) => write!(f, "invalid JSON: {e}"),
             DiffError::Schema(msg) => write!(f, "not a run manifest: {msg}"),
+            DiffError::Options(msg) => write!(f, "unusable thresholds: {msg}"),
         }
     }
 }
@@ -278,6 +305,7 @@ pub fn diff_manifests(
     candidate: &Json,
     opts: &DiffOptions,
 ) -> Result<ManifestDiff, DiffError> {
+    opts.validate()?;
     let base_runs = manifest_runs(baseline)?;
     let cand_runs = manifest_runs(candidate)?;
     let cand_by_label: BTreeMap<String, &Json> = cand_runs
@@ -486,6 +514,52 @@ mod tests {
         assert!(run.drifted.is_empty());
         let table = render_table(&d);
         assert!(table.contains("new") && table.contains("added"), "{table}");
+    }
+
+    #[test]
+    fn negative_and_non_finite_thresholds_are_rejected_by_name() {
+        let m = manifest(vec![("net.offered", 100u64.into())]);
+        for (opts, knob) in [
+            (
+                DiffOptions {
+                    threshold_pct: -1.0,
+                    abs_epsilon: 0.0,
+                },
+                "threshold_pct=-1",
+            ),
+            (
+                DiffOptions {
+                    threshold_pct: f64::NAN,
+                    abs_epsilon: 0.0,
+                },
+                "threshold_pct=NaN",
+            ),
+            (
+                DiffOptions {
+                    threshold_pct: 1.0,
+                    abs_epsilon: f64::INFINITY,
+                },
+                "abs_epsilon=inf",
+            ),
+            (
+                DiffOptions {
+                    threshold_pct: 1.0,
+                    abs_epsilon: -0.5,
+                },
+                "abs_epsilon=-0.5",
+            ),
+        ] {
+            let err = diff_manifests(&m, &m, &opts).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(knob), "{msg:?} should name {knob:?}");
+            assert!(matches!(err, DiffError::Options(_)), "{err:?}");
+        }
+        // Zero for either knob is a legal (maximally sensitive) setting.
+        let opts = DiffOptions {
+            threshold_pct: 0.0,
+            abs_epsilon: 0.0,
+        };
+        assert!(diff_manifests(&m, &m, &opts).is_ok());
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub struct TreeScenario {
     /// Poisson short-flow background traffic sharing the tree's links
     /// (`None` for the static paper scenarios).
     pub bg_load: Option<BackgroundLoad>,
+    /// Worker threads for the domain-partitioned engine (the
+    /// `RLA_SHARDS` knob; default 1 — epochs run inline). The partition
+    /// itself is always on and is a pure function of the topology and
+    /// seed, so this setting never changes a digest — only wall-clock.
+    pub shards: usize,
 }
 
 impl TreeScenario {
@@ -103,6 +108,7 @@ impl TreeScenario {
             tcp_cc: CcVariant::sack(),
             events: Vec::new(),
             bg_load: None,
+            shards: crate::cli::shards(),
         }
     }
 
@@ -132,6 +138,14 @@ impl TreeScenario {
         self
     }
 
+    /// Override the worker count for the partitioned engine (results are
+    /// identical at every value; see the `shards` field).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one worker is required");
+        self.shards = shards;
+        self
+    }
+
     /// Build, run and measure.
     pub fn run(&self) -> ScenarioResult {
         let mut world = self.build();
@@ -146,6 +160,16 @@ impl TreeScenario {
         let queue = self.gateway.queue_config();
         let mut engine = Engine::new(self.seed);
         let tree = build_tree(&mut engine, self.case, &queue);
+
+        // Partition along the link delays before any agent or event
+        // exists. The tree's 5 ms/100 ms propagation delays all clear the
+        // default threshold, so every gateway and leaf becomes its own
+        // conservative-lookahead domain; `shards` (the `RLA_SHARDS` knob)
+        // only picks how many worker threads walk those domains — the
+        // partition, the per-domain RNG streams and every digest are
+        // already fixed here.
+        engine.partition(None);
+        engine.set_workers(self.shards);
 
         // Multicast receiver nodes: every leaf, plus the G3 gateways for
         // figure 10. TCP connections terminate at the *leaves only* — the
@@ -843,26 +867,44 @@ impl ScenarioWorld {
             );
         }
 
-        // Network-wide totals over every channel in the topology.
+        // Network-wide totals over every channel, assembled the way the
+        // partitioned engine produces them: one partial snapshot per
+        // domain (covering the channels that domain owns), folded with
+        // `Snapshot::merge` under the byte-lexicographic contract.
+        // Counter addition is associative, so the merged block is
+        // byte-identical to a single flat pass at every shard count.
         let world = self.engine.world();
-        let mut offered = 0u64;
-        let mut accepted = 0u64;
-        let mut transmitted = 0u64;
-        let mut queue_drops = 0u64;
-        let mut fault_drops = 0u64;
+        let dmap = world.domain_map();
+        let mut per_domain = vec![[0u64; 5]; world.domain_count()];
         for i in 0..world.channel_count() {
-            let st = &world.channel(ChannelId(i as u32)).stats;
-            offered += st.offered;
-            accepted += st.accepted;
-            transmitted += st.transmitted;
-            queue_drops += st.queue_drops();
-            fault_drops += st.fault_drops;
+            let ch = world.channel(ChannelId(i as u32));
+            let t = &mut per_domain[dmap.domain_of(ch.from) as usize];
+            t[0] += ch.stats.offered;
+            t[1] += ch.stats.accepted;
+            t[2] += ch.stats.transmitted;
+            t[3] += ch.stats.queue_drops();
+            t[4] += ch.stats.fault_drops;
         }
-        reg.record_count("net.offered", offered);
-        reg.record_count("net.accepted", accepted);
-        reg.record_count("net.transmitted", transmitted);
-        reg.record_count("net.queue_drops", queue_drops);
-        reg.record_count("net.fault_drops", fault_drops);
+        let mut net = telemetry::Snapshot::default();
+        for totals in &per_domain {
+            let mut partial = telemetry::Registry::new();
+            partial.record_count("net.offered", totals[0]);
+            partial.record_count("net.accepted", totals[1]);
+            partial.record_count("net.transmitted", totals[2]);
+            partial.record_count("net.queue_drops", totals[3]);
+            partial.record_count("net.fault_drops", totals[4]);
+            net.merge(&partial.snapshot());
+        }
+        for entry in &net.entries {
+            match entry.value {
+                telemetry::registry::MetricValue::Counter(v) => {
+                    reg.record_count(entry.name.clone(), v)
+                }
+                telemetry::registry::MetricValue::Gauge(v) => {
+                    reg.record_gauge(entry.name.clone(), v)
+                }
+            }
+        }
 
         let d = self.engine.trace_digest();
         reg.record_count("engine.enqueues", d.enqueues);

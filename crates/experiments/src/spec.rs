@@ -36,6 +36,7 @@ pub struct ScenarioSpec {
     events: Vec<ScenarioEvent>,
     churn_rate: f64,
     bg_load: Option<BackgroundLoad>,
+    shards: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -53,6 +54,7 @@ impl ScenarioSpec {
             events: Vec::new(),
             churn_rate: 0.0,
             bg_load: None,
+            shards: None,
         }
     }
 
@@ -141,6 +143,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Override the worker count for the partitioned engine (default:
+    /// the `RLA_SHARDS` knob). Results are identical at every value —
+    /// see [`TreeScenario::with_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one worker is required");
+        self.shards = Some(shards);
+        self
+    }
+
     /// The congestion case this spec describes.
     pub fn case(&self) -> CongestionCase {
         self.case
@@ -180,6 +191,9 @@ impl ScenarioSpec {
         events.sort_by_key(|ev| ev.at);
         s.events = events;
         s.bg_load = self.bg_load.clone();
+        if let Some(shards) = self.shards {
+            s = s.with_shards(shards);
+        }
         s
     }
 

@@ -13,7 +13,12 @@ use crate::engine::Context;
 use crate::packet::Packet;
 
 /// A transport endpoint.
-pub trait Agent: Any {
+///
+/// `Send` is part of the contract: the domain-partitioned executor moves
+/// each domain's agents to a worker thread for the duration of an epoch.
+/// Agents own their state outright (no `Rc`, no references into the
+/// world), so this costs implementations nothing.
+pub trait Agent: Any + Send {
     /// Called once when the agent's start event fires. Open the window,
     /// arm timers, send the first packets.
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}

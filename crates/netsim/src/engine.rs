@@ -1,23 +1,47 @@
 //! The simulation engine: world state, event dispatch, agent context.
 //!
-//! Ownership layout: the [`Engine`] owns a [`World`] (nodes, channels,
-//! calendar, RNG) and, in a *separate field*, the boxed [`Agent`]s. Agent
-//! callbacks receive a [`Context`] borrowing only the world, so an agent
-//! can schedule sends and timers while the engine still holds `&mut` to the
-//! agent itself — no `RefCell`, no unsafe.
+//! Ownership layout: the [`Engine`] owns a [`World`] and, in a *separate
+//! field*, the boxed [`Agent`]s. The world itself is split for the
+//! domain-partitioned executor: a read-only [`Shared`] half (nodes,
+//! groups, routes, the [`DomainMap`]) and one [`DomainShard`] per domain
+//! holding everything a domain mutates while it runs — its calendar, RNG,
+//! channels, packet arena and trace digest. Agent callbacks receive a
+//! [`Context`] borrowing only the shared state and the agent's own shard,
+//! so an agent can schedule sends and timers while the engine still holds
+//! `&mut` to the agent itself — no `RefCell`, no unsafe.
 //!
-//! Determinism: a single seeded RNG, integer time, and FIFO tie-breaking in
-//! the calendar make runs bit-reproducible for a given seed.
+//! # Execution modes
 //!
-//! Hot path: packets live in a [`PacketArena`] and move through the
-//! calendar, queues and multicast fan-out as copyable [`PacketHandle`]s;
-//! the packet struct itself is only touched at injection, at trace points,
-//! and at delivery (where it leaves the arena by value). The calendar is a
-//! hierarchical timer wheel ([`Calendar`]) driven through
-//! `pop_before(deadline)`.
+//! * **Classic sequential** — an unpartitioned engine has exactly one
+//!   domain and [`Engine::run_until`] is the familiar single event loop,
+//!   bit-identical to the engine before partitioning existed. Every unit
+//!   test and every caller that never calls [`Engine::partition`] lives
+//!   here.
+//! * **Partitioned** — after [`Engine::partition`] the event loop becomes
+//!   an epoch executor: every domain advances to the next absolute barrier
+//!   (a multiple of the [`DomainMap`] lookahead, see
+//!   [`crate::shard::grid_next`]), then boundary packets are
+//!   exchanged in the canonical *(arrival time, source domain, send
+//!   order)* order. With [`Engine::set_workers`] above 1 the domains run
+//!   on scoped threads; the digests are bit-identical at every worker
+//!   count and under any `run_until` stepping, because the partition, the
+//!   per-domain RNG streams and the exchange schedule depend only on the
+//!   topology, the seed and θ.
+//!
+//! Determinism: per-domain seeded RNGs, integer time, and FIFO
+//! tie-breaking in each calendar make runs bit-reproducible for a given
+//! seed.
+//!
+//! Hot path: packets live in per-domain [`PacketArena`]s and move through
+//! the calendar, queues and multicast fan-out as copyable
+//! [`PacketHandle`]s; the packet struct itself is only touched at
+//! injection, at trace points, at domain crossings (where it moves between
+//! arenas by value) and at delivery. Each calendar is a hierarchical timer
+//! wheel ([`Calendar`]) driven through `pop_before(deadline)`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Barrier, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +55,7 @@ use crate::link::Channel;
 use crate::node::{Group, Node};
 use crate::packet::{Dest, Packet};
 use crate::queue::{Enqueue, QueueConfig};
+use crate::shard::{domain_seed, grid_next, BoundaryMsg, DomainMap};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceDigest, TraceEvent, Tracer};
 use crate::wire::Segment;
@@ -51,289 +76,282 @@ struct AgentMeta {
     last_injection: SimTime,
 }
 
-/// Everything in the simulated world except the agents' protocol state.
-pub struct World {
+/// The read-only half of the world: topology, routing, groups and the
+/// domain partition. During a run every domain reads this concurrently;
+/// it is only mutated between runs (topology growth, group churn).
+pub struct Shared {
+    nodes: Vec<Node>,
+    groups: Vec<Group>,
+    /// The base RNG seed; per-domain streams derive from it.
+    seed: u64,
+    /// The domain partition (trivial single-domain until
+    /// [`Engine::partition`]).
+    dmap: DomainMap,
+    /// Global channel id → (owning domain, index within that domain). A
+    /// channel belongs to the domain of its `from` node — the only domain
+    /// that ever transmits on it.
+    chan_loc: Vec<(u32, u32)>,
+    /// Global agent id → (home domain, index within that domain).
+    agent_loc: Vec<(u32, u32)>,
+    /// Global agent id → home node (read from any domain when routing
+    /// unicast traffic toward the agent).
+    agent_nodes: Vec<NodeId>,
+}
+
+/// Everything one domain mutates while it runs: its slice of simulated
+/// time, calendar, RNG stream, channels, packet arena and trace digest.
+pub struct DomainShard {
+    /// This shard's domain index.
+    domain: u32,
     now: SimTime,
     calendar: Calendar,
     rng: StdRng,
-    nodes: Vec<Node>,
     channels: Vec<Channel>,
-    groups: Vec<Group>,
     agent_meta: Vec<AgentMeta>,
     next_uid: u64,
-    tracer: Option<Rc<RefCell<dyn Tracer>>>,
-    /// Always-on fingerprint of the packet-event stream (see
-    /// [`TraceDigest`]); the substrate of the digest-regression layer.
+    /// High bits stamped onto this domain's packet uids so uids stay
+    /// globally unique without cross-domain coordination. Zero for the
+    /// unpartitioned engine (uids identical to the classic counter).
+    uid_tag: u64,
+    /// Always-on fingerprint of this domain's packet-event stream (see
+    /// [`TraceDigest`]); merged across domains by
+    /// [`World::trace_digest`].
     digest: TraceDigest,
     /// Every in-flight packet's single home; events and queues hold
     /// [`PacketHandle`]s into it.
     arena: PacketArena,
+    /// Packets that crossed out of this domain since the last epoch
+    /// barrier, in send order.
+    outbox: Vec<BoundaryMsg>,
     /// Reusable buffers for multicast fan-out (avoids a pair of Vec
     /// allocations per group arrival).
     fwd_scratch: Vec<ChannelId>,
     member_scratch: Vec<AgentId>,
 }
 
-impl World {
-    fn new(seed: u64) -> Self {
-        World {
+impl DomainShard {
+    fn new(domain: u32, rng: StdRng, uid_tag: u64) -> Self {
+        DomainShard {
+            domain,
             now: SimTime::ZERO,
             calendar: Calendar::new(),
-            rng: StdRng::seed_from_u64(seed),
-            nodes: Vec::new(),
+            rng,
             channels: Vec::new(),
-            groups: Vec::new(),
             agent_meta: Vec::new(),
             next_uid: 0,
-            tracer: None,
+            uid_tag,
             digest: TraceDigest::new(),
             arena: PacketArena::new(),
+            outbox: Vec::new(),
             fwd_scratch: Vec::new(),
             member_scratch: Vec::new(),
         }
     }
 
-    /// Current simulation time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Immutable channel access.
-    pub fn channel(&self, id: ChannelId) -> &Channel {
-        &self.channels[id.index()]
-    }
-
-    /// Mutable channel access (configure faults, inspect queues).
-    pub fn channel_mut(&mut self, id: ChannelId) -> &mut Channel {
-        &mut self.channels[id.index()]
-    }
-
-    /// Immutable node access.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
-    }
-
-    /// Number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Number of channels.
-    pub fn channel_count(&self) -> usize {
-        self.channels.len()
-    }
-
-    /// The node an agent is attached to.
-    pub fn agent_node(&self, agent: AgentId) -> NodeId {
-        self.agent_meta[agent.index()].node
-    }
-
-    /// The members of a group.
-    pub fn group_members(&self, group: GroupId) -> &[AgentId] {
-        &self.groups[group.index()].members
-    }
-
-    /// The simulation RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
-    }
-
-    /// The always-on digest of every packet event processed so far.
-    pub fn trace_digest(&self) -> &TraceDigest {
-        &self.digest
-    }
-
-    /// The packet arena (diagnostics: live packet population, peak
-    /// capacity).
-    pub fn arena(&self) -> &PacketArena {
-        &self.arena
-    }
-
     fn alloc_uid(&mut self) -> u64 {
-        let uid = self.next_uid;
+        let uid = self.uid_tag | self.next_uid;
         self.next_uid += 1;
         uid
     }
 
-    fn trace(&self, event: &TraceEvent<'_>) {
-        if let Some(tracer) = &self.tracer {
-            tracer.borrow_mut().trace(self.now, event);
-        }
-    }
-
-    /// Inject the packet behind `handle` at `channel`: fault-check, then
-    /// transmit immediately if the transmitter is idle, otherwise enqueue.
-    /// On any drop the arena slot is freed here.
-    fn offer(&mut self, channel: ChannelId, handle: PacketHandle) {
-        let now = self.now;
-        let (uid, is_data) = {
-            let p = self.arena.get(handle);
-            (p.uid, p.segment.is_data())
-        };
-        let ch = &mut self.channels[channel.index()];
-        ch.stats.offered += 1;
-
-        if let Some(fault) = ch.fault.as_mut() {
-            if fault.should_drop(is_data, &mut self.rng) {
-                ch.stats.record_drop(crate::queue::DropReason::Fault);
-                let qlen = ch.queue.len();
-                self.digest
-                    .record_drop(now, channel, uid, crate::queue::DropReason::Fault, qlen);
-                if self.tracer.is_some() {
-                    self.trace(&TraceEvent::Drop {
-                        channel,
-                        packet: self.arena.get(handle),
-                        reason: crate::queue::DropReason::Fault,
-                        qlen,
-                    });
-                }
-                self.arena.remove(handle);
-                return;
-            }
-        }
-
-        let ch = &mut self.channels[channel.index()];
-        if !ch.busy {
-            debug_assert!(ch.queue.is_empty(), "idle transmitter with queued packets");
-            ch.stats.accepted += 1;
-            self.start_tx(channel, handle);
-        } else {
-            match ch.queue.enqueue(handle, now, &mut self.rng) {
-                Enqueue::Accepted => {
-                    ch.stats.accepted += 1;
-                    let qlen = ch.queue.len();
-                    ch.stats.record_qlen(now, qlen);
-                    self.digest.record_enqueue(now, channel, uid, qlen);
-                    if self.tracer.is_some() {
-                        self.trace(&TraceEvent::Enqueue {
-                            channel,
-                            packet: self.arena.get(handle),
-                            qlen,
-                        });
-                    }
-                }
-                Enqueue::Dropped(handle, reason) => {
-                    ch.stats.record_drop(reason);
-                    let qlen = ch.queue.len();
-                    self.digest.record_drop(now, channel, uid, reason, qlen);
-                    if self.tracer.is_some() {
-                        self.trace(&TraceEvent::Drop {
-                            channel,
-                            packet: self.arena.get(handle),
-                            reason,
-                            qlen,
-                        });
-                    }
-                    self.arena.remove(handle);
-                }
-            }
-        }
-    }
-
-    /// Begin transmitting the packet behind `handle` on `channel`.
-    fn start_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
-        let now = self.now;
-        let (uid, size_bytes) = {
-            let p = self.arena.get(handle);
-            (p.uid, p.size_bytes)
-        };
-        let ch = &mut self.channels[channel.index()];
-        debug_assert!(!ch.busy, "transmitter already busy");
-        ch.busy = true;
-        let service = ch.service_time(size_bytes);
-        ch.stats.record_tx_begin(now);
-        let qlen = ch.queue.len();
-        self.digest.record_tx_start(now, channel, uid, qlen);
-        if self.tracer.is_some() {
-            self.trace(&TraceEvent::TxStart {
-                channel,
-                packet: self.arena.get(handle),
-                qlen,
-            });
-        }
+    /// Schedule an incoming boundary packet. Called in the canonical
+    /// exchange order, which fixes the calendar sequence numbers — and
+    /// therefore same-instant FIFO dispatch — independently of worker
+    /// count.
+    fn accept_boundary(&mut self, msg: BoundaryMsg) {
+        let handle = self.arena.insert(msg.packet);
         self.calendar.schedule(
-            now + service,
-            EventKind::TxComplete {
-                channel,
-                packet: handle,
-            },
-        );
-    }
-
-    /// The transmitter on `channel` finished serializing the packet.
-    fn complete_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
-        let now = self.now;
-        let size_bytes = self.arena.get(handle).size_bytes;
-        let ch = &mut self.channels[channel.index()];
-        ch.stats.record_tx_end(now);
-        ch.stats.transmitted += 1;
-        ch.stats.bytes_transmitted += size_bytes as u64;
-        let to = ch.to;
-        let delay = ch.prop_delay;
-        self.calendar.schedule(
-            now + delay,
+            msg.at,
             EventKind::Arrive {
-                node: to,
+                node: msg.node,
                 packet: handle,
             },
         );
+    }
+}
 
-        // Pull the next packet out of the buffer, if any.
-        let ch = &mut self.channels[channel.index()];
-        ch.busy = false;
-        if let Some(next) = ch.queue.dequeue(now) {
-            let qlen = ch.queue.len();
-            ch.stats.record_qlen(now, qlen);
-            self.start_tx(channel, next);
+/// Everything in the simulated world except the agents' protocol state.
+pub struct World {
+    shared: Shared,
+    shards: Vec<DomainShard>,
+    tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    /// Worker threads for the partitioned executor (1 = run the epochs
+    /// inline on the calling thread).
+    workers: usize,
+    /// When armed, the inline epoch executor appends one row per epoch:
+    /// the number of events each domain processed in that epoch. Feeds the
+    /// parallel bench's critical-path speedup model.
+    epoch_loads: Option<Vec<Vec<u64>>>,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        World {
+            shared: Shared {
+                nodes: Vec::new(),
+                groups: Vec::new(),
+                seed,
+                dmap: DomainMap::single(),
+                chan_loc: Vec::new(),
+                agent_loc: Vec::new(),
+                agent_nodes: Vec::new(),
+            },
+            shards: vec![DomainShard::new(0, StdRng::seed_from_u64(seed), 0)],
+            tracer: None,
+            workers: 1,
+            epoch_loads: None,
         }
+    }
+
+    /// Current simulation time. Between `run_until` calls every domain
+    /// agrees on this; within a partitioned run domains advance epoch by
+    /// epoch.
+    pub fn now(&self) -> SimTime {
+        self.shards[0].now
+    }
+
+    /// Immutable channel access (routed to the owning domain's shard).
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        let (d, li) = self.shared.chan_loc[id.index()];
+        &self.shards[d as usize].channels[li as usize]
+    }
+
+    /// Mutable channel access (configure faults, inspect queues).
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut Channel {
+        let (d, li) = self.shared.chan_loc[id.index()];
+        &mut self.shards[d as usize].channels[li as usize]
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.shared.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.shared.nodes.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.shared.chan_loc.len()
+    }
+
+    /// The node an agent is attached to.
+    pub fn agent_node(&self, agent: AgentId) -> NodeId {
+        self.shared.agent_nodes[agent.index()]
+    }
+
+    /// The members of a group.
+    pub fn group_members(&self, group: GroupId) -> &[AgentId] {
+        &self.shared.groups[group.index()].members
+    }
+
+    /// The domain-0 simulation RNG. A partitioned world runs one
+    /// independent stream per domain; out-of-band draws (topology
+    /// construction, test scaffolding) use domain 0's.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.shards[0].rng
+    }
+
+    /// The merged digest of every packet event processed so far: the
+    /// per-domain digests folded in domain order. For an unpartitioned
+    /// world this is exactly the single domain's digest.
+    pub fn trace_digest(&self) -> TraceDigest {
+        if self.shards.len() == 1 {
+            return self.shards[0].digest.clone();
+        }
+        let mut merged = TraceDigest::new();
+        for shard in &self.shards {
+            merged.absorb(&shard.digest);
+        }
+        merged
+    }
+
+    /// The domain-0 packet arena (diagnostics: live packet population,
+    /// peak capacity). Partitioned worlds keep one arena per domain; see
+    /// [`World::live_packets`] for the global population.
+    pub fn arena(&self) -> &PacketArena {
+        &self.shards[0].arena
+    }
+
+    /// Total in-flight packets across all domains (boundary packets in
+    /// transit between arenas included).
+    pub fn live_packets(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.arena.len() + s.outbox.len())
+            .sum()
+    }
+
+    /// The domain partition currently in effect.
+    pub fn domain_map(&self) -> &DomainMap {
+        &self.shared.dmap
+    }
+
+    /// Number of domains (1 until [`Engine::partition`]).
+    pub fn domain_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads the partitioned executor will use.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 }
 
 /// The handle an agent uses to act on the world from inside a callback.
+/// It sees the shared topology and its own domain's shard — which is all
+/// an agent can causally touch within an epoch.
 pub struct Context<'w> {
-    world: &'w mut World,
+    shared: &'w Shared,
+    shard: &'w mut DomainShard,
     /// The agent being called.
     pub agent: AgentId,
+    /// The agent's index within its domain.
+    agent_local: usize,
 }
 
 impl<'w> Context<'w> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.world.now
+        self.shard.now
     }
 
-    /// The simulation RNG (the *only* randomness source agents may use).
+    /// The simulation RNG (the *only* randomness source agents may use);
+    /// this domain's stream.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.world.rng
+        &mut self.shard.rng
     }
 
     /// Send a packet. It enters the network at this agent's node, after the
     /// agent's configured random processing overhead (if any). Returns the
     /// packet uid.
     pub fn send(&mut self, dest: Dest, size_bytes: u32, segment: Segment) -> u64 {
-        let uid = self.world.alloc_uid();
-        let meta = &self.world.agent_meta[self.agent.index()];
+        let uid = self.shard.alloc_uid();
+        let meta = &self.shard.agent_meta[self.agent_local];
         let node = meta.node;
         let overhead = meta.send_overhead;
         let delay = if overhead.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(self.world.rng.gen_range(0..=overhead.as_nanos()))
+            SimDuration::from_nanos(self.shard.rng.gen_range(0..=overhead.as_nanos()))
         };
         // Order-preserving jitter: never inject before a previously sent
         // packet of the same agent.
-        let at = (self.world.now + delay).max(meta.last_injection);
-        self.world.agent_meta[self.agent.index()].last_injection = at;
+        let at =
+            (self.shard.now + delay).max(self.shard.agent_meta[self.agent_local].last_injection);
+        self.shard.agent_meta[self.agent_local].last_injection = at;
         let packet = Packet {
             uid,
             src: self.agent,
             dest,
             size_bytes,
             segment,
-            sent_at: self.world.now,
+            sent_at: self.shard.now,
         };
-        let handle = self.world.arena.insert(packet);
-        self.world.calendar.schedule(
+        let handle = self.shard.arena.insert(packet);
+        self.shard.calendar.schedule(
             at,
             EventKind::Arrive {
                 node,
@@ -345,8 +363,8 @@ impl<'w> Context<'w> {
 
     /// Arm a timer to fire after `delay` with the given token.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let at = self.world.now + delay;
-        self.world.calendar.schedule(
+        let at = self.shard.now + delay;
+        self.shard.calendar.schedule(
             at,
             EventKind::Timer {
                 agent: self.agent,
@@ -357,9 +375,9 @@ impl<'w> Context<'w> {
 
     /// Arm a timer at an absolute instant.
     pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
-        debug_assert!(at >= self.world.now, "timer set in the past");
-        self.world.calendar.schedule(
-            at.max(self.world.now),
+        debug_assert!(at >= self.shard.now, "timer set in the past");
+        self.shard.calendar.schedule(
+            at.max(self.shard.now),
             EventKind::Timer {
                 agent: self.agent,
                 token,
@@ -370,19 +388,336 @@ impl<'w> Context<'w> {
     /// Number of members in a multicast group (the RLA sender sizes its
     /// receiver set with this at startup).
     pub fn group_size(&self, group: GroupId) -> usize {
-        self.world.groups[group.index()].members.len()
+        self.shared.groups[group.index()].members.len()
     }
 
     /// The members of a multicast group.
     pub fn group_members(&self, group: GroupId) -> &[AgentId] {
-        self.world.group_members(group)
+        &self.shared.groups[group.index()].members
     }
 }
 
-/// The simulator: a world plus the transport agents living in it.
+/// One domain's event loop: the shard being advanced, the shared
+/// topology, and the slice of agents homed in this domain. This is the
+/// unit of work the epoch executor hands to a worker thread.
+struct DomainRun<'a> {
+    shared: &'a Shared,
+    shard: &'a mut DomainShard,
+    agents: &'a mut [Box<dyn Agent>],
+    tracer: Option<&'a Rc<RefCell<dyn Tracer>>>,
+}
+
+impl<'a> DomainRun<'a> {
+    /// Local index of a channel owned by this domain.
+    #[inline]
+    fn chan_index(&self, id: ChannelId) -> usize {
+        let (d, li) = self.shared.chan_loc[id.index()];
+        debug_assert_eq!(d, self.shard.domain, "channel event in the wrong domain");
+        li as usize
+    }
+
+    fn trace(&self, event: &TraceEvent<'_>) {
+        if let Some(tracer) = self.tracer {
+            tracer.borrow_mut().trace(self.shard.now, event);
+        }
+    }
+
+    /// Run this domain until its calendar is exhausted or `deadline` is
+    /// reached; the clock ends at exactly `deadline` if the calendar
+    /// outlives it.
+    fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.shard.calendar.pop_before(deadline) {
+            debug_assert!(event.at >= self.shard.now, "time ran backwards");
+            self.shard.now = event.at;
+            self.dispatch(event.kind);
+        }
+        if deadline > self.shard.now {
+            self.shard.now = deadline;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TxComplete { channel, packet } => self.complete_tx(channel, packet),
+            EventKind::Arrive { node, packet } => self.arrive(node, packet),
+            EventKind::Timer { agent, token } => {
+                let local = self.agent_index(agent);
+                let mut ctx = Context {
+                    shared: self.shared,
+                    shard: &mut *self.shard,
+                    agent,
+                    agent_local: local,
+                };
+                self.agents[local].on_timer(token, &mut ctx);
+            }
+            EventKind::Start { agent } => {
+                let local = self.agent_index(agent);
+                let mut ctx = Context {
+                    shared: self.shared,
+                    shard: &mut *self.shard,
+                    agent,
+                    agent_local: local,
+                };
+                self.agents[local].on_start(&mut ctx);
+            }
+        }
+    }
+
+    /// Local index of an agent homed in this domain.
+    #[inline]
+    fn agent_index(&self, agent: AgentId) -> usize {
+        let (d, li) = self.shared.agent_loc[agent.index()];
+        debug_assert_eq!(d, self.shard.domain, "agent event in the wrong domain");
+        li as usize
+    }
+
+    /// Inject the packet behind `handle` at `channel`: fault-check, then
+    /// transmit immediately if the transmitter is idle, otherwise enqueue.
+    /// On any drop the arena slot is freed here.
+    fn offer(&mut self, channel: ChannelId, handle: PacketHandle) {
+        let li = self.chan_index(channel);
+        let shard = &mut *self.shard;
+        let now = shard.now;
+        let (uid, is_data) = {
+            let p = shard.arena.get(handle);
+            (p.uid, p.segment.is_data())
+        };
+        let ch = &mut shard.channels[li];
+        ch.stats.offered += 1;
+
+        if let Some(fault) = ch.fault.as_mut() {
+            if fault.should_drop(is_data, &mut shard.rng) {
+                ch.stats.record_drop(crate::queue::DropReason::Fault);
+                let qlen = ch.queue.len();
+                shard
+                    .digest
+                    .record_drop(now, channel, uid, crate::queue::DropReason::Fault, qlen);
+                if self.tracer.is_some() {
+                    self.trace(&TraceEvent::Drop {
+                        channel,
+                        packet: self.shard.arena.get(handle),
+                        reason: crate::queue::DropReason::Fault,
+                        qlen,
+                    });
+                }
+                self.shard.arena.remove(handle);
+                return;
+            }
+        }
+
+        let ch = &mut shard.channels[li];
+        if !ch.busy {
+            debug_assert!(ch.queue.is_empty(), "idle transmitter with queued packets");
+            ch.stats.accepted += 1;
+            self.start_tx(channel, handle);
+        } else {
+            match ch.queue.enqueue(handle, now, &mut shard.rng) {
+                Enqueue::Accepted => {
+                    ch.stats.accepted += 1;
+                    let qlen = ch.queue.len();
+                    ch.stats.record_qlen(now, qlen);
+                    shard.digest.record_enqueue(now, channel, uid, qlen);
+                    if self.tracer.is_some() {
+                        self.trace(&TraceEvent::Enqueue {
+                            channel,
+                            packet: self.shard.arena.get(handle),
+                            qlen,
+                        });
+                    }
+                }
+                Enqueue::Dropped(handle, reason) => {
+                    ch.stats.record_drop(reason);
+                    let qlen = ch.queue.len();
+                    shard.digest.record_drop(now, channel, uid, reason, qlen);
+                    if self.tracer.is_some() {
+                        self.trace(&TraceEvent::Drop {
+                            channel,
+                            packet: self.shard.arena.get(handle),
+                            reason,
+                            qlen,
+                        });
+                    }
+                    self.shard.arena.remove(handle);
+                }
+            }
+        }
+    }
+
+    /// Begin transmitting the packet behind `handle` on `channel`.
+    fn start_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
+        let li = self.chan_index(channel);
+        let shard = &mut *self.shard;
+        let now = shard.now;
+        let (uid, size_bytes) = {
+            let p = shard.arena.get(handle);
+            (p.uid, p.size_bytes)
+        };
+        let ch = &mut shard.channels[li];
+        debug_assert!(!ch.busy, "transmitter already busy");
+        ch.busy = true;
+        let service = ch.service_time(size_bytes);
+        ch.stats.record_tx_begin(now);
+        let qlen = ch.queue.len();
+        shard.digest.record_tx_start(now, channel, uid, qlen);
+        if self.tracer.is_some() {
+            self.trace(&TraceEvent::TxStart {
+                channel,
+                packet: self.shard.arena.get(handle),
+                qlen,
+            });
+        }
+        self.shard.calendar.schedule(
+            now + service,
+            EventKind::TxComplete {
+                channel,
+                packet: handle,
+            },
+        );
+    }
+
+    /// The transmitter on `channel` finished serializing the packet. This
+    /// is the only place a packet can leave its domain: when the arrival
+    /// node lives elsewhere, the packet moves to the outbox instead of the
+    /// local calendar, to be exchanged at the next epoch barrier.
+    fn complete_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
+        let li = self.chan_index(channel);
+        let shard = &mut *self.shard;
+        let now = shard.now;
+        let size_bytes = shard.arena.get(handle).size_bytes;
+        let ch = &mut shard.channels[li];
+        ch.stats.record_tx_end(now);
+        ch.stats.transmitted += 1;
+        ch.stats.bytes_transmitted += size_bytes as u64;
+        let to = ch.to;
+        let delay = ch.prop_delay;
+        if self.shared.dmap.domain_of(to) == shard.domain {
+            shard.calendar.schedule(
+                now + delay,
+                EventKind::Arrive {
+                    node: to,
+                    packet: handle,
+                },
+            );
+        } else {
+            let packet = shard.arena.remove(handle);
+            shard.outbox.push(BoundaryMsg {
+                at: now + delay,
+                node: to,
+                packet,
+            });
+        }
+
+        // Pull the next packet out of the buffer, if any.
+        let ch = &mut shard.channels[li];
+        ch.busy = false;
+        if let Some(next) = ch.queue.dequeue(now) {
+            let qlen = ch.queue.len();
+            ch.stats.record_qlen(now, qlen);
+            self.start_tx(channel, next);
+        }
+    }
+
+    fn arrive(&mut self, node: NodeId, handle: PacketHandle) {
+        let (uid, dest) = {
+            let p = self.shard.arena.get(handle);
+            (p.uid, p.dest)
+        };
+        self.shard.digest.record_arrive(self.shard.now, node, uid);
+        if self.tracer.is_some() {
+            self.trace(&TraceEvent::Arrive {
+                node,
+                packet: self.shard.arena.get(handle),
+            });
+        }
+        match dest {
+            Dest::Agent(agent) => {
+                let target_node = self.shared.agent_nodes[agent.index()];
+                if target_node == node {
+                    self.deliver(agent, handle);
+                } else {
+                    let ch = self.shared.nodes[node.index()]
+                        .route_to(target_node)
+                        .unwrap_or_else(|| {
+                            panic!("no route from {node} toward {target_node} for {agent}")
+                        });
+                    self.offer(ch, handle);
+                }
+            }
+            Dest::Group(group) => {
+                // Fan out through reusable scratch buffers; replicate via
+                // the arena, letting the last copy reuse the original slot.
+                let mut forwards = std::mem::take(&mut self.shard.fwd_scratch);
+                let mut locals = std::mem::take(&mut self.shard.member_scratch);
+                forwards.clear();
+                locals.clear();
+                let g = &self.shared.groups[group.index()];
+                debug_assert!(
+                    g.root.is_some(),
+                    "group packet before build_group_tree was called"
+                );
+                if let Some(f) = g.forward.get(node.index()) {
+                    forwards.extend_from_slice(f);
+                }
+                if let Some(m) = g.members_at.get(node.index()) {
+                    locals.extend_from_slice(m);
+                }
+                let total = forwards.len() + locals.len();
+                let mut k = 0;
+                for &ch in &forwards {
+                    k += 1;
+                    let h = if k == total {
+                        handle
+                    } else {
+                        self.shard.arena.duplicate(handle)
+                    };
+                    self.offer(ch, h);
+                }
+                for &agent in &locals {
+                    k += 1;
+                    let h = if k == total {
+                        handle
+                    } else {
+                        self.shard.arena.duplicate(handle)
+                    };
+                    self.deliver(agent, h);
+                }
+                if total == 0 {
+                    // A tree node with nothing downstream: the packet ends
+                    // here.
+                    self.shard.arena.remove(handle);
+                }
+                self.shard.fwd_scratch = forwards;
+                self.shard.member_scratch = locals;
+            }
+        }
+    }
+
+    fn deliver(&mut self, agent: AgentId, handle: PacketHandle) {
+        let uid = self.shard.arena.get(handle).uid;
+        self.shard.digest.record_deliver(self.shard.now, agent, uid);
+        if self.tracer.is_some() {
+            self.trace(&TraceEvent::Deliver {
+                agent,
+                packet: self.shard.arena.get(handle),
+            });
+        }
+        let packet = self.shard.arena.remove(handle);
+        let local = self.agent_index(agent);
+        let mut ctx = Context {
+            shared: self.shared,
+            shard: &mut *self.shard,
+            agent,
+            agent_local: local,
+        };
+        self.agents[local].on_packet(packet, &mut ctx);
+    }
+}
+
+/// The simulator: a world plus the transport agents living in it. Agents
+/// are stored per domain, parallel to the world's shards.
 pub struct Engine {
     world: World,
-    agents: Vec<Box<dyn Agent>>,
+    agents: Vec<Vec<Box<dyn Agent>>>,
 }
 
 impl Engine {
@@ -390,7 +725,7 @@ impl Engine {
     pub fn new(seed: u64) -> Self {
         Engine {
             world: World::new(seed),
-            agents: Vec::new(),
+            agents: vec![Vec::new()],
         }
     }
 
@@ -406,28 +741,165 @@ impl Engine {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.world.now
+        self.world.now()
     }
 
     /// Install a tracer. The caller keeps its own `Rc` handle to read the
-    /// trace back after the run.
+    /// trace back after the run. Tracers are inherently single-threaded:
+    /// a partitioned engine accepts one only while
+    /// [`Engine::set_workers`] is 1.
     pub fn set_tracer(&mut self, tracer: Rc<RefCell<dyn Tracer>>) {
         self.world.tracer = Some(tracer);
     }
 
-    /// The always-on digest of every packet event this engine processed.
-    pub fn trace_digest(&self) -> &TraceDigest {
+    /// The merged digest of every packet event this engine processed.
+    pub fn trace_digest(&self) -> TraceDigest {
         self.world.trace_digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Domain partitioning
+    // ------------------------------------------------------------------
+
+    /// Partition the topology into conservative-lookahead domains along
+    /// links whose propagation delay is at least `theta` (default: the
+    /// smallest positive link delay — the finest partition the delays
+    /// admit; see [`DomainMap::partition`]). Returns the domain count.
+    ///
+    /// Existing channels, agents and their metadata are redistributed to
+    /// their domains; per-domain RNG streams are derived from the base
+    /// seed. The partition — and with it every digest the engine will
+    /// produce — is a pure function of the topology, the seed and θ,
+    /// never of the worker count.
+    ///
+    /// # Panics
+    /// If events are already scheduled or packets in flight (partition
+    /// the world before starting agents), or if the engine is already
+    /// partitioned.
+    pub fn partition(&mut self, theta: Option<SimDuration>) -> usize {
+        assert_eq!(
+            self.world.shards.len(),
+            1,
+            "the engine is already partitioned"
+        );
+        {
+            let s0 = &self.world.shards[0];
+            assert!(
+                s0.calendar.is_empty() && s0.arena.is_empty() && s0.now == SimTime::ZERO,
+                "partition the world before scheduling events or running"
+            );
+        }
+        let links: Vec<(NodeId, NodeId, SimDuration)> = self.world.shards[0]
+            .channels
+            .iter()
+            .map(|ch| (ch.from, ch.to, ch.prop_delay))
+            .collect();
+        let dmap = DomainMap::partition(self.world.shared.nodes.len(), &links, theta);
+        let domains = dmap.domains();
+        if !dmap.is_partitioned() {
+            self.world.shared.dmap = dmap;
+            return 1;
+        }
+
+        let seed = self.world.shared.seed;
+        let mut shards: Vec<DomainShard> = (0..domains as u32)
+            .map(|d| {
+                DomainShard::new(
+                    d,
+                    StdRng::seed_from_u64(domain_seed(seed, d)),
+                    (d as u64) << 48,
+                )
+            })
+            .collect();
+        let mut agents: Vec<Vec<Box<dyn Agent>>> = (0..domains).map(|_| Vec::new()).collect();
+
+        let mut old = std::mem::take(&mut self.world.shards);
+        let old_shard = old.pop().expect("one shard before partition");
+        // Channels move to the domain of their upstream node, in global id
+        // order, so local indices are reproducible.
+        for (ch, loc) in old_shard
+            .channels
+            .into_iter()
+            .zip(self.world.shared.chan_loc.iter_mut())
+        {
+            let d = dmap.domain_of(ch.from);
+            *loc = (d, shards[d as usize].channels.len() as u32);
+            shards[d as usize].channels.push(ch);
+        }
+        // Agents (and their metadata) move with their home node, in global
+        // agent order.
+        let old_agents = std::mem::take(&mut self.agents[0]);
+        for ((agent, meta), loc) in old_agents
+            .into_iter()
+            .zip(old_shard.agent_meta)
+            .zip(self.world.shared.agent_loc.iter_mut())
+        {
+            let d = dmap.domain_of(meta.node);
+            *loc = (d, agents[d as usize].len() as u32);
+            shards[d as usize].agent_meta.push(meta);
+            agents[d as usize].push(agent);
+        }
+
+        self.world.shared.dmap = dmap;
+        self.world.shards = shards;
+        self.agents = agents;
+        domains
+    }
+
+    /// Set the worker-thread count for the partitioned executor. With 1
+    /// (the default) the epochs run inline on the calling thread; above 1
+    /// the domains are distributed round-robin over scoped worker
+    /// threads. Has no effect on an unpartitioned engine — and none on
+    /// the results either way: digests are identical at every worker
+    /// count.
+    pub fn set_workers(&mut self, workers: usize) {
+        assert!(workers >= 1, "at least one worker is required");
+        self.world.workers = workers;
+    }
+
+    /// Number of domains (1 until [`Engine::partition`]).
+    pub fn domain_count(&self) -> usize {
+        self.world.domain_count()
+    }
+
+    /// Arm (or disarm) per-epoch load recording: one row per epoch with
+    /// each domain's processed-event count. Only the inline (workers = 1)
+    /// partitioned executor records; the parallel bench uses the profile
+    /// to model multi-worker critical paths on machines with fewer cores
+    /// than workers.
+    pub fn record_epoch_loads(&mut self, on: bool) {
+        self.world.epoch_loads = on.then(Vec::new);
+    }
+
+    /// The recorded per-epoch, per-domain event counts (see
+    /// [`Engine::record_epoch_loads`]).
+    pub fn epoch_loads(&self) -> Option<&[Vec<u64>]> {
+        self.world.epoch_loads.as_deref()
     }
 
     // ------------------------------------------------------------------
     // Topology construction
     // ------------------------------------------------------------------
 
-    /// Add a node.
+    /// Add a node. After [`Engine::partition`] a new node forms its own
+    /// fresh domain (it has no links yet; links attached later are checked
+    /// against the lookahead).
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
-        let id = NodeId::from(self.world.nodes.len());
-        self.world.nodes.push(Node::new(id, name));
+        let id = NodeId::from(self.world.shared.nodes.len());
+        self.world.shared.nodes.push(Node::new(id, name));
+        if self.world.shared.dmap.is_partitioned() {
+            let d = self.world.shared.dmap.push_isolated_node();
+            let seed = self.world.shared.seed;
+            self.world.shards.push(DomainShard::new(
+                d,
+                StdRng::seed_from_u64(domain_seed(seed, d)),
+                (d as u64) << 48,
+            ));
+            self.agents.push(Vec::new());
+            // Late domains start at the global clock, not at zero.
+            let now = self.world.shards[0].now;
+            self.world.shards[d as usize].now = now;
+        }
         id
     }
 
@@ -457,8 +929,20 @@ impl Engine {
         queue_cfg: &QueueConfig,
     ) -> ChannelId {
         assert!(from != to, "self-loop channels are not allowed");
-        let id = ChannelId::from(self.world.channels.len());
-        self.world.channels.push(Channel::new(
+        let d = self.world.shared.dmap.domain_of(from);
+        if self.world.shared.dmap.is_partitioned() && d != self.world.shared.dmap.domain_of(to) {
+            assert!(
+                prop_delay >= self.world.shared.dmap.lookahead(),
+                "cross-domain channel faster than the lookahead breaks the epoch contract"
+            );
+        }
+        let id = ChannelId::from(self.world.shared.chan_loc.len());
+        let shard = &mut self.world.shards[d as usize];
+        self.world
+            .shared
+            .chan_loc
+            .push((d, shard.channels.len() as u32));
+        shard.channels.push(Channel::new(
             id,
             from,
             to,
@@ -466,22 +950,28 @@ impl Engine {
             prop_delay,
             queue_cfg,
         ));
-        self.world.nodes[from.index()].out_channels.push(id);
+        self.world.shared.nodes[from.index()].out_channels.push(id);
         id
     }
 
     /// Attach a fault injector to a channel.
     pub fn set_fault(&mut self, channel: ChannelId, fault: FaultInjector) {
-        self.world.channels[channel.index()].fault = Some(fault);
+        self.world.channel_mut(channel).fault = Some(fault);
     }
 
     /// Attach an agent to `node`. The agent does nothing until
     /// [`Engine::start_agent_at`] schedules its start event.
     pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
-        assert!(node.index() < self.world.nodes.len(), "unknown node");
-        let id = AgentId::from(self.agents.len());
-        self.agents.push(agent);
-        self.world.agent_meta.push(AgentMeta {
+        assert!(node.index() < self.world.shared.nodes.len(), "unknown node");
+        let d = self.world.shared.dmap.domain_of(node);
+        let id = AgentId::from(self.world.shared.agent_loc.len());
+        self.world
+            .shared
+            .agent_loc
+            .push((d, self.agents[d as usize].len() as u32));
+        self.world.shared.agent_nodes.push(node);
+        self.agents[d as usize].push(agent);
+        self.world.shards[d as usize].agent_meta.push(AgentMeta {
             node,
             send_overhead: SimDuration::ZERO,
             last_injection: SimTime::ZERO,
@@ -493,19 +983,20 @@ impl Engine {
     /// (phase-effect elimination; see §3.1 of the paper). `max` should be
     /// the bottleneck service time of the agent's data packets.
     pub fn set_send_overhead(&mut self, agent: AgentId, max: SimDuration) {
-        self.world.agent_meta[agent.index()].send_overhead = max;
+        let (d, li) = self.world.shared.agent_loc[agent.index()];
+        self.world.shards[d as usize].agent_meta[li as usize].send_overhead = max;
     }
 
     /// Create a multicast group.
     pub fn new_group(&mut self) -> GroupId {
-        let id = GroupId::from(self.world.groups.len());
-        self.world.groups.push(Group::default());
+        let id = GroupId::from(self.world.shared.groups.len());
+        self.world.shared.groups.push(Group::default());
         id
     }
 
     /// Add `agent` to `group`'s receiver set.
     pub fn join_group(&mut self, group: GroupId, agent: AgentId) {
-        let g = &mut self.world.groups[group.index()];
+        let g = &mut self.world.shared.groups[group.index()];
         if !g.members.contains(&agent) {
             g.members.push(agent);
         }
@@ -516,7 +1007,7 @@ impl Engine {
     /// [`Engine::build_group_tree`] afterwards so in-flight multicast stops
     /// fanning out to pruned branches.
     pub fn leave_group(&mut self, group: GroupId, agent: AgentId) -> bool {
-        let g = &mut self.world.groups[group.index()];
+        let g = &mut self.world.shared.groups[group.index()];
         match g.members.iter().position(|&m| m == agent) {
             Some(i) => {
                 g.members.remove(i);
@@ -529,16 +1020,17 @@ impl Engine {
     /// Compute all-pairs unicast next-hop routes with BFS (all links are
     /// one hop). Call after the topology is final and before running.
     pub fn compute_routes(&mut self) {
-        let n = self.world.nodes.len();
+        let n = self.world.shared.nodes.len();
         // Adjacency: (neighbor, channel) per node.
         let adj: Vec<Vec<(NodeId, ChannelId)>> = self
             .world
+            .shared
             .nodes
             .iter()
             .map(|node| {
                 node.out_channels
                     .iter()
-                    .map(|&ch| (self.world.channels[ch.index()].to, ch))
+                    .map(|&ch| (self.world.channel(ch).to, ch))
                     .collect()
             })
             .collect();
@@ -567,7 +1059,7 @@ impl Engine {
                     }
                 }
             }
-            self.world.nodes[src].routes = first_hop;
+            self.world.shared.nodes[src].routes = first_hop;
         }
     }
 
@@ -575,18 +1067,18 @@ impl Engine {
     /// node of `root_agent`. Requires routes (call [`Engine::compute_routes`]
     /// first) and the full member list.
     pub fn build_group_tree(&mut self, group: GroupId, root: NodeId) {
-        let n = self.world.nodes.len();
-        let members = self.world.groups[group.index()].members.clone();
+        let n = self.world.shared.nodes.len();
+        let members = self.world.shared.groups[group.index()].members.clone();
         let mut forward: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
         let mut members_at: Vec<Vec<AgentId>> = vec![Vec::new(); n];
 
         for &member in &members {
-            let target = self.world.agent_meta[member.index()].node;
+            let target = self.world.shared.agent_nodes[member.index()];
             members_at[target.index()].push(member);
             let mut cur = root;
             let mut hops = 0;
             while cur != target {
-                let ch = self.world.nodes[cur.index()]
+                let ch = self.world.shared.nodes[cur.index()]
                     .route_to(target)
                     .unwrap_or_else(|| {
                         panic!("group member at {target} unreachable from tree root {root}")
@@ -594,13 +1086,13 @@ impl Engine {
                 if !forward[cur.index()].contains(&ch) {
                     forward[cur.index()].push(ch);
                 }
-                cur = self.world.channels[ch.index()].to;
+                cur = self.world.channel(ch).to;
                 hops += 1;
                 assert!(hops <= n, "routing loop while building multicast tree");
             }
         }
 
-        let g = &mut self.world.groups[group.index()];
+        let g = &mut self.world.shared.groups[group.index()];
         g.root = Some(root);
         g.forward = forward;
         g.members_at = members_at;
@@ -612,139 +1104,189 @@ impl Engine {
 
     /// Schedule `agent`'s `on_start` at time `at`.
     pub fn start_agent_at(&mut self, agent: AgentId, at: SimTime) {
-        self.world.calendar.schedule(at, EventKind::Start { agent });
+        let (d, _) = self.world.shared.agent_loc[agent.index()];
+        self.world.shards[d as usize]
+            .calendar
+            .schedule(at, EventKind::Start { agent });
     }
 
-    /// Run until the calendar is exhausted or `deadline` is reached; the
-    /// clock ends at exactly `deadline` if the calendar outlives it.
+    /// Run until `deadline`; the clock ends at exactly `deadline`.
+    ///
+    /// An unpartitioned engine runs the classic single event loop (and
+    /// additionally stops early if its calendar empties). A partitioned
+    /// engine advances all domains epoch by epoch to `deadline` —
+    /// inline, or on [`Engine::set_workers`] scoped threads — exchanging
+    /// boundary packets at each absolute grid barrier. Every domain's
+    /// clock equals `deadline` on return.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(event) = self.world.calendar.pop_before(deadline) {
-            debug_assert!(event.at >= self.world.now, "time ran backwards");
-            self.world.now = event.at;
-            self.dispatch(event.kind);
+        if self.world.shards.len() == 1 {
+            let world = &mut self.world;
+            DomainRun {
+                shared: &world.shared,
+                shard: &mut world.shards[0],
+                agents: &mut self.agents[0],
+                tracer: world.tracer.as_ref(),
+            }
+            .run_until(deadline);
+            return;
         }
-        if deadline > self.world.now {
-            self.world.now = deadline;
+        if self.world.workers == 1 {
+            self.run_epochs_inline(deadline);
+        } else {
+            self.run_epochs_threaded(deadline);
         }
     }
 
     /// Run for `d` more simulated time.
     pub fn run_for(&mut self, d: SimDuration) {
-        let deadline = self.world.now + d;
+        let deadline = self.world.now() + d;
         self.run_until(deadline);
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::TxComplete { channel, packet } => self.world.complete_tx(channel, packet),
-            EventKind::Arrive { node, packet } => self.arrive(node, packet),
-            EventKind::Timer { agent, token } => {
-                let mut ctx = Context {
-                    world: &mut self.world,
-                    agent,
-                };
-                self.agents[agent.index()].on_timer(token, &mut ctx);
+    /// The inline epoch executor: advance every domain to the next grid
+    /// barrier (or the deadline), exchange, repeat. Single-threaded, so a
+    /// tracer is allowed.
+    fn run_epochs_inline(&mut self, deadline: SimTime) {
+        let lookahead = self.world.shared.dmap.lookahead();
+        debug_assert!(!lookahead.is_zero(), "partitioned world without lookahead");
+        let mut t = self.world.shards[0].now;
+        debug_assert!(
+            self.world.shards.iter().all(|s| s.now == t),
+            "domains out of step at epoch entry"
+        );
+        let recording = self.world.epoch_loads.is_some();
+        let mut gathered: Vec<BoundaryMsg> = Vec::new();
+        while t < deadline {
+            let barrier = grid_next(t, lookahead);
+            let target = barrier.min(deadline);
+            let mut loads = recording.then(|| Vec::with_capacity(self.world.shards.len()));
+            for (shard, agents) in self.world.shards.iter_mut().zip(self.agents.iter_mut()) {
+                let before = recording.then(|| shard.digest.events());
+                DomainRun {
+                    shared: &self.world.shared,
+                    shard,
+                    agents,
+                    tracer: self.world.tracer.as_ref(),
+                }
+                .run_until(target);
+                if let (Some(loads), Some(before)) = (loads.as_mut(), before) {
+                    loads.push(shard.digest.events() - before);
+                }
             }
-            EventKind::Start { agent } => {
-                let mut ctx = Context {
-                    world: &mut self.world,
-                    agent,
-                };
-                self.agents[agent.index()].on_start(&mut ctx);
+            if let (Some(all), Some(row)) = (self.world.epoch_loads.as_mut(), loads) {
+                all.push(row);
             }
+            if target == barrier {
+                // Exchange at the grid barrier: gather outboxes in domain
+                // order (send order within each), then stable-sort by
+                // arrival time — the canonical (at, src domain, send
+                // order) total order the determinism contract pins.
+                gathered.clear();
+                for shard in self.world.shards.iter_mut() {
+                    gathered.append(&mut shard.outbox);
+                }
+                gathered.sort_by_key(|m| m.at);
+                for m in &gathered {
+                    let dst = self.world.shared.dmap.domain_of(m.node) as usize;
+                    self.world.shards[dst].accept_boundary(*m);
+                }
+            }
+            t = target;
         }
     }
 
-    fn arrive(&mut self, node: NodeId, handle: PacketHandle) {
-        let (uid, dest) = {
-            let p = self.world.arena.get(handle);
-            (p.uid, p.dest)
-        };
-        self.world.digest.record_arrive(self.world.now, node, uid);
-        if self.world.tracer.is_some() {
-            self.world.trace(&TraceEvent::Arrive {
-                node,
-                packet: self.world.arena.get(handle),
-            });
-        }
-        match dest {
-            Dest::Agent(agent) => {
-                let target_node = self.world.agent_meta[agent.index()].node;
-                if target_node == node {
-                    self.deliver(agent, handle);
-                } else {
-                    let ch = self.world.nodes[node.index()]
-                        .route_to(target_node)
-                        .unwrap_or_else(|| {
-                            panic!("no route from {node} toward {target_node} for {agent}")
-                        });
-                    self.world.offer(ch, handle);
-                }
-            }
-            Dest::Group(group) => {
-                // Fan out through reusable scratch buffers; replicate via
-                // the arena, letting the last copy reuse the original slot.
-                let mut forwards = std::mem::take(&mut self.world.fwd_scratch);
-                let mut locals = std::mem::take(&mut self.world.member_scratch);
-                forwards.clear();
-                locals.clear();
-                let g = &self.world.groups[group.index()];
-                debug_assert!(
-                    g.root.is_some(),
-                    "group packet before build_group_tree was called"
-                );
-                if let Some(f) = g.forward.get(node.index()) {
-                    forwards.extend_from_slice(f);
-                }
-                if let Some(m) = g.members_at.get(node.index()) {
-                    locals.extend_from_slice(m);
-                }
-                let total = forwards.len() + locals.len();
-                let mut k = 0;
-                for &ch in &forwards {
-                    k += 1;
-                    let h = if k == total {
-                        handle
-                    } else {
-                        self.world.arena.duplicate(handle)
-                    };
-                    self.world.offer(ch, h);
-                }
-                for &agent in &locals {
-                    k += 1;
-                    let h = if k == total {
-                        handle
-                    } else {
-                        self.world.arena.duplicate(handle)
-                    };
-                    self.deliver(agent, h);
-                }
-                if total == 0 {
-                    // A tree node with nothing downstream: the packet ends
-                    // here.
-                    self.world.arena.remove(handle);
-                }
-                self.world.fwd_scratch = forwards;
-                self.world.member_scratch = locals;
-            }
-        }
-    }
+    /// The threaded epoch executor: domains are distributed round-robin
+    /// over scoped worker threads; two barriers per epoch separate the
+    /// run phase from the exchange phase. Publishes each domain's outbox
+    /// into a per-domain mutex slot; every worker then drains the slots
+    /// for its own domains in the same canonical order the inline
+    /// executor uses, so the digests are bit-identical.
+    fn run_epochs_threaded(&mut self, deadline: SimTime) {
+        assert!(
+            self.world.tracer.is_none(),
+            "tracers are single-threaded: set_workers(1) to trace a partitioned run"
+        );
+        let d_count = self.world.shards.len();
+        let workers = self.world.workers.min(d_count);
+        let lookahead = self.world.shared.dmap.lookahead();
+        debug_assert!(!lookahead.is_zero(), "partitioned world without lookahead");
+        let start = self.world.shards[0].now;
+        debug_assert!(
+            self.world.shards.iter().all(|s| s.now == start),
+            "domains out of step at epoch entry"
+        );
+        let shared = &self.world.shared;
+        let slots: Vec<Mutex<Vec<BoundaryMsg>>> =
+            (0..d_count).map(|_| Mutex::new(Vec::new())).collect();
+        let slots = &slots;
+        let barrier = Barrier::new(workers);
+        let barrier = &barrier;
 
-    fn deliver(&mut self, agent: AgentId, handle: PacketHandle) {
-        let uid = self.world.arena.get(handle).uid;
-        self.world.digest.record_deliver(self.world.now, agent, uid);
-        if self.world.tracer.is_some() {
-            self.world.trace(&TraceEvent::Deliver {
-                agent,
-                packet: self.world.arena.get(handle),
-            });
+        type BucketEntry<'a> = (usize, &'a mut DomainShard, &'a mut Vec<Box<dyn Agent>>);
+        let mut buckets: Vec<Vec<BucketEntry>> = (0..workers).map(|_| Vec::new()).collect();
+        for (d, (shard, agents)) in self
+            .world
+            .shards
+            .iter_mut()
+            .zip(self.agents.iter_mut())
+            .enumerate()
+        {
+            buckets[d % workers].push((d, shard, agents));
         }
-        let packet = self.world.arena.remove(handle);
-        let mut ctx = Context {
-            world: &mut self.world,
-            agent,
-        };
-        self.agents[agent.index()].on_packet(packet, &mut ctx);
+
+        std::thread::scope(|scope| {
+            for mut bucket in buckets {
+                scope.spawn(move || {
+                    let mut t = start;
+                    let mut incoming: Vec<BoundaryMsg> = Vec::new();
+                    while t < deadline {
+                        let grid = grid_next(t, lookahead);
+                        let target = grid.min(deadline);
+                        let exchanging = target == grid;
+                        // Phase A: run own domains to the target; publish
+                        // outboxes. The slot is cleared here — its previous
+                        // contents were consumed by every reader before the
+                        // last epoch's second barrier.
+                        for (d, shard, agents) in bucket.iter_mut() {
+                            DomainRun {
+                                shared,
+                                shard,
+                                agents,
+                                tracer: None,
+                            }
+                            .run_until(target);
+                            if exchanging {
+                                let mut slot = slots[*d].lock().unwrap();
+                                slot.clear();
+                                std::mem::swap(&mut *slot, &mut shard.outbox);
+                            }
+                        }
+                        barrier.wait();
+                        // Phase B: drain every domain's slot for messages
+                        // addressed to own domains, in the same canonical
+                        // order as the inline executor.
+                        if exchanging {
+                            for (d, shard, _) in bucket.iter_mut() {
+                                incoming.clear();
+                                for slot in slots.iter() {
+                                    for m in slot.lock().unwrap().iter() {
+                                        if shared.dmap.domain_of(m.node) as usize == *d {
+                                            incoming.push(*m);
+                                        }
+                                    }
+                                }
+                                incoming.sort_by_key(|m| m.at);
+                                for m in &incoming {
+                                    shard.accept_boundary(*m);
+                                }
+                            }
+                        }
+                        barrier.wait();
+                        t = target;
+                    }
+                });
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -753,17 +1295,23 @@ impl Engine {
 
     /// Downcast an agent to its concrete type for post-run inspection.
     pub fn agent_as<T: 'static>(&self, id: AgentId) -> Option<&T> {
-        self.agents[id.index()].as_any().downcast_ref::<T>()
+        let (d, li) = self.world.shared.agent_loc[id.index()];
+        self.agents[d as usize][li as usize]
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Mutable downcast.
     pub fn agent_as_mut<T: 'static>(&mut self, id: AgentId) -> Option<&mut T> {
-        self.agents[id.index()].as_any_mut().downcast_mut::<T>()
+        let (d, li) = self.world.shared.agent_loc[id.index()];
+        self.agents[d as usize][li as usize]
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
-        self.agents.len()
+        self.world.shared.agent_loc.len()
     }
 }
 
@@ -1082,5 +1630,189 @@ mod tests {
         e.start_agent_at(blaster, SimTime::ZERO);
         e.run_until(SimTime::from_secs(42));
         assert_eq!(e.now(), SimTime::from_secs(42));
+    }
+
+    // ------------------------------------------------------------------
+    // Domain-partitioned execution
+    // ------------------------------------------------------------------
+
+    /// A chain a -(1ms)- m -(10ms)- b with traffic in both directions and
+    /// a multicast group fanning out from a. Partitioning at θ=5ms cuts
+    /// the 10ms link: {a, m} and {b} become two domains with L = 10ms.
+    fn partitioned_chain(seed: u64, workers: usize) -> (Engine, AgentId, AgentId) {
+        let mut e = Engine::new(seed);
+        let a = e.add_node("a");
+        let m = e.add_node("m");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            m,
+            8_000_000,
+            SimDuration::from_millis(1),
+            &QueueConfig::DropTail { limit: 8 },
+        );
+        e.add_link(
+            m,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::DropTail { limit: 8 },
+        );
+        assert_eq!(e.partition(Some(SimDuration::from_millis(5))), 2);
+        e.set_workers(workers);
+        let sink_b = e.add_agent(b, Box::new(Sink::default()));
+        let sink_a = e.add_agent(a, Box::new(Sink::default()));
+        let fwd = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink_b),
+                count: 40,
+                size: 1000,
+            }),
+        );
+        let rev = e.add_agent(
+            b,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink_a),
+                count: 25,
+                size: 600,
+            }),
+        );
+        e.compute_routes();
+        e.set_send_overhead(fwd, SimDuration::from_millis(2));
+        e.set_send_overhead(rev, SimDuration::from_millis(2));
+        e.start_agent_at(fwd, SimTime::ZERO);
+        e.start_agent_at(rev, SimTime::from_millis(3));
+        (e, sink_a, sink_b)
+    }
+
+    #[test]
+    fn partitioned_packets_cross_domains_both_ways() {
+        let (mut e, sink_a, sink_b) = partitioned_chain(7, 1);
+        e.run_until(SimTime::from_secs(2));
+        let sb: &Sink = e.agent_as(sink_b).unwrap();
+        let sa: &Sink = e.agent_as(sink_a).unwrap();
+        // Both blasts overflow their drop-tail exits (limit 8, plus one in
+        // service); what survives the first hop crosses the cut link and
+        // must be conserved end to end — no packet may vanish at a domain
+        // boundary.
+        assert!(sb.received > 0, "forward traffic never crossed the cut");
+        assert!(sa.received > 0, "reverse traffic never crossed the cut");
+        let w = e.world();
+        let drops = |ch: ChannelId| w.channel(ch).stats.overflow_drops;
+        let a_to_m = w.node(NodeId(0)).out_channels[0];
+        let b_to_m = w.node(NodeId(2)).out_channels[0];
+        assert_eq!(sb.received + drops(a_to_m), 40, "forward packets vanished");
+        assert_eq!(sa.received + drops(b_to_m), 25, "reverse packets vanished");
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        assert_eq!(w.live_packets(), 0);
+    }
+
+    #[test]
+    fn digest_is_identical_across_worker_counts_and_stepping() {
+        let full = |workers: usize| {
+            let (mut e, _, _) = partitioned_chain(11, workers);
+            e.run_until(SimTime::from_secs(2));
+            e.trace_digest()
+        };
+        let baseline = full(1);
+        assert!(baseline.events() > 0);
+        assert_eq!(baseline, full(2), "two workers drifted");
+        assert_eq!(baseline, full(4), "four workers drifted");
+        // Mid-epoch stepping must not move the exchange barriers: pause at
+        // an off-grid instant (L = 10ms; 7ms is mid-epoch) and resume.
+        let (mut e, _, _) = partitioned_chain(11, 2);
+        e.run_until(SimTime::from_millis(7));
+        e.run_until(SimTime::from_millis(13));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(baseline, e.trace_digest(), "stepping changed the digest");
+    }
+
+    #[test]
+    fn partitioned_multicast_spans_domains() {
+        // root -(10ms)- hub, hub -(10ms)- l0/l1: four domains; the group
+        // tree replicates at hub across two boundary crossings.
+        let mut e = Engine::new(3);
+        let root = e.add_node("root");
+        let hub = e.add_node("hub");
+        let l0 = e.add_node("l0");
+        let l1 = e.add_node("l1");
+        for &(x, y) in &[(root, hub), (hub, l0), (hub, l1)] {
+            e.add_link(
+                x,
+                y,
+                8_000_000,
+                SimDuration::from_millis(10),
+                &QueueConfig::paper_droptail(),
+            );
+        }
+        assert_eq!(e.partition(None), 4);
+        e.set_workers(2);
+        let group = e.new_group();
+        let s0 = e.add_agent(l0, Box::new(Sink::default()));
+        let s1 = e.add_agent(l1, Box::new(Sink::default()));
+        e.join_group(group, s0);
+        e.join_group(group, s1);
+        let blaster = e.add_agent(
+            root,
+            Box::new(Blaster {
+                dest: Dest::Group(group),
+                count: 9,
+                size: 1000,
+            }),
+        );
+        e.compute_routes();
+        e.build_group_tree(group, root);
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        for id in [s0, s1] {
+            let s: &Sink = e.agent_as(id).unwrap();
+            assert_eq!(s.received, 9);
+        }
+        assert_eq!(e.world().live_packets(), 0, "packets leaked across arenas");
+    }
+
+    #[test]
+    fn unpartitioned_engine_is_untouched_by_worker_setting() {
+        // set_workers on an unpartitioned engine is inert: same digest as
+        // the default.
+        let run = |workers: usize| {
+            let (mut e, blaster, _, _) = two_node_world(&QueueConfig::paper_red());
+            e.set_workers(workers);
+            e.start_agent_at(blaster, SimTime::ZERO);
+            e.run_until(SimTime::from_secs(2));
+            e.trace_digest()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "already partitioned")]
+    fn double_partition_is_rejected() {
+        let mut e = Engine::new(1);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::paper_droptail(),
+        );
+        e.partition(None);
+        e.partition(None);
+    }
+
+    #[test]
+    fn epoch_loads_cover_every_domain() {
+        let (mut e, _, _) = partitioned_chain(5, 1);
+        e.record_epoch_loads(true);
+        e.run_until(SimTime::from_millis(100));
+        let loads = e.epoch_loads().expect("recording was armed");
+        // L = 10ms over a 100ms run: ten epochs, two domains each.
+        assert_eq!(loads.len(), 10);
+        assert!(loads.iter().all(|row| row.len() == 2));
+        let total: u64 = loads.iter().flatten().sum();
+        assert_eq!(total, e.trace_digest().events());
     }
 }

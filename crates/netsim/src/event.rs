@@ -269,6 +269,19 @@ impl Calendar {
                 // Drain: this slot's window is fully behind the new cursor
                 // (saturating only at the `SimTime::MAX` sentinel slot).
                 self.cur = start.saturating_add(1 << SHIFT[0]);
+                // Sweep overflow events that fall strictly *inside* this
+                // slot's window into the same drain. The migration check
+                // above only catches heads at or before the slot *start*
+                // (`t <= start`); a head inside the window would otherwise
+                // sit out the drain and end up stranded below the cursor.
+                while let Some(head) = self.overflow.peek() {
+                    if head.at.as_nanos() < self.cur {
+                        let e = self.overflow.pop().expect("peeked event vanished");
+                        bucket.push(e);
+                    } else {
+                        break;
+                    }
+                }
                 bucket.sort_unstable_by_key(|e| (e.at, e.seq));
                 self.ready.extend(bucket.drain(..));
             } else {
@@ -497,6 +510,31 @@ mod tests {
         assert_eq!(cal.len(), 1);
         // The sentinel is still reachable with an unbounded pop.
         assert_eq!(token_of(&cal.pop().unwrap()), 99);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn overflow_head_inside_a_draining_slot_is_swept_into_it() {
+        // Regression: an overflow event strictly *inside* the earliest
+        // level-0 slot's window (`slot_start < t < slot_start + 1024`)
+        // used to sit out that slot's drain — the migration check only
+        // compares against the slot *start* — leaving it stranded below
+        // the cursor and tripping `place()` on the next migration.
+        let top = span(LEVELS - 1); // the wheel horizon
+        let mut cal = Calendar::new();
+        // Beyond the horizon from t=0: lives in the overflow heap.
+        cal.schedule(SimTime::from_nanos(2 * top + 500), timer(0, 4));
+        // Stepping stones that walk the cursor up to exactly `2 * top`
+        // without a migration window ever covering the overflow event.
+        cal.schedule(SimTime::from_nanos(top + 2048), timer(0, 1));
+        assert_eq!(token_of(&cal.pop().unwrap()), 1);
+        cal.schedule(SimTime::from_nanos(2 * top - 1000), timer(0, 2));
+        assert_eq!(token_of(&cal.pop().unwrap()), 2); // cur lands on 2*top
+                                                      // Same level-0 slot as the overflow event, 100ns earlier: its
+                                                      // drain commits the cursor past the overflow head.
+        cal.schedule(SimTime::from_nanos(2 * top + 400), timer(0, 3));
+        assert_eq!(token_of(&cal.pop().unwrap()), 3);
+        assert_eq!(token_of(&cal.pop().unwrap()), 4); // swept, in order
         assert!(cal.is_empty());
     }
 

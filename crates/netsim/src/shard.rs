@@ -1,0 +1,325 @@
+//! Domain partitioning for the parallel engine.
+//!
+//! The tree topologies of the paper have a useful property for parallel
+//! discrete-event simulation: every link carries a propagation delay, so a
+//! packet crossing a link cannot affect the far side for at least that
+//! long. Partitioning the topology along links whose delay is at least a
+//! bound θ yields *domains* that can each run θ of simulated time without
+//! looking at any other domain — the classic conservative-lookahead
+//! argument, here realised as an epoch barrier instead of null messages.
+//!
+//! [`DomainMap`] computes that partition: nodes connected by links with
+//! propagation delay *below* θ are merged into one domain (they interact
+//! too quickly to separate), and the *lookahead* `L` is the minimum delay
+//! over the links that remain cut. The epoch executor in
+//! [`engine`](crate::engine) advances every domain to the next multiple of
+//! `L` ([`grid_next`]) and then exchanges [`BoundaryMsg`]s — packets whose
+//! transmission finished in one domain but whose arrival node lives in
+//! another.
+//!
+//! # Determinism contract
+//!
+//! The partition is a pure function of the topology and θ, never of the
+//! worker count: running the same partitioned world on 1, 2 or 4 workers
+//! executes the identical per-domain event streams and produces
+//! bit-identical trace digests. Boundary messages are exchanged only at
+//! absolute grid barriers `i·L` (never at caller-chosen deadlines), in the
+//! canonical order *(arrival time, source domain, send order)*, so the
+//! per-domain calendar sequence numbers — and therefore same-instant FIFO
+//! dispatch — are independent of both the worker count and how the caller
+//! steps `run_until`.
+
+use crate::id::NodeId;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// A packet crossing from one domain to another: queued in the sending
+/// domain's outbox at transmission completion, scheduled into the arrival
+/// node's domain at the next epoch barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryMsg {
+    /// Arrival instant at the destination node (transmission completion
+    /// plus the cut link's propagation delay — by construction at least
+    /// one lookahead in the future).
+    pub at: SimTime,
+    /// The node the packet arrives at (in the destination domain).
+    pub node: NodeId,
+    /// The packet itself, by value: it left the sending domain's arena and
+    /// enters the destination domain's arena on delivery.
+    pub packet: Packet,
+}
+
+/// A partition of the topology's nodes into conservative-lookahead
+/// domains. See the [module docs](self) for the partition rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainMap {
+    /// Per node: its domain index. Empty in the trivial single-domain map,
+    /// where every node is domain 0 regardless of index.
+    domain_of: Vec<u32>,
+    /// Number of domains (at least 1).
+    domains: u32,
+    /// Minimum propagation delay over cut (inter-domain) links; zero in
+    /// the single-domain map, where it is never consulted.
+    lookahead: SimDuration,
+}
+
+impl DomainMap {
+    /// The trivial map: every node (present or future) in domain 0. This
+    /// is the map an unpartitioned engine carries.
+    pub fn single() -> Self {
+        DomainMap {
+            domain_of: Vec::new(),
+            domains: 1,
+            lookahead: SimDuration::ZERO,
+        }
+    }
+
+    /// Partition `node_count` nodes along the directed links
+    /// `(from, to, prop_delay)`.
+    ///
+    /// Endpoints of any link with `prop_delay < theta` are merged into one
+    /// domain; the remaining (cut) links all carry at least `theta` of
+    /// delay, and the lookahead is their minimum. `theta` defaults to the
+    /// smallest positive link delay in the topology — the finest partition
+    /// the delays admit. Domains are numbered by first appearance in node
+    /// order, so the result is a pure function of the topology and θ.
+    ///
+    /// # Panics
+    /// If an explicit `theta` is zero (a zero lookahead admits no
+    /// conservative window).
+    pub fn partition(
+        node_count: usize,
+        links: &[(NodeId, NodeId, SimDuration)],
+        theta: Option<SimDuration>,
+    ) -> Self {
+        if let Some(t) = theta {
+            assert!(
+                !t.is_zero(),
+                "partition threshold must be positive: a zero lookahead admits no epoch window"
+            );
+        }
+        let theta = theta.or_else(|| {
+            links
+                .iter()
+                .map(|&(_, _, d)| d)
+                .filter(|d| !d.is_zero())
+                .min()
+        });
+        let Some(theta) = theta else {
+            // No links with positive delay anywhere: nothing to cut.
+            return DomainMap::single();
+        };
+
+        // Union-find over nodes; links too fast to cut merge their
+        // endpoints.
+        let mut parent: Vec<u32> = (0..node_count as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let up = parent[parent[x as usize] as usize];
+                parent[x as usize] = up;
+                x = up;
+            }
+            x
+        }
+        for &(from, to, delay) in links {
+            if delay < theta {
+                let a = find(&mut parent, from.index() as u32);
+                let b = find(&mut parent, to.index() as u32);
+                if a != b {
+                    // Smaller root wins, keeping numbering order-stable.
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+
+        // Compress roots to dense domain ids in node order.
+        let mut domain_of = vec![u32::MAX; node_count];
+        let mut domains = 0u32;
+        for n in 0..node_count as u32 {
+            let root = find(&mut parent, n);
+            if domain_of[root as usize] == u32::MAX {
+                domain_of[root as usize] = domains;
+                domains += 1;
+            }
+            domain_of[n as usize] = domain_of[root as usize];
+        }
+        if domains <= 1 {
+            return DomainMap::single();
+        }
+
+        // Lookahead: the tightest cut link bounds the epoch width.
+        let lookahead = links
+            .iter()
+            .filter(|&&(from, to, _)| domain_of[from.index()] != domain_of[to.index()])
+            .map(|&(_, _, d)| d)
+            .min()
+            .expect("multiple domains imply at least one cut link");
+        debug_assert!(lookahead >= theta, "cut link faster than the threshold");
+
+        DomainMap {
+            domain_of,
+            domains,
+            lookahead,
+        }
+    }
+
+    /// The domain a node belongs to.
+    #[inline]
+    pub fn domain_of(&self, node: NodeId) -> u32 {
+        if self.domains == 1 {
+            0
+        } else {
+            self.domain_of[node.index()]
+        }
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains as usize
+    }
+
+    /// `true` when the map actually splits the topology.
+    pub fn is_partitioned(&self) -> bool {
+        self.domains > 1
+    }
+
+    /// The conservative lookahead: the minimum propagation delay over
+    /// inter-domain links. Zero for the single-domain map.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Register one more node in a partitioned map, as its own fresh
+    /// domain (it has no links yet; links added later are checked against
+    /// the lookahead). Returns the new domain index. Internal to the
+    /// engine's topology-growth path.
+    pub(crate) fn push_isolated_node(&mut self) -> u32 {
+        debug_assert!(self.is_partitioned());
+        let d = self.domains;
+        self.domain_of.push(d);
+        self.domains += 1;
+        d
+    }
+}
+
+/// The next epoch barrier after `now`: the smallest multiple of
+/// `lookahead` strictly greater than `now`. Barriers are absolute
+/// (independent of where a `run_until` call happens to pause), which is
+/// what makes the exchange schedule — and therefore the digests —
+/// invariant under caller stepping.
+#[inline]
+pub fn grid_next(now: SimTime, lookahead: SimDuration) -> SimTime {
+    let l = lookahead.as_nanos();
+    debug_assert!(l > 0, "epoch grid needs a positive lookahead");
+    SimTime::from_nanos((now.as_nanos() / l + 1).saturating_mul(l))
+}
+
+/// Deterministic per-domain RNG seed: a splitmix64-style mix of the base
+/// seed and the domain index. Domain streams must be decorrelated (the
+/// phase-effect machinery draws per-packet jitter from them) yet a pure
+/// function of `(seed, domain)` so every worker count sees identical
+/// draws.
+pub(crate) fn domain_seed(seed: u64, domain: u32) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(domain as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn default_theta_cuts_every_positive_link() {
+        // a -5ms- b -100ms- c: theta defaults to 5ms, no link is below it,
+        // so all three nodes are their own domain and L = 5ms.
+        let links = vec![
+            (NodeId(0), NodeId(1), ms(5)),
+            (NodeId(1), NodeId(0), ms(5)),
+            (NodeId(1), NodeId(2), ms(100)),
+            (NodeId(2), NodeId(1), ms(100)),
+        ];
+        let m = DomainMap::partition(3, &links, None);
+        assert_eq!(m.domains(), 3);
+        assert_eq!(m.lookahead(), ms(5));
+        assert!(m.is_partitioned());
+        // Numbered in node order.
+        assert_eq!(m.domain_of(NodeId(0)), 0);
+        assert_eq!(m.domain_of(NodeId(1)), 1);
+        assert_eq!(m.domain_of(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn explicit_theta_merges_fast_links() {
+        // With theta above the 5ms link, a and b fuse; the 100ms link is
+        // the only cut, so L = 100ms.
+        let links = vec![
+            (NodeId(0), NodeId(1), ms(5)),
+            (NodeId(1), NodeId(0), ms(5)),
+            (NodeId(1), NodeId(2), ms(100)),
+            (NodeId(2), NodeId(1), ms(100)),
+        ];
+        let m = DomainMap::partition(3, &links, Some(ms(10)));
+        assert_eq!(m.domains(), 2);
+        assert_eq!(m.lookahead(), ms(100));
+        assert_eq!(m.domain_of(NodeId(0)), m.domain_of(NodeId(1)));
+        assert_ne!(m.domain_of(NodeId(0)), m.domain_of(NodeId(2)));
+    }
+
+    #[test]
+    fn fully_merged_topology_is_single_domain() {
+        let links = vec![(NodeId(0), NodeId(1), ms(1)), (NodeId(1), NodeId(2), ms(1))];
+        let m = DomainMap::partition(3, &links, Some(ms(50)));
+        assert_eq!(m.domains(), 1);
+        assert!(!m.is_partitioned());
+        assert_eq!(m.domain_of(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn single_map_covers_any_node() {
+        let m = DomainMap::single();
+        assert_eq!(m.domains(), 1);
+        assert_eq!(m.domain_of(NodeId(999)), 0);
+        assert_eq!(m.lookahead(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero lookahead")]
+    fn zero_theta_is_rejected() {
+        DomainMap::partition(2, &[(NodeId(0), NodeId(1), ms(1))], Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn grid_steps_are_absolute_and_strictly_advancing() {
+        let l = ms(5);
+        assert_eq!(grid_next(SimTime::ZERO, l), SimTime::from_millis(5));
+        assert_eq!(
+            grid_next(SimTime::from_millis(5), l),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            grid_next(SimTime::from_millis(7), l),
+            SimTime::from_millis(10),
+            "mid-epoch resumption lands on the same absolute barrier"
+        );
+        assert_eq!(
+            grid_next(SimTime::from_nanos(4_999_999), l),
+            SimTime::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn domain_seeds_differ_per_domain_and_are_stable() {
+        let a = domain_seed(1, 0);
+        let b = domain_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, domain_seed(1, 0), "pure function of (seed, domain)");
+        assert_ne!(domain_seed(2, 0), a);
+    }
+}

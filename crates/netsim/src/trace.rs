@@ -195,6 +195,20 @@ impl TraceDigest {
         self.deliveries += 1;
         self.fold(5, now, agent.index() as u64, uid, 0);
     }
+
+    /// Fold another digest into this one: counters add, and the other's
+    /// hash is mixed into the running hash. Order-sensitive — the
+    /// domain-partitioned engine absorbs per-domain digests in domain
+    /// order, making the merged value a pure function of the ordered
+    /// per-domain streams (and so identical at every worker count).
+    pub fn absorb(&mut self, other: &TraceDigest) {
+        self.mix(other.hash);
+        self.enqueues += other.enqueues;
+        self.drops += other.drops;
+        self.tx_starts += other.tx_starts;
+        self.arrivals += other.arrivals;
+        self.deliveries += other.deliveries;
+    }
 }
 
 impl Tracer for TraceDigest {

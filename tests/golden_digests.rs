@@ -53,14 +53,20 @@ fn scenario_for(name: &str) -> TreeScenario {
 /// tracer: on a digest mismatch the last packet events of every channel
 /// go to stderr with the failure, turning "the hash changed" into
 /// something debuggable. The recorder cannot perturb the result — the
-/// digest is computed independently of the tracer slot.
-fn run_scenario(name: &str) -> (ScenarioResult, Rc<RefCell<FlightRecorder>>) {
+/// digest is computed independently of the tracer slot. Tracers are
+/// single-threaded, so under `RLA_SHARDS` > 1 the run goes untraced —
+/// the digests are identical either way, only the failure diagnostics
+/// get thinner.
+fn run_scenario(name: &str) -> (ScenarioResult, Option<Rc<RefCell<FlightRecorder>>>) {
     let scenario = scenario_for(name);
     let mut world = scenario.build();
-    let recorder = Rc::new(RefCell::new(FlightRecorder::new(
-        telemetry::flight::DEFAULT_FLIGHT_DEPTH,
-    )));
-    world.engine.set_tracer(recorder.clone());
+    let recorder = (scenario.shards == 1).then(|| {
+        let recorder = Rc::new(RefCell::new(FlightRecorder::new(
+            telemetry::flight::DEFAULT_FLIGHT_DEPTH,
+        )));
+        world.engine.set_tracer(recorder.clone());
+        recorder
+    });
     (world.run(&scenario), recorder)
 }
 
@@ -110,7 +116,7 @@ fn check(name: &str) {
     });
     let (r, recorder) = run_scenario(name);
     // Dumps the ring to stderr iff one of the asserts below panics.
-    let _flight = FlightDumpGuard::new(name, recorder);
+    let _flight = recorder.map(|rec| FlightDumpGuard::new(name, rec));
     let got_digest = format!("{:016x}", r.trace_digest);
     let want_digest = extract(&committed, "trace_digest");
     if got_digest != want_digest {
