@@ -16,8 +16,8 @@ use std::rc::Rc;
 
 use experiments::prelude::*;
 use netsim::prelude::*;
-use netsim::trace::QueueLengthTracer;
 use tcp_sack::{TcpConfig, TcpReceiver, TcpSender};
+use telemetry::{QueueSeriesTracer, TimelineRecorder};
 
 fn main() {
     // 100 pkt/s bottleneck, 50 ms one-way => RTT 0.1 s, BDP 10 < buffer 20.
@@ -36,16 +36,26 @@ fn main() {
     engine.compute_routes();
     engine.start_agent_at(tx, SimTime::ZERO);
 
-    let tracer = Rc::new(RefCell::new(QueueLengthTracer::new(down)));
+    // Every enqueue/transmit at the bottleneck lands in a timeline
+    // channel series (the same machinery the RLA_TELEMETRY runs use);
+    // the tracer's change series is what QueueLengthTracer used to hold.
+    let recorder = Rc::new(RefCell::new(TimelineRecorder::new(
+        SimDuration::from_millis(500),
+    )));
+    let tracer = Rc::new(RefCell::new(QueueSeriesTracer::new(
+        recorder,
+        down,
+        "chan.bottleneck",
+    )));
     engine.set_tracer(tracer.clone());
     let duration = cli::capped_duration(600.0).as_secs_f64();
     engine.run_until(SimTime::from_secs_f64(duration));
 
     let trace = tracer.borrow();
+    let samples = trace.samples();
     let rtt = 0.1 + 20.0 / 100.0 * 0.5; // base RTT + typical queueing
     println!("§3.1 — buffer occupancy at a drop-tail bottleneck (cap 20, RTT ≈ {rtt:.2} s)");
-    let window: Vec<(SimTime, usize)> = trace
-        .samples
+    let window: Vec<(SimTime, usize)> = samples
         .iter()
         .copied()
         .filter(|(t, _)| (30.0..90.0).contains(&t.as_secs_f64()))
@@ -65,7 +75,7 @@ fn main() {
     let mut period_start: Option<f64> = None;
     let mut full_start: Option<f64> = None;
     let mut reached_full = false;
-    for &(t, q) in &trace.samples {
+    for &(t, q) in &samples {
         let ts = t.as_secs_f64();
         if ts < 20.0 {
             continue; // skip slow-start transient

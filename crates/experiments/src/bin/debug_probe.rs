@@ -34,13 +34,17 @@ fn main() {
     let sender = world.rla_senders[0];
 
     // The probe exists to look at time series, so the recorder is always
-    // on here; RLA_TELEMETRY_SAMPLE_MS/FORMAT/DIR still apply.
+    // on here; RLA_TELEMETRY_SAMPLE_MS/FORMAT/DIR still apply. Samples
+    // stream to the file as they are recorded (flushed per line), so
+    // `rla_top results/debug_probe.timeline.jsonl` — or plain `tail -f`
+    // — follows the run live.
     let mut opts = cli::telemetry_options();
     opts.timeline = true;
-    let (r, rec) = world.run_with_telemetry(&scenario, &opts);
+    let (r, rec) = world.run_with_telemetry_streamed(&scenario, &opts, "debug_probe");
     let path = rec
-        .write_file(&opts.dir, "debug_probe", opts.format)
-        .expect("write timeline file");
+        .stream_path()
+        .expect("streaming was enabled")
+        .to_path_buf();
     println!(
         "timeline: {} ({} series, {} samples, period {:.3}s)",
         path.display(),

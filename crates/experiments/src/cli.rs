@@ -20,6 +20,14 @@
 //!   [`telemetry_options`] (see `EXPERIMENTS.md` for the full story).
 //! * `RLA_PROGRESS` — per-job heartbeat lines on stderr during sweeps
 //!   (`1`/`on` to enable; default off so test output stays clean).
+//! * `RLA_PROGRESS_FILE` — path of a JSONL heartbeat file: sweeps append
+//!   one JSON object per completed job (case, seed, events/s, ETA),
+//!   flushed per line so `rla_top` and `tail -f` follow it live.
+//! * `RLA_PCAP`, `RLA_PCAP_DIR` — packet-capture export: `RLA_PCAP=1`
+//!   (or a snaplen in bytes) makes single-scenario runs write a classic
+//!   libpcap file per run into `RLA_PCAP_DIR` (default: the results
+//!   dir), parsed into [`PcapOptions`] by [`pcap_options`]. Requires
+//!   `RLA_SHARDS=1` — tracers are single-threaded.
 //! * `RLA_DIFF_THRESHOLD_PCT` — drift threshold for the `rla_diff`
 //!   manifest-comparison tool (percent; the `--threshold` flag wins).
 //! * `RLA_TCP_CC` — congestion controller for the background TCP flows
@@ -58,7 +66,7 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 18] = [
+pub const KNOWN_ENV_VARS: [&str; 21] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
@@ -72,6 +80,9 @@ pub const KNOWN_ENV_VARS: [&str; 18] = [
     "RLA_EVENTS_FILE",
     "RLA_DIFF_THRESHOLD_PCT",
     "RLA_PROGRESS",
+    "RLA_PROGRESS_FILE",
+    "RLA_PCAP",
+    "RLA_PCAP_DIR",
     "RLA_TELEMETRY",
     "RLA_TELEMETRY_SAMPLE_MS",
     "RLA_TELEMETRY_FORMAT",
@@ -150,6 +161,85 @@ pub fn progress_enabled() -> bool {
         std::env::var("RLA_PROGRESS").ok().as_deref(),
         Some("1") | Some("on") | Some("true")
     )
+}
+
+/// The JSONL heartbeat path from `RLA_PROGRESS_FILE`, if set (pure
+/// parse; [`progress_sink`] opens it).
+pub fn progress_file_from(get: impl Fn(&str) -> Option<String>) -> Option<PathBuf> {
+    get("RLA_PROGRESS_FILE").map(PathBuf::from)
+}
+
+/// Open the `RLA_PROGRESS_FILE` heartbeat sink, creating parent
+/// directories. `None` when the knob is unset; an unwritable path fails
+/// loudly with the knob named — a sweep silently dropping its heartbeat
+/// file would defeat the point of asking for one.
+pub fn progress_sink() -> Option<std::fs::File> {
+    enforce_known_env();
+    let path = progress_file_from(|name| std::env::var(name).ok())?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                panic!("RLA_PROGRESS_FILE={path:?}: cannot create parent directory: {e}")
+            });
+        }
+    }
+    Some(std::fs::File::create(&path).unwrap_or_else(|e| {
+        panic!("RLA_PROGRESS_FILE={path:?}: cannot create the heartbeat file: {e}")
+    }))
+}
+
+/// Parsed `RLA_PCAP*` configuration. Like [`TelemetryOptions`], the
+/// defaults mean "off": packet capture costs nothing unless asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapOptions {
+    /// Write a capture file per single-scenario run (`RLA_PCAP=1`/`on`,
+    /// or a snaplen in bytes which also enables).
+    pub enabled: bool,
+    /// Capture-record snap length in bytes (`RLA_PCAP=<bytes>`;
+    /// default 128, floored at 64 by the writer so the synthetic
+    /// headers always survive truncation).
+    pub snaplen: u32,
+    /// Directory capture files are written to (`RLA_PCAP_DIR`, default:
+    /// the results dir).
+    pub dir: PathBuf,
+}
+
+impl Default for PcapOptions {
+    fn default() -> Self {
+        PcapOptions {
+            enabled: false,
+            snaplen: telemetry::pcap::DEFAULT_SNAPLEN,
+            dir: results_dir(),
+        }
+    }
+}
+
+/// Parse the `RLA_PCAP*` knobs from the process environment.
+pub fn pcap_options() -> PcapOptions {
+    enforce_known_env();
+    pcap_options_from(|name| std::env::var(name).ok())
+}
+
+/// [`pcap_options`] over an arbitrary variable source (pure, testable).
+pub fn pcap_options_from(get: impl Fn(&str) -> Option<String>) -> PcapOptions {
+    let mut opts = PcapOptions::default();
+    if let Some(v) = get("RLA_PCAP") {
+        match v.as_str() {
+            "1" | "on" | "true" => opts.enabled = true,
+            "0" | "off" | "" => opts.enabled = false,
+            other => {
+                let snaplen: u32 = other.parse().unwrap_or_else(|_| {
+                    panic!("RLA_PCAP={other:?}: expected on|off|1|0 or a snaplen in bytes")
+                });
+                opts.enabled = true;
+                opts.snaplen = snaplen;
+            }
+        }
+    }
+    if let Some(v) = get("RLA_PCAP_DIR") {
+        opts.dir = PathBuf::from(v);
+    }
+    opts
 }
 
 /// Worker count for scenario sweeps: `RLA_JOBS` if set (floor 1),
@@ -634,6 +724,47 @@ mod tests {
     #[should_panic(expected = "non-negative percentage")]
     fn non_finite_bench_gate_is_rejected() {
         bench_gate_pct_from(|name| (name == "RLA_BENCH_GATE_PCT").then(|| "inf".to_string()));
+    }
+
+    #[test]
+    fn pcap_options_parse_from_a_variable_source() {
+        let off = pcap_options_from(|_| None);
+        assert!(!off.enabled);
+        assert_eq!(off.snaplen, telemetry::pcap::DEFAULT_SNAPLEN);
+        let on = pcap_options_from(|name| (name == "RLA_PCAP").then(|| "on".to_string()));
+        assert!(on.enabled);
+        let sized = pcap_options_from(|name| match name {
+            "RLA_PCAP" => Some("256".to_string()),
+            "RLA_PCAP_DIR" => Some("/tmp/caps".to_string()),
+            _ => None,
+        });
+        assert!(sized.enabled, "a snaplen enables capture");
+        assert_eq!(sized.snaplen, 256);
+        assert_eq!(sized.dir, PathBuf::from("/tmp/caps"));
+        // The default respects the knobs-unset CI environment.
+        if std::env::var("RLA_PCAP").is_err() {
+            assert!(!pcap_options().enabled);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_PCAP=")]
+    fn non_numeric_pcap_value_is_rejected_with_a_named_knob() {
+        pcap_options_from(|name| (name == "RLA_PCAP").then(|| "yes please".to_string()));
+    }
+
+    #[test]
+    fn progress_file_parses_and_sink_defaults_to_none() {
+        assert_eq!(progress_file_from(|_| None), None);
+        assert_eq!(
+            progress_file_from(|name| {
+                (name == "RLA_PROGRESS_FILE").then(|| "/tmp/hb.jsonl".to_string())
+            }),
+            Some(PathBuf::from("/tmp/hb.jsonl"))
+        );
+        if std::env::var("RLA_PROGRESS_FILE").is_err() {
+            assert!(progress_sink().is_none());
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! With `RLA_PROGRESS=1` each completed job prints a heartbeat line to
 //! stderr (events processed, per-job event rate, ETA for the batch) via
 //! [`telemetry::SweepProgress`] — stdout stays reserved for the result
-//! tables.
+//! tables. With `RLA_PROGRESS_FILE=<path>` each completion additionally
+//! appends a JSON heartbeat (case, seed, event rate, ETA) to that file,
+//! flushed per line, which is what `rla_top` follows during a sweep.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -21,9 +23,9 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
 
-use telemetry::SweepProgress;
+use telemetry::{JobMeta, SweepProgress};
 
-use crate::cli::{job_count, progress_enabled};
+use crate::cli::{job_count, progress_enabled, progress_sink};
 use crate::metrics::ScenarioResult;
 use crate::scenario::TreeScenario;
 
@@ -52,12 +54,20 @@ pub fn run_parallel_with_jobs(scenarios: Vec<TreeScenario>, jobs: usize) -> Vec<
         .iter()
         .map(|s| format!("{} {:?} seed {}", s.case.label(), s.gateway, s.seed))
         .collect();
+    // Structured identity for the JSONL heartbeat sink.
+    let metas: Vec<(String, u64)> = scenarios
+        .iter()
+        .map(|s| (s.case.label().to_string(), s.seed))
+        .collect();
 
     let queue: Mutex<VecDeque<(usize, TreeScenario)>> =
         Mutex::new(scenarios.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<thread::Result<ScenarioResult>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
-    let progress = SweepProgress::new(n, progress_enabled());
+    let mut progress = SweepProgress::new(n, progress_enabled());
+    if let Some(sink) = progress_sink() {
+        progress = progress.with_sink(sink);
+    }
 
     thread::scope(|scope| {
         for _ in 0..jobs {
@@ -69,7 +79,13 @@ pub fn run_parallel_with_jobs(scenarios: Vec<TreeScenario>, jobs: usize) -> Vec<
                 let started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| scenario.run()));
                 if let Ok(r) = &outcome {
-                    progress.job_finished(&labels[idx], r.trace_events, started.elapsed());
+                    let (case, seed) = &metas[idx];
+                    progress.job_finished_with(
+                        &labels[idx],
+                        Some(JobMeta { case, seed: *seed }),
+                        r.trace_events,
+                        started.elapsed(),
+                    );
                 }
                 *slots[idx].lock().expect("result slot poisoned") = Some(outcome);
             });

@@ -7,7 +7,9 @@
 //! the warmup, resets statistics (the paper discards the first 100 s),
 //! completes the run, and extracts per-flow rows.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use netsim::agent::Sink;
 use netsim::engine::Engine;
@@ -20,10 +22,11 @@ use baselines::{BackgroundConfig, BurstSource, PoissonFlowSource};
 use rla::{McastReceiver, PthreshPolicy, RlaConfig, RlaSender};
 
 use tcp_sack::{CcVariant, RenoSender, SenderStats, TcpConfig, TcpReceiver, TcpSender};
+use telemetry::pcap::PcapTracer;
 use telemetry::timeline::SeriesId;
 use telemetry::{ChannelSample, FlowProbe, FlowSample, RegistryExport, TimelineRecorder};
 
-use crate::cli::TelemetryOptions;
+use crate::cli::{PcapOptions, TelemetryOptions};
 use crate::events::{BackgroundLoad, EventCommand, ScenarioEvent};
 use crate::metrics::{RlaRow, ScenarioResult, TcpRow};
 use crate::tree::{build_tree, pps_to_bps, CongestionCase, TertiaryTree};
@@ -146,10 +149,36 @@ impl TreeScenario {
         self
     }
 
-    /// Build, run and measure.
+    /// Build, run and measure. When the `RLA_PCAP` knob is on, the run
+    /// additionally writes `<case>_<gateway>_seed<seed>.pcap` into the
+    /// capture directory — tracers observe and never feed back, so the
+    /// result (and every digest) is identical with capture on or off.
     pub fn run(&self) -> ScenarioResult {
+        let pcap = crate::cli::pcap_options();
+        assert!(
+            !pcap.enabled || self.shards == 1,
+            "RLA_PCAP requires RLA_SHARDS=1 (tracers are single-threaded)"
+        );
         let mut world = self.build();
-        world.run(self)
+        let tracer = if pcap.enabled {
+            Some(world.install_pcap(&pcap, &self.pcap_stem()))
+        } else {
+            None
+        };
+        let result = world.run(self);
+        if let Some(t) = tracer {
+            let mut t = t.borrow_mut();
+            let path = t.path().to_path_buf();
+            t.finish()
+                .unwrap_or_else(|e| panic!("RLA_PCAP: cannot write {}: {e}", path.display()));
+        }
+        result
+    }
+
+    /// The capture-file stem for this configuration (filesystem-safe,
+    /// unlike the paper-style case labels).
+    pub fn pcap_stem(&self) -> String {
+        format!("{:?}_{:?}_seed{}", self.case, self.gateway, self.seed)
     }
 
     /// Build the world without running it (used by tracing experiments).
@@ -663,6 +692,23 @@ impl ScenarioWorld {
         }
     }
 
+    /// Install a pcap export tracer: every `TxStart` event becomes one
+    /// capture record in `<dir>/<stem>.pcap`. The returned handle is also
+    /// held by the engine; borrow it after the run to [`finish`] and read
+    /// the record count. Panics with the knob named if the capture file
+    /// cannot be created — an export silently going missing would defeat
+    /// the point of asking for one.
+    ///
+    /// [`finish`]: PcapTracer::finish
+    pub fn install_pcap(&mut self, opts: &PcapOptions, stem: &str) -> Rc<RefCell<PcapTracer>> {
+        let path = opts.dir.join(format!("{stem}.pcap"));
+        let tracer = PcapTracer::create(&path, opts.snaplen)
+            .unwrap_or_else(|e| panic!("RLA_PCAP: cannot create {}: {e}", path.display()));
+        let tracer = Rc::new(RefCell::new(tracer));
+        self.engine.set_tracer(tracer.clone());
+        tracer
+    }
+
     /// Run warmup + measurement while sampling a per-flow timeline every
     /// `opts.sample_period`. Stepping `run_until` in period-sized
     /// increments processes exactly the same events at the same simulated
@@ -674,7 +720,44 @@ impl ScenarioWorld {
         scenario: &TreeScenario,
         opts: &TelemetryOptions,
     ) -> (ScenarioResult, TimelineRecorder) {
+        let rec = TimelineRecorder::new(opts.sample_period);
+        self.run_with_recorder(scenario, rec)
+    }
+
+    /// [`run_with_telemetry`] that additionally streams every sample to
+    /// `<dir>/<stem>.timeline.<ext>` as it is recorded (flushed per
+    /// line), so `tail -f` and `rla_top` follow the run live instead of
+    /// waiting for the end-of-run file write. The streamed file is
+    /// byte-identical to what [`TimelineRecorder::write_file`] would
+    /// produce afterwards — samples are recorded in render order.
+    ///
+    /// [`run_with_telemetry`]: Self::run_with_telemetry
+    pub fn run_with_telemetry_streamed(
+        &mut self,
+        scenario: &TreeScenario,
+        opts: &TelemetryOptions,
+        stem: &str,
+    ) -> (ScenarioResult, TimelineRecorder) {
         let mut rec = TimelineRecorder::new(opts.sample_period);
+        rec.stream_to(&opts.dir, stem, opts.format)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "RLA_TELEMETRY_DIR: cannot stream the timeline into {}: {e}",
+                    opts.dir.display()
+                )
+            });
+        let (result, mut rec) = self.run_with_recorder(scenario, rec);
+        rec.finish_stream()
+            .unwrap_or_else(|e| panic!("RLA_TELEMETRY_DIR: timeline stream failed: {e}"));
+        (result, rec)
+    }
+
+    /// Shared body of the telemetry runs: warmup, then sample + step.
+    fn run_with_recorder(
+        &mut self,
+        scenario: &TreeScenario,
+        mut rec: TimelineRecorder,
+    ) -> (ScenarioResult, TimelineRecorder) {
         let rla_series: Vec<SeriesId> = (0..self.rla_senders.len())
             .map(|i| rec.add_flow(format!("rla.{i}"), "rla"))
             .collect();

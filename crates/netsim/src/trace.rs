@@ -1,9 +1,11 @@
 //! Event tracing hooks.
 //!
 //! A [`Tracer`] observes packet-level events as the engine processes them —
-//! the simulator's analogue of smoltcp's pcap dumps. Experiments use it to
-//! record queue-occupancy time series (the paper's "buffer period"
-//! analysis) and drop patterns (the phase-effect demonstration).
+//! the simulator's analogue of smoltcp's pcap dumps (and the hook the
+//! `telemetry` crate's actual pcap exporter hangs off). Experiments use it
+//! to record queue-occupancy time series via `telemetry`'s
+//! `QueueSeriesTracer` (the paper's "buffer period" analysis), drop
+//! patterns (the phase-effect demonstration), and packet captures.
 
 use crate::id::{AgentId, ChannelId, NodeId};
 use crate::packet::Packet;
@@ -347,48 +349,6 @@ impl Tracer for LogTracer {
     }
 }
 
-/// Records the queue-length time series of a single channel: one `(time,
-/// length)` sample per change. Drives the buffer-period experiment (§3.1).
-#[derive(Debug)]
-pub struct QueueLengthTracer {
-    /// The channel being watched.
-    pub channel: ChannelId,
-    /// `(time, qlen)` samples, one per change.
-    pub samples: Vec<(SimTime, usize)>,
-    /// `(time, uid)` of every drop at the channel.
-    pub drops: Vec<(SimTime, u64)>,
-}
-
-impl QueueLengthTracer {
-    /// Watch `channel`.
-    pub fn new(channel: ChannelId) -> Self {
-        QueueLengthTracer {
-            channel,
-            samples: Vec::new(),
-            drops: Vec::new(),
-        }
-    }
-}
-
-impl Tracer for QueueLengthTracer {
-    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
-        match event {
-            TraceEvent::Enqueue { channel, qlen, .. }
-            | TraceEvent::TxStart { channel, qlen, .. }
-                if *channel == self.channel =>
-            {
-                self.samples.push((now, *qlen));
-            }
-            TraceEvent::Drop {
-                channel, packet, ..
-            } if *channel == self.channel => {
-                self.drops.push((now, packet.uid));
-            }
-            _ => {}
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,28 +496,5 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run().1.len(), 16, "canonical hex form is 16 digits");
-    }
-
-    #[test]
-    fn queue_tracer_filters_by_channel() {
-        let mut t = QueueLengthTracer::new(ChannelId(5));
-        let p = pkt();
-        t.trace(
-            SimTime::from_secs(1),
-            &TraceEvent::Enqueue {
-                channel: ChannelId(5),
-                packet: &p,
-                qlen: 3,
-            },
-        );
-        t.trace(
-            SimTime::from_secs(2),
-            &TraceEvent::Enqueue {
-                channel: ChannelId(6),
-                packet: &p,
-                qlen: 9,
-            },
-        );
-        assert_eq!(t.samples, vec![(SimTime::from_secs(1), 3)]);
     }
 }

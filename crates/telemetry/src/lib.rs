@@ -21,7 +21,17 @@
 //!   opaque.
 //! * [`progress`] — a thread-safe sweep heartbeat ([`SweepProgress`])
 //!   for worker pools: per-job event rate and an ETA, written line-wise
-//!   to stderr so tables on stdout stay clean.
+//!   to stderr so tables on stdout stay clean, with an optional JSONL
+//!   sink for machine consumers (`RLA_PROGRESS_FILE`).
+//! * [`pcap`] — a classic-libpcap exporter ([`PcapTracer`]): every
+//!   `TxStart` trace event becomes a capture record with synthetic
+//!   Ethernet/IPv4/TCP-or-UDP framing carrying the real sequence and
+//!   ack numbers, so a simulated run opens in Wireshark/tcpdump. A
+//!   hand-rolled [`PcapReader`] validates exports in tests.
+//! * [`tail`] + [`dash`] — the pieces of the `rla_top` live dashboard:
+//!   an incremental JSONL file tailer with a dependency-free flat-JSON
+//!   parser, and a [`Dashboard`] model rendering sparkline frames
+//!   painted by a diffing ANSI [`DiffScreen`].
 //!
 //! Everything here is strictly *observer-side*: nothing in this crate
 //! feeds back into simulation behaviour, so enabling or disabling
@@ -30,14 +40,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dash;
 pub mod flight;
+pub mod pcap;
 pub mod progress;
 pub mod registry;
+pub mod tail;
 pub mod timeline;
 
+pub use dash::{Dashboard, DiffScreen};
 pub use flight::{FlightDumpGuard, FlightEvent, FlightRecorder};
-pub use progress::SweepProgress;
+pub use pcap::{PcapReader, PcapTracer, PcapWriter};
+pub use progress::{JobMeta, SweepProgress};
 pub use registry::{CounterId, GaugeId, MetricValue, Registry, RegistryExport, Snapshot};
+pub use tail::JsonlTail;
 pub use timeline::{
-    ChannelSample, FlowProbe, FlowSample, TimelineFormat, TimelineRecorder, TimelineSeries,
+    ChannelSample, FlowProbe, FlowSample, QueueSeriesTracer, TimelineFormat, TimelineRecorder,
+    TimelineSeries,
 };

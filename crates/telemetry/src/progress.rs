@@ -7,14 +7,35 @@
 //! throughput so far — to **stderr**, keeping stdout clean for the
 //! result tables the binaries emit.
 //!
-//! All state is atomics; the only lock is around the single `eprintln!`
-//! (and writes to stderr are line-buffered anyway), so contention is
+//! Besides the human-facing stderr line, an optional machine-readable
+//! *sink* ([`with_sink`]) appends one JSON object per completed job —
+//! case, seed, events, event rate, ETA — flushed per line so a live
+//! consumer (`rla_top`, `tail -f`) sees each heartbeat as it happens.
+//! The `RLA_PROGRESS_FILE` knob in `experiments::cli` wires a file here.
+//!
+//! All state is atomics; the locks are around the single `eprintln!`
+//! (line-buffered anyway) and the sink write, so contention is
 //! negligible next to the seconds-long jobs it reports on.
 //!
 //! [`job_finished`]: SweepProgress::job_finished
+//! [`with_sink`]: SweepProgress::with_sink
 
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::timeline::json_escaped;
+
+/// Structured identity of a sweep job, carried into the JSONL heartbeat
+/// sink alongside the display label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobMeta<'a> {
+    /// The congestion case (or other sweep axis) label.
+    pub case: &'a str,
+    /// The run's RNG seed.
+    pub seed: u64,
+}
 
 /// Thread-safe progress/heartbeat reporter for a fixed-size batch of
 /// jobs. See the module docs.
@@ -25,6 +46,7 @@ pub struct SweepProgress {
     events: AtomicU64,
     started: Instant,
     enabled: bool,
+    sink: Option<Mutex<std::fs::File>>,
 }
 
 impl SweepProgress {
@@ -37,7 +59,16 @@ impl SweepProgress {
             events: AtomicU64::new(0),
             started: Instant::now(),
             enabled,
+            sink: None,
         }
+    }
+
+    /// Attach a JSONL heartbeat sink: one JSON object per completed job,
+    /// appended and flushed per line. Independent of `enabled` — the
+    /// stderr heartbeat is for humans, the sink for machines.
+    pub fn with_sink(mut self, sink: std::fs::File) -> Self {
+        self.sink = Some(Mutex::new(sink));
+        self
     }
 
     /// Jobs completed so far.
@@ -50,17 +81,34 @@ impl SweepProgress {
         self.events.load(Ordering::Relaxed)
     }
 
-    /// Record a completed job and (when enabled) print its heartbeat
-    /// line. `events` is the job's trace-event count, `wall` its
-    /// wall-clock duration.
+    /// Record a completed job: print the heartbeat line (when enabled)
+    /// and append the JSON heartbeat (when a sink is attached). `events`
+    /// is the job's trace-event count, `wall` its wall-clock duration.
     pub fn job_finished(&self, label: &str, events: u64, wall: Duration) {
+        self.job_finished_with(label, None, events, wall);
+    }
+
+    /// [`job_finished`](Self::job_finished) with the job's structured
+    /// identity for the JSONL sink.
+    pub fn job_finished_with(
+        &self,
+        label: &str,
+        meta: Option<JobMeta<'_>>,
+        events: u64,
+        wall: Duration,
+    ) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.events.fetch_add(events, Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
         if self.enabled {
-            eprintln!(
-                "{}",
-                self.render_line(label, events, wall, done, self.started.elapsed())
-            );
+            eprintln!("{}", self.render_line(label, events, wall, done, elapsed));
+        }
+        if let Some(sink) = &self.sink {
+            let line = self.render_json(label, meta, events, wall, done, elapsed);
+            let mut f = sink.lock().expect("progress sink poisoned");
+            // Ignore write errors: a dead sink must not kill a sweep
+            // hours in; the stderr heartbeat still reports.
+            let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
         }
     }
 
@@ -91,6 +139,54 @@ impl SweepProgress {
             wall.as_secs_f64(),
             rate / 1e6,
         )
+    }
+
+    /// The JSONL heartbeat object for one completed job (one line,
+    /// trailing newline included; testable like `render_line`).
+    fn render_json(
+        &self,
+        label: &str,
+        meta: Option<JobMeta<'_>>,
+        events: u64,
+        wall: Duration,
+        done: usize,
+        elapsed: Duration,
+    ) -> String {
+        use std::fmt::Write as _;
+        let rate = if wall.as_secs_f64() > 0.0 {
+            events as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let mut out = String::new();
+        let _ = write!(out, "{{\"job\":{done},\"total\":{}", self.total);
+        if let Some(m) = meta {
+            let _ = write!(
+                out,
+                ",\"case\":\"{}\",\"seed\":{}",
+                json_escaped(m.case),
+                m.seed
+            );
+        }
+        let _ = write!(
+            out,
+            ",\"label\":\"{}\",\"events\":{events},\"wall_secs\":{:.6},\"ev_per_s\":{:.1}",
+            json_escaped(label),
+            wall.as_secs_f64(),
+            rate
+        );
+        if done < self.total {
+            let per_job = elapsed.as_secs_f64() / done.max(1) as f64;
+            let _ = write!(
+                out,
+                ",\"eta_secs\":{:.1}",
+                per_job * (self.total - done) as f64
+            );
+        } else {
+            out.push_str(",\"eta_secs\":null");
+        }
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -134,6 +230,80 @@ mod tests {
         let p = SweepProgress::new(1, false);
         let line = p.render_line("x", 10, Duration::ZERO, 1, Duration::ZERO);
         assert!(line.contains("0.00M ev/s"), "{line}");
+        let json = p.render_json("x", None, 10, Duration::ZERO, 1, Duration::ZERO);
+        assert!(json.contains("\"ev_per_s\":0.0"), "{json}");
+    }
+
+    #[test]
+    fn json_heartbeat_carries_case_seed_rate_and_eta() {
+        let p = SweepProgress::new(4, false);
+        let json = p.render_json(
+            "L21 Red seed 3",
+            Some(JobMeta {
+                case: "L21",
+                seed: 3,
+            }),
+            2_000_000,
+            Duration::from_secs(2),
+            1,
+            Duration::from_secs(2),
+        );
+        assert!(json.ends_with("}\n"), "one line per job: {json:?}");
+        assert!(json.contains("\"job\":1,\"total\":4"), "{json}");
+        assert!(json.contains("\"case\":\"L21\",\"seed\":3"), "{json}");
+        assert!(json.contains("\"events\":2000000"), "{json}");
+        assert!(json.contains("\"ev_per_s\":1000000.0"), "{json}");
+        assert!(json.contains("\"eta_secs\":6.0"), "{json}");
+        // Final job: eta is null, not a number.
+        let last = p.render_json(
+            "x",
+            None,
+            1,
+            Duration::from_secs(1),
+            4,
+            Duration::from_secs(8),
+        );
+        assert!(last.contains("\"eta_secs\":null"), "{last}");
+        assert!(
+            !last.contains("\"case\""),
+            "meta omitted when unknown: {last}"
+        );
+    }
+
+    #[test]
+    fn json_heartbeat_escapes_labels() {
+        let p = SweepProgress::new(1, false);
+        let json = p.render_json(
+            "odd \"label\"\\x",
+            None,
+            1,
+            Duration::from_secs(1),
+            1,
+            Duration::from_secs(1),
+        );
+        assert!(json.contains(r#""label":"odd \"label\"\\x""#), "{json}");
+    }
+
+    #[test]
+    fn sink_receives_one_line_per_job() {
+        let dir = std::env::temp_dir().join("rla_progress_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heartbeat.jsonl");
+        let file = std::fs::File::create(&path).unwrap();
+        let p = SweepProgress::new(2, false).with_sink(file);
+        p.job_finished_with(
+            "a Red seed 1",
+            Some(JobMeta { case: "a", seed: 1 }),
+            100,
+            Duration::from_millis(10),
+        );
+        // Flushed per line: readable immediately, mid-sweep.
+        let mid = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(mid.lines().count(), 1, "{mid:?}");
+        p.job_finished("b", 200, Duration::from_millis(10));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text:?}");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]

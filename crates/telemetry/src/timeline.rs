@@ -12,11 +12,30 @@
 //! sample) or CSV (one wide row per sample, empty cells for fields a
 //! series does not have). Both formats share the column set, so a plot
 //! script can consume either.
+//!
+//! Two export modes:
+//!
+//! * buffered — [`TimelineRecorder::write_file`] renders everything at
+//!   the end of the run;
+//! * streaming — [`TimelineRecorder::stream_to`] opens the file up
+//!   front and appends+flushes one line per recorded sample, so `tail
+//!   -f` and the `rla_top` dashboard see samples as the run produces
+//!   them. Samples recorded in chronological order stream byte-identical
+//!   to the buffered render.
+//!
+//! [`QueueSeriesTracer`] bridges the engine's event stream into a
+//! recorder: one channel sample per queue-length *change* (enqueue or
+//! transmission start) rather than per sampling tick — the exact series
+//! the §3.1 buffer-period analysis segments.
 
-use std::io;
+use std::cell::RefCell;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
+use netsim::id::ChannelId;
 use netsim::time::{SimDuration, SimTime};
+use netsim::trace::{TraceEvent, Tracer};
 
 /// Export format for timeline files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,12 +112,25 @@ pub struct TimelineSeries {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeriesId(usize);
 
+/// Live-export state of a streaming recorder (see
+/// [`TimelineRecorder::stream_to`]).
+#[derive(Debug)]
+struct TimelineStream {
+    out: std::fs::File,
+    format: TimelineFormat,
+    path: PathBuf,
+    /// First I/O error, sticky — recording must not panic mid-run on a
+    /// full disk; the error surfaces from `finish_stream`.
+    error: Option<io::Error>,
+}
+
 /// Collects sampled series; see the module docs for the driving contract.
 #[derive(Debug)]
 pub struct TimelineRecorder {
     /// Sampling period (simulated time between ticks).
     pub period: SimDuration,
     series: Vec<TimelineSeries>,
+    stream: Option<TimelineStream>,
 }
 
 impl TimelineRecorder {
@@ -108,6 +140,80 @@ impl TimelineRecorder {
         TimelineRecorder {
             period,
             series: Vec::new(),
+            stream: None,
+        }
+    }
+
+    /// Switch the recorder to streaming export: open
+    /// `<dir>/<stem>.timeline.<ext>` now (creating `dir`), write the CSV
+    /// header if applicable, and from here on append+flush one line per
+    /// recorded sample — so a live `tail -f` (or `rla_top`) sees samples
+    /// as soon as they are recorded instead of at the end of the run.
+    /// Returns the path opened.
+    pub fn stream_to(
+        &mut self,
+        dir: &Path,
+        stem: &str,
+        format: TimelineFormat,
+    ) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.timeline.{}", format.extension()));
+        let mut out = std::fs::File::create(&path)?;
+        if format == TimelineFormat::Csv {
+            out.write_all(CSV_HEADER.as_bytes())?;
+            out.flush()?;
+        }
+        self.stream = Some(TimelineStream {
+            out,
+            format,
+            path: path.clone(),
+            error: None,
+        });
+        Ok(path)
+    }
+
+    /// Where the streaming export writes, if streaming is active.
+    pub fn stream_path(&self) -> Option<&Path> {
+        self.stream.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// Finish a streaming export: flush and close the file, surfacing
+    /// any I/O error recording swallowed. `Ok(None)` when the recorder
+    /// was not streaming. The in-memory series survive, so `render`
+    /// still works afterwards.
+    pub fn finish_stream(&mut self) -> io::Result<Option<PathBuf>> {
+        let Some(mut s) = self.stream.take() else {
+            return Ok(None);
+        };
+        if let Some(e) = s.error.take() {
+            return Err(e);
+        }
+        s.out.flush()?;
+        Ok(Some(s.path))
+    }
+
+    /// Append+flush one rendered sample line to the stream, if active.
+    fn stream_sample(&mut self, series_index: usize, t: SimTime, sample: &Sample) {
+        let Some(stream) = self.stream.as_mut() else {
+            return;
+        };
+        if stream.error.is_some() {
+            return;
+        }
+        let s = &self.series[series_index];
+        let mut line = String::new();
+        match stream.format {
+            TimelineFormat::Jsonl => render_jsonl(&mut line, t, &s.name, s.kind, sample),
+            TimelineFormat::Csv => render_csv(&mut line, t, &s.name, s.kind, sample),
+        }
+        // One write + flush per line: line-buffered semantics, so a
+        // concurrent reader never sees a torn line tail.
+        if let Err(e) = stream
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.out.flush())
+        {
+            stream.error = Some(e);
         }
     }
 
@@ -128,14 +234,16 @@ impl TimelineRecorder {
 
     /// Record one flow sample.
     pub fn record_flow(&mut self, id: SeriesId, now: SimTime, sample: FlowSample) {
-        self.series[id.0].samples.push((now, Sample::Flow(sample)));
+        let sample = Sample::Flow(sample);
+        self.series[id.0].samples.push((now, sample));
+        self.stream_sample(id.0, now, &sample);
     }
 
     /// Record one channel sample.
     pub fn record_channel(&mut self, id: SeriesId, now: SimTime, sample: ChannelSample) {
-        self.series[id.0]
-            .samples
-            .push((now, Sample::Channel(sample)));
+        let sample = Sample::Channel(sample);
+        self.series[id.0].samples.push((now, sample));
+        self.stream_sample(id.0, now, &sample);
     }
 
     /// The registered series.
@@ -161,7 +269,7 @@ impl TimelineRecorder {
 
         let mut out = String::new();
         if format == TimelineFormat::Csv {
-            out.push_str("t_secs,series,kind,cwnd,ssthresh,awnd,rtt_secs,qlen,red_avg\n");
+            out.push_str(CSV_HEADER);
         }
         for (t, si, pi) in rows {
             let s = &self.series[si];
@@ -186,6 +294,84 @@ impl TimelineRecorder {
         let path = dir.join(format!("{stem}.timeline.{}", format.extension()));
         std::fs::write(&path, self.render(format))?;
         Ok(path)
+    }
+}
+
+/// The CSV column header shared by buffered and streaming export.
+const CSV_HEADER: &str = "t_secs,series,kind,cwnd,ssthresh,awnd,rtt_secs,qlen,red_avg\n";
+
+/// Bridges the engine's [`Tracer`] event stream into a shared
+/// [`TimelineRecorder`]: records one channel sample per queue-length
+/// *change* at the watched channel (enqueue and transmission start, the
+/// two transitions that alter occupancy) and keeps the `(time, uid)` of
+/// every drop there. This is the event-driven replacement for the old
+/// `netsim::trace::QueueLengthTracer` — the same series, but landing in
+/// the standard timeline machinery so it exports/streams like any other
+/// series.
+#[derive(Debug)]
+pub struct QueueSeriesTracer {
+    channel: ChannelId,
+    series: SeriesId,
+    recorder: Rc<RefCell<TimelineRecorder>>,
+    /// `(time, uid)` of every drop at the watched channel.
+    pub drops: Vec<(SimTime, u64)>,
+}
+
+impl QueueSeriesTracer {
+    /// Watch `channel`, registering a channel series named `name` in
+    /// `recorder`.
+    pub fn new(
+        recorder: Rc<RefCell<TimelineRecorder>>,
+        channel: ChannelId,
+        name: impl Into<String>,
+    ) -> Self {
+        let series = recorder.borrow_mut().add_channel(name);
+        QueueSeriesTracer {
+            channel,
+            series,
+            recorder,
+            drops: Vec::new(),
+        }
+    }
+
+    /// The `(time, qlen)` change series recorded so far, extracted from
+    /// the shared recorder.
+    pub fn samples(&self) -> Vec<(SimTime, usize)> {
+        let rec = self.recorder.borrow();
+        rec.series()[self.series.0]
+            .samples
+            .iter()
+            .filter_map(|(t, s)| match s {
+                Sample::Channel(c) => Some((*t, c.qlen)),
+                Sample::Flow(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl Tracer for QueueSeriesTracer {
+    fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Enqueue { channel, qlen, .. }
+            | TraceEvent::TxStart { channel, qlen, .. }
+                if *channel == self.channel =>
+            {
+                self.recorder.borrow_mut().record_channel(
+                    self.series,
+                    now,
+                    ChannelSample {
+                        qlen: *qlen,
+                        red_avg: None,
+                    },
+                );
+            }
+            TraceEvent::Drop {
+                channel, packet, ..
+            } if *channel == self.channel => {
+                self.drops.push((now, packet.uid));
+            }
+            _ => {}
+        }
     }
 }
 
@@ -220,8 +406,9 @@ fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
 }
 
 /// JSON string-escape the characters our series names could smuggle into
-/// a JSONL record (quote, backslash, control characters).
-fn json_escaped(s: &str) -> std::borrow::Cow<'_, str> {
+/// a JSONL record (quote, backslash, control characters). Shared with the
+/// progress heartbeat sink, whose labels have the same provenance.
+pub(crate) fn json_escaped(s: &str) -> std::borrow::Cow<'_, str> {
     use std::fmt::Write as _;
     if !s
         .chars()
@@ -434,5 +621,143 @@ mod tests {
     #[should_panic(expected = "period")]
     fn zero_period_is_rejected() {
         TimelineRecorder::new(SimDuration::ZERO);
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rla_timeline_tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn streaming_is_readable_mid_run_line_by_line() {
+        let dir = temp_dir("midrun");
+        let mut r = TimelineRecorder::new(SimDuration::from_millis(500));
+        let f = r.add_flow("rla.0", "rla");
+        let path = r.stream_to(&dir, "live", TimelineFormat::Jsonl).unwrap();
+
+        // Nothing recorded yet: file exists and is empty.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+
+        r.record_flow(
+            f,
+            SimTime::from_secs(1),
+            FlowSample {
+                cwnd: 4.0,
+                ..Default::default()
+            },
+        );
+        // The defining property: the sample is on disk *now*, while the
+        // recorder is still live and more samples are coming.
+        let mid = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(mid.lines().count(), 1, "{mid:?}");
+        assert!(mid.ends_with('\n'), "no torn line tail: {mid:?}");
+        assert!(mid.contains("\"cwnd\":4"), "{mid}");
+
+        r.record_flow(
+            f,
+            SimTime::from_secs(2),
+            FlowSample {
+                cwnd: 5.0,
+                ..Default::default()
+            },
+        );
+        let finished = r.finish_stream().unwrap().expect("was streaming");
+        assert_eq!(finished, path);
+        // Chronologically-recorded samples stream byte-identical to the
+        // buffered render.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            r.render(TimelineFormat::Jsonl)
+        );
+    }
+
+    #[test]
+    fn streaming_csv_writes_header_up_front() {
+        let dir = temp_dir("csvhdr");
+        let mut r = TimelineRecorder::new(SimDuration::from_millis(500));
+        let c = r.add_channel("chan.L1");
+        let path = r.stream_to(&dir, "live", TimelineFormat::Csv).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), CSV_HEADER);
+        r.record_channel(
+            c,
+            SimTime::from_secs(1),
+            ChannelSample {
+                qlen: 3,
+                red_avg: None,
+            },
+        );
+        r.finish_stream().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            r.render(TimelineFormat::Csv)
+        );
+    }
+
+    #[test]
+    fn finish_stream_without_streaming_is_a_noop() {
+        let mut r = recorder_with_data();
+        assert!(r.stream_path().is_none());
+        assert!(r.finish_stream().unwrap().is_none());
+    }
+
+    #[test]
+    fn queue_series_tracer_records_changes_and_drops() {
+        use netsim::id::AgentId;
+        use netsim::packet::{Dest, Packet};
+        use netsim::queue::DropReason;
+        use netsim::wire::Segment;
+        let p = Packet {
+            uid: 9,
+            src: AgentId(0),
+            dest: Dest::Agent(AgentId(1)),
+            size_bytes: 1000,
+            segment: Segment::Raw,
+            sent_at: SimTime::ZERO,
+        };
+        let rec = Rc::new(RefCell::new(TimelineRecorder::new(
+            SimDuration::from_millis(500),
+        )));
+        let mut t = QueueSeriesTracer::new(Rc::clone(&rec), ChannelId(5), "chan.L1");
+        t.trace(
+            SimTime::from_secs(1),
+            &TraceEvent::Enqueue {
+                channel: ChannelId(5),
+                packet: &p,
+                qlen: 3,
+            },
+        );
+        // Other channels are ignored.
+        t.trace(
+            SimTime::from_secs(2),
+            &TraceEvent::Enqueue {
+                channel: ChannelId(6),
+                packet: &p,
+                qlen: 9,
+            },
+        );
+        t.trace(
+            SimTime::from_secs(3),
+            &TraceEvent::TxStart {
+                channel: ChannelId(5),
+                packet: &p,
+                qlen: 2,
+            },
+        );
+        t.trace(
+            SimTime::from_secs(4),
+            &TraceEvent::Drop {
+                channel: ChannelId(5),
+                packet: &p,
+                reason: DropReason::BufferOverflow,
+                qlen: 20,
+            },
+        );
+        assert_eq!(
+            t.samples(),
+            vec![(SimTime::from_secs(1), 3), (SimTime::from_secs(3), 2)]
+        );
+        assert_eq!(t.drops, vec![(SimTime::from_secs(4), 9)]);
+        assert_eq!(rec.borrow().sample_count(), 2, "drops are not samples");
     }
 }
