@@ -17,15 +17,18 @@
 //! recorded figure. CI uses `p = 5` to pin the telemetry-disabled hot
 //! path to the baseline.
 //!
-//! A second phase benches the domain-partitioned executor on the case-5
-//! 60 s scenario and writes `BENCH_engine_parallel.manifest.json`: the
-//! measured single-worker throughput plus the modeled aggregate at 2 and
-//! 4 shards. The model is a critical path over the recorded per-epoch
-//! domain loads — each epoch costs its most-loaded worker bucket (the
-//! barrier waits for it), so it is exact for the round-robin placement
-//! the engine uses and independent of how many cores the bench machine
-//! happens to have. The same gate percentage applies to this manifest's
-//! single-worker figure.
+//! A second phase benches the partitioned executor on the case-5 60 s
+//! scenario and writes `BENCH_engine_parallel.manifest.json`. The
+//! sequential figure (`events_per_sec`) is the merged-to-one-domain run
+//! — the `RLA_SHARDS=1` production path — whose measured per-region
+//! event counts then steer the cost-aware merge for the 2- and 4-domain
+//! runs. Each of those runs single-worker with per-epoch load recording
+//! armed, and the modeled aggregate is that run's measured throughput
+//! times a critical-path speedup over the recorded loads — each epoch
+//! costs its most-loaded worker bucket (the barrier waits for it), so
+//! the model is exact for the round-robin placement the engine uses and
+//! independent of how many cores the bench machine happens to have. The
+//! same gate percentage applies to this manifest's sequential figure.
 
 use std::time::Instant;
 
@@ -142,7 +145,7 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Phase 2: domain-partitioned executor on the case-5 scenario.
+    // Phase 2: partitioned executor on the case-5 scenario.
     // ------------------------------------------------------------------
     eprintln!(
         "perf_engine: case-5 drop-tail partitioned, {:.0} s simulated...",
@@ -152,22 +155,22 @@ fn main() {
         .with_gateway(GatewayKind::DropTail)
         .with_duration(duration)
         .with_seed(cli::base_seed());
+
+    // 2a: the RLA_SHARDS=1 production path — the merge pass collapses
+    // the fine partition into one domain, so this is the sequential
+    // figure the gate pins. The run also yields the measured per-region
+    // event counts that steer the cost-aware merge below.
     let scenario = spec.build().with_shards(1);
     let mut world = scenario.build();
-    world.engine.record_epoch_loads(true);
     let wall = Instant::now();
     let result = world.run(&scenario);
     let wall_secs = wall.elapsed().as_secs_f64();
 
-    let loads: Vec<Vec<u64>> = world
-        .engine
-        .epoch_loads()
-        .expect("inline partitioned run records epoch loads")
-        .to_vec();
+    let costs = world.engine.region_event_counts();
+    let regions = world.engine.region_count();
     let events = result.trace_events;
     let events_per_sec_seq = events as f64 / wall_secs;
-    let domains = world.engine.domain_count();
-    println!("domains            {domains:>12}");
+    println!("regions            {regions:>12}");
     println!("packet events      {events:>12}");
     println!("wall clock         {wall_secs:>12.2} s");
     println!("events / wall-sec  {events_per_sec_seq:>12.0}  (1 shard, measured)");
@@ -182,33 +185,59 @@ fn main() {
             format!("{:016x}", result.trace_digest).into(),
         ),
         ("trace_events", events.into()),
-        ("domains", (domains as u64).into()),
-        ("epochs", (loads.len() as u64).into()),
+        ("domains", (regions as u64).into()),
         ("wall_secs", wall_secs.into()),
         ("events_per_sec", events_per_sec_seq.into()),
     ];
-    for workers in [2usize, 4] {
-        let crit = critical_path_events(&loads, workers);
+
+    // 2b: cost-aware merges at 2 and 4 domains, run single-worker with
+    // load recording armed so the critical-path model can price the
+    // epoch barriers of a genuinely parallel run.
+    let mut epochs = 0u64;
+    for shards in [2usize, 4] {
+        let scenario = spec
+            .build()
+            .with_shards(shards)
+            .with_domain_costs(costs.clone());
+        let mut world = scenario.build();
+        world.engine.set_workers(1);
+        world.engine.record_epoch_loads(true);
+        let wall = Instant::now();
+        let result = world.run(&scenario);
+        let wall_secs = wall.elapsed().as_secs_f64();
+        assert_eq!(
+            result.trace_events, events,
+            "shard count changed the event count"
+        );
+        let loads: Vec<Vec<u64>> = world
+            .engine
+            .epoch_loads()
+            .expect("inline partitioned run records epoch loads")
+            .to_vec();
+        epochs = loads.len() as u64;
+        let rate = events as f64 / wall_secs;
+        let crit = critical_path_events(&loads, shards);
         let speedup = events as f64 / crit as f64;
-        let aggregate = events_per_sec_seq * speedup;
+        let aggregate = rate * speedup;
         println!(
-            "events / wall-sec  {aggregate:>12.0}  ({workers} shards, modeled, {speedup:.2}x)"
+            "events / wall-sec  {aggregate:>12.0}  ({shards} shards, modeled, {speedup:.2}x of {rate:.0})"
         );
         fields.push((
-            match workers {
+            match shards {
                 2 => "events_per_sec_2_shards",
                 _ => "events_per_sec_4_shards",
             },
             aggregate.into(),
         ));
         fields.push((
-            match workers {
+            match shards {
                 2 => "model_speedup_2_shards",
                 _ => "model_speedup_4_shards",
             },
             speedup.into(),
         ));
     }
+    fields.insert(7, ("epochs", epochs.into()));
     match write_manifest("BENCH_engine_parallel", &Json::obj(fields)) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("manifest: could not write BENCH_engine_parallel.manifest.json: {e}"),

@@ -23,11 +23,16 @@
 //! * `RLA_PROGRESS_FILE` — path of a JSONL heartbeat file: sweeps append
 //!   one JSON object per completed job (case, seed, events/s, ETA),
 //!   flushed per line so `rla_top` and `tail -f` follow it live.
-//! * `RLA_PCAP`, `RLA_PCAP_DIR` — packet-capture export: `RLA_PCAP=1`
-//!   (or a snaplen in bytes) makes single-scenario runs write a classic
-//!   libpcap file per run into `RLA_PCAP_DIR` (default: the results
-//!   dir), parsed into [`PcapOptions`] by [`pcap_options`]. Requires
-//!   `RLA_SHARDS=1` — tracers are single-threaded.
+//! * `RLA_PCAP`, `RLA_PCAP_DIR`, `RLA_PCAP_SPOOL` — packet-capture
+//!   export: `RLA_PCAP=1` (or a snaplen in bytes) makes single-scenario
+//!   runs write a classic libpcap file per run into `RLA_PCAP_DIR`
+//!   (default: the results dir), parsed into [`PcapOptions`] by
+//!   [`pcap_options`]. Requires `RLA_SHARDS=1` — tracers are
+//!   single-threaded — and the combination is rejected at parse time.
+//!   `RLA_PCAP_SPOOL=1` (or a chunk size in records) bounds the
+//!   tracer's in-memory buffer by spilling sorted chunks to disk, so
+//!   paper-length (3000 s) exports can't exhaust memory; the merged
+//!   output is byte-identical to the unspooled file.
 //! * `RLA_DIFF_THRESHOLD_PCT` — drift threshold for the `rla_diff`
 //!   manifest-comparison tool (percent; the `--threshold` flag wins).
 //! * `RLA_TCP_CC` — congestion controller for the background TCP flows
@@ -38,10 +43,12 @@
 //!   (default 0 — no cross traffic).
 //! * `RLA_EVENTS_FILE` — path to a JSON event schedule applied to each
 //!   run (see EXPERIMENTS.md for the format).
-//! * `RLA_SHARDS` — worker threads for the domain-partitioned engine
-//!   *within* one scenario run (default 1 — the epochs run inline on the
-//!   calling thread). Digests are identical at every value; this knob
-//!   trades wall-clock only.
+//! * `RLA_SHARDS` — target execution-domain count *and* worker threads
+//!   for the partitioned engine within one scenario run (default 1 —
+//!   the cost-aware merge pass collapses the fine θ-partition into a
+//!   single domain and the run dispatches down the classic sequential
+//!   loop with zero exchange overhead). Digests are identical at every
+//!   value; this knob trades wall-clock only.
 //!
 //! Any other variable in the `RLA_` namespace is rejected with the list
 //! of valid knobs ([`enforce_known_env`]), so typos fail loudly.
@@ -66,7 +73,7 @@ pub use crate::manifest::results_dir;
 /// [`enforce_known_env`] rejects anything else in the `RLA_` namespace so
 /// a typo (`RLA_DURATION=60`) fails loudly instead of silently running
 /// the 3000 s default.
-pub const KNOWN_ENV_VARS: [&str; 21] = [
+pub const KNOWN_ENV_VARS: [&str; 22] = [
     "RLA_DURATION_SECS",
     "RLA_SEED",
     "RLA_JOBS",
@@ -83,6 +90,7 @@ pub const KNOWN_ENV_VARS: [&str; 21] = [
     "RLA_PROGRESS_FILE",
     "RLA_PCAP",
     "RLA_PCAP_DIR",
+    "RLA_PCAP_SPOOL",
     "RLA_TELEMETRY",
     "RLA_TELEMETRY_SAMPLE_MS",
     "RLA_TELEMETRY_FORMAT",
@@ -202,6 +210,11 @@ pub struct PcapOptions {
     /// Directory capture files are written to (`RLA_PCAP_DIR`, default:
     /// the results dir).
     pub dir: PathBuf,
+    /// Spill-to-disk chunk size in records (`RLA_PCAP_SPOOL=1`/`on` for
+    /// the default chunk, or a record count; `None` — the default —
+    /// buffers the whole capture in memory). Bounds the tracer's memory
+    /// for paper-length exports; the merged file is byte-identical.
+    pub spool_records: Option<usize>,
 }
 
 impl Default for PcapOptions {
@@ -210,6 +223,7 @@ impl Default for PcapOptions {
             enabled: false,
             snaplen: telemetry::pcap::DEFAULT_SNAPLEN,
             dir: results_dir(),
+            spool_records: None,
         }
     }
 }
@@ -238,6 +252,37 @@ pub fn pcap_options_from(get: impl Fn(&str) -> Option<String>) -> PcapOptions {
     }
     if let Some(v) = get("RLA_PCAP_DIR") {
         opts.dir = PathBuf::from(v);
+    }
+    if let Some(v) = get("RLA_PCAP_SPOOL") {
+        match v.as_str() {
+            "1" | "on" | "true" => {
+                opts.spool_records = Some(telemetry::pcap::DEFAULT_SPOOL_RECORDS)
+            }
+            "0" | "off" | "" => opts.spool_records = None,
+            other => {
+                let records: usize = other.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "RLA_PCAP_SPOOL={other:?}: expected on|off|1|0 or a chunk size in records"
+                    )
+                });
+                assert!(
+                    records > 0,
+                    "RLA_PCAP_SPOOL=0 disables spooling; a chunk needs at least one record"
+                );
+                opts.spool_records = Some(records);
+            }
+        }
+    }
+    // Tracers are single-threaded observers wired into shard 0; reject
+    // the conflicting knob pair here, at parse time, instead of failing
+    // later inside tracer installation.
+    if opts.enabled {
+        let shards = shards_from(&get);
+        assert!(
+            shards == 1,
+            "RLA_PCAP with RLA_SHARDS={shards}: packet capture requires RLA_SHARDS=1 \
+             (tracers are single-threaded); drop one of the two knobs"
+        );
     }
     opts
 }
@@ -473,10 +518,13 @@ pub fn bench_gate_pct_from(get: impl Fn(&str) -> Option<String>) -> Option<f64> 
     })
 }
 
-/// Worker threads for the domain-partitioned engine within one scenario
-/// run: `RLA_SHARDS` (default 1 — the epoch executor runs inline). This
-/// knob never changes results: the partition, and with it every digest,
-/// is a pure function of the topology and the seed.
+/// Target execution-domain count and worker threads for the partitioned
+/// engine within one scenario run: `RLA_SHARDS` (default 1 — the merge
+/// pass collapses the fine θ-partition to a single domain and the run
+/// takes the classic sequential loop). This knob never changes results:
+/// the identity layer — per-region RNG streams and digest lanes — is a
+/// pure function of the topology and the seed, and only the execution
+/// grouping follows the target.
 pub fn shards() -> usize {
     enforce_known_env();
     shards_from(|name| std::env::var(name).ok())
@@ -751,6 +799,54 @@ mod tests {
     #[should_panic(expected = "RLA_PCAP=")]
     fn non_numeric_pcap_value_is_rejected_with_a_named_knob() {
         pcap_options_from(|name| (name == "RLA_PCAP").then(|| "yes please".to_string()));
+    }
+
+    #[test]
+    fn pcap_spool_parses_the_chunk_size_and_defaults_off() {
+        assert_eq!(pcap_options_from(|_| None).spool_records, None);
+        let on = pcap_options_from(|name| match name {
+            "RLA_PCAP" => Some("1".to_string()),
+            "RLA_PCAP_SPOOL" => Some("on".to_string()),
+            _ => None,
+        });
+        assert_eq!(
+            on.spool_records,
+            Some(telemetry::pcap::DEFAULT_SPOOL_RECORDS)
+        );
+        let sized = pcap_options_from(|name| match name {
+            "RLA_PCAP" => Some("1".to_string()),
+            "RLA_PCAP_SPOOL" => Some("4096".to_string()),
+            _ => None,
+        });
+        assert_eq!(sized.spool_records, Some(4096));
+        let off = pcap_options_from(|name| (name == "RLA_PCAP_SPOOL").then(|| "off".to_string()));
+        assert_eq!(off.spool_records, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_PCAP_SPOOL=")]
+    fn non_numeric_pcap_spool_is_rejected_with_a_named_knob() {
+        pcap_options_from(|name| (name == "RLA_PCAP_SPOOL").then(|| "lots".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "RLA_PCAP with RLA_SHARDS=4")]
+    fn pcap_with_multiple_shards_is_rejected_at_parse_time() {
+        pcap_options_from(|name| match name {
+            "RLA_PCAP" => Some("1".to_string()),
+            "RLA_SHARDS" => Some("4".to_string()),
+            _ => None,
+        });
+    }
+
+    #[test]
+    fn pcap_with_one_shard_passes_the_parse_time_check() {
+        let opts = pcap_options_from(|name| match name {
+            "RLA_PCAP" => Some("1".to_string()),
+            "RLA_SHARDS" => Some("1".to_string()),
+            _ => None,
+        });
+        assert!(opts.enabled);
     }
 
     #[test]

@@ -82,11 +82,19 @@ pub struct TreeScenario {
     /// Poisson short-flow background traffic sharing the tree's links
     /// (`None` for the static paper scenarios).
     pub bg_load: Option<BackgroundLoad>,
-    /// Worker threads for the domain-partitioned engine (the
-    /// `RLA_SHARDS` knob; default 1 — epochs run inline). The partition
-    /// itself is always on and is a pure function of the topology and
-    /// seed, so this setting never changes a digest — only wall-clock.
+    /// Target execution-domain count *and* worker threads for the
+    /// partitioned engine (the `RLA_SHARDS` knob; default 1 — the fine
+    /// θ-partition merges into one domain and the run dispatches down
+    /// the classic sequential loop with zero exchange overhead). The
+    /// identity layer — per-region RNG streams, uid tags and digest
+    /// lanes — is a pure function of the topology and seed, so this
+    /// setting never changes a digest — only wall-clock.
     pub shards: usize,
+    /// Measured per-region event counts steering the cost-aware merge
+    /// (`None` — the default — falls back to the engine's
+    /// bandwidth·fan-out estimate). Execution grouping only; digests
+    /// are identical with or without costs.
+    pub domain_costs: Option<Vec<u64>>,
 }
 
 impl TreeScenario {
@@ -112,6 +120,7 @@ impl TreeScenario {
             events: Vec::new(),
             bg_load: None,
             shards: crate::cli::shards(),
+            domain_costs: None,
         }
     }
 
@@ -141,11 +150,20 @@ impl TreeScenario {
         self
     }
 
-    /// Override the worker count for the partitioned engine (results are
-    /// identical at every value; see the `shards` field).
+    /// Override the target execution-domain and worker count for the
+    /// partitioned engine (results are identical at every value; see the
+    /// `shards` field).
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "at least one worker is required");
         self.shards = shards;
+        self
+    }
+
+    /// Steer the cost-aware merge with measured per-region event counts
+    /// (e.g. a previous run's `Engine::region_event_counts`; see the
+    /// `domain_costs` field).
+    pub fn with_domain_costs(mut self, costs: Vec<u64>) -> Self {
+        self.domain_costs = Some(costs);
         self
     }
 
@@ -191,13 +209,15 @@ impl TreeScenario {
         let tree = build_tree(&mut engine, self.case, &queue);
 
         // Partition along the link delays before any agent or event
-        // exists. The tree's 5 ms/100 ms propagation delays all clear the
-        // default threshold, so every gateway and leaf becomes its own
-        // conservative-lookahead domain; `shards` (the `RLA_SHARDS` knob)
-        // only picks how many worker threads walk those domains — the
-        // partition, the per-domain RNG streams and every digest are
-        // already fixed here.
-        engine.partition(None);
+        // exists. The fine θ-partition (the tree's 5 ms/100 ms propagation
+        // delays all clear the default threshold) fixes the identity layer
+        // — per-region RNG streams, uid tags and digest lanes — and the
+        // merge pass then coalesces those regions into `shards` execution
+        // domains, cutting the slowest links first subject to balanced
+        // event load. `shards` (the `RLA_SHARDS` knob) also picks how many
+        // worker threads walk the merged domains; identity never moves, so
+        // every digest is already fixed here regardless of the target.
+        engine.partition_merged(None, self.shards, self.domain_costs.as_deref());
         engine.set_workers(self.shards);
 
         // Multicast receiver nodes: every leaf, plus the G3 gateways for
@@ -702,8 +722,11 @@ impl ScenarioWorld {
     /// [`finish`]: PcapTracer::finish
     pub fn install_pcap(&mut self, opts: &PcapOptions, stem: &str) -> Rc<RefCell<PcapTracer>> {
         let path = opts.dir.join(format!("{stem}.pcap"));
-        let tracer = PcapTracer::create(&path, opts.snaplen)
-            .unwrap_or_else(|e| panic!("RLA_PCAP: cannot create {}: {e}", path.display()));
+        let tracer = match opts.spool_records {
+            Some(chunk) => PcapTracer::create_spooled(&path, opts.snaplen, chunk),
+            None => PcapTracer::create(&path, opts.snaplen),
+        }
+        .unwrap_or_else(|e| panic!("RLA_PCAP: cannot create {}: {e}", path.display()));
         let tracer = Rc::new(RefCell::new(tracer));
         self.engine.set_tracer(tracer.clone());
         tracer

@@ -20,13 +20,14 @@
 //! * **Partitioned** — after [`Engine::partition`] the event loop becomes
 //!   an epoch executor: every domain advances to the next absolute barrier
 //!   (a multiple of the [`DomainMap`] lookahead, see
-//!   [`crate::shard::grid_next`]), then boundary packets are
-//!   exchanged in the canonical *(arrival time, source domain, send
-//!   order)* order. With [`Engine::set_workers`] above 1 the domains run
-//!   on scoped threads; the digests are bit-identical at every worker
-//!   count and under any `run_until` stepping, because the partition, the
-//!   per-domain RNG streams and the exchange schedule depend only on the
-//!   topology, the seed and θ.
+//!   [`crate::shard::grid_next`]), then the epoch's boundary packets are
+//!   exchanged in one batch, each scheduled directly under its canonical
+//!   *(send epoch, source region, send order)* calendar key. With
+//!   [`Engine::set_workers`] above 1 the domains run on scoped threads;
+//!   the digests are bit-identical at every worker count and under any
+//!   `run_until` stepping, because the partition, the per-domain RNG
+//!   streams and the keyed exchange order depend only on the topology,
+//!   the seed and θ.
 //!
 //! Determinism: per-domain seeded RNGs, integer time, and FIFO
 //! tie-breaking in each calendar make runs bit-reproducible for a given
@@ -65,6 +66,10 @@ use crate::wire::Segment;
 struct AgentMeta {
     /// The node the agent is attached to.
     node: NodeId,
+    /// Local slot (within the owning shard's `regions`) of the agent's
+    /// region: the RNG stream, uid counter and digest lane its packets
+    /// charge against.
+    region: u32,
     /// Maximum of the uniform random per-packet processing delay added at
     /// send time (the paper's phase-effect eliminator, §3.1). Zero disables
     /// it.
@@ -76,51 +81,105 @@ struct AgentMeta {
     last_injection: SimTime,
 }
 
+/// One conservative-lookahead *region*'s identity state. Regions are the
+/// components of the fine θ-partition — a pure function of the topology,
+/// the seed and θ, never of the shard count — and each owns the RNG
+/// stream, uid counter, digest lane and boundary-send counter for its
+/// nodes. Execution domains ([`DomainShard`]) group one or more regions
+/// (the cost-aware merge pass), so merging never moves a random draw, a
+/// uid or a digest record from one stream to another: digests stay
+/// bit-identical at every shard count.
+struct RegionStream {
+    /// Global region id (index into the fine partition).
+    id: u32,
+    rng: StdRng,
+    next_uid: u64,
+    /// High bits stamped onto this region's packet uids so uids stay
+    /// globally unique without cross-region coordination. Zero for the
+    /// unpartitioned engine (uids identical to the classic counter).
+    uid_tag: u64,
+    /// Always-on fingerprint of this region's packet-event stream (see
+    /// [`TraceDigest`]); merged across regions in region order by
+    /// [`World::trace_digest`].
+    digest: TraceDigest,
+    /// Send-order counter for this region's cross-region packets within
+    /// the current θ-grid epoch: the low component of the canonical
+    /// boundary key. Reset at each epoch barrier — same-instant ties
+    /// across epochs are already separated by the key's epoch bits.
+    boundary_seq: u64,
+}
+
+impl RegionStream {
+    fn new(id: u32, rng: StdRng, uid_tag: u64) -> Self {
+        RegionStream {
+            id,
+            rng,
+            next_uid: 0,
+            uid_tag,
+            digest: TraceDigest::new(),
+            boundary_seq: 0,
+        }
+    }
+
+    fn alloc_uid(&mut self) -> u64 {
+        let uid = self.uid_tag | self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+}
+
 /// The read-only half of the world: topology, routing, groups and the
 /// domain partition. During a run every domain reads this concurrently;
 /// it is only mutated between runs (topology growth, group churn).
 pub struct Shared {
     nodes: Vec<Node>,
     groups: Vec<Group>,
-    /// The base RNG seed; per-domain streams derive from it.
+    /// The base RNG seed; per-region streams derive from it.
     seed: u64,
-    /// The domain partition (trivial single-domain until
-    /// [`Engine::partition`]).
+    /// The fine θ-partition: the *regions* that own RNG/uid/digest
+    /// identity. A pure function of the topology, the seed and θ. Its
+    /// lookahead is the exchange grid at every shard count.
+    regions: DomainMap,
+    /// The execution partition (regions coalesced by the cost-aware merge
+    /// pass): one [`DomainShard`] per execution domain. Equal to `regions`
+    /// for the classic fine partition.
     dmap: DomainMap,
-    /// Global channel id → (owning domain, index within that domain). A
-    /// channel belongs to the domain of its `from` node — the only domain
+    /// Global region id → (owning shard, slot within that shard's
+    /// `regions`).
+    region_loc: Vec<(u32, u32)>,
+    /// Global node id → local region slot within its owning shard.
+    node_region_slot: Vec<u32>,
+    /// Global channel id → (owning shard, index within that shard). A
+    /// channel belongs to the shard of its `from` node — the only shard
     /// that ever transmits on it.
     chan_loc: Vec<(u32, u32)>,
-    /// Global agent id → (home domain, index within that domain).
+    /// Global agent id → (home shard, index within that shard).
     agent_loc: Vec<(u32, u32)>,
     /// Global agent id → home node (read from any domain when routing
     /// unicast traffic toward the agent).
     agent_nodes: Vec<NodeId>,
 }
 
-/// Everything one domain mutates while it runs: its slice of simulated
-/// time, calendar, RNG stream, channels, packet arena and trace digest.
+/// Everything one execution domain mutates while it runs: its slice of
+/// simulated time, calendar, channels, packet arena, and the identity
+/// streams of the regions it executes.
 pub struct DomainShard {
-    /// This shard's domain index.
+    /// This shard's execution-domain index.
     domain: u32,
     now: SimTime,
     calendar: Calendar,
-    rng: StdRng,
     channels: Vec<Channel>,
+    /// Local region slot per channel (parallel to `channels`): the region
+    /// of the channel's `from` node.
+    chan_region: Vec<u32>,
     agent_meta: Vec<AgentMeta>,
-    next_uid: u64,
-    /// High bits stamped onto this domain's packet uids so uids stay
-    /// globally unique without cross-domain coordination. Zero for the
-    /// unpartitioned engine (uids identical to the classic counter).
-    uid_tag: u64,
-    /// Always-on fingerprint of this domain's packet-event stream (see
-    /// [`TraceDigest`]); merged across domains by
-    /// [`World::trace_digest`].
-    digest: TraceDigest,
+    /// Identity streams of the regions executed here, ordered by global
+    /// region id.
+    regions: Vec<RegionStream>,
     /// Every in-flight packet's single home; events and queues hold
     /// [`PacketHandle`]s into it.
     arena: PacketArena,
-    /// Packets that crossed out of this domain since the last epoch
+    /// Packets that crossed out of this shard since the last epoch
     /// barrier, in send order.
     outbox: Vec<BoundaryMsg>,
     /// Reusable buffers for multicast fan-out (avoids a pair of Vec
@@ -130,17 +189,15 @@ pub struct DomainShard {
 }
 
 impl DomainShard {
-    fn new(domain: u32, rng: StdRng, uid_tag: u64) -> Self {
+    fn new(domain: u32) -> Self {
         DomainShard {
             domain,
             now: SimTime::ZERO,
             calendar: Calendar::new(),
-            rng,
             channels: Vec::new(),
+            chan_region: Vec::new(),
             agent_meta: Vec::new(),
-            next_uid: 0,
-            uid_tag,
-            digest: TraceDigest::new(),
+            regions: Vec::new(),
             arena: PacketArena::new(),
             outbox: Vec::new(),
             fwd_scratch: Vec::new(),
@@ -148,20 +205,37 @@ impl DomainShard {
         }
     }
 
-    fn alloc_uid(&mut self) -> u64 {
-        let uid = self.uid_tag | self.next_uid;
-        self.next_uid += 1;
-        uid
+    /// Total events recorded across this shard's region digests.
+    fn events(&self) -> u64 {
+        self.regions.iter().map(|r| r.digest.events()).sum()
     }
 
-    /// Schedule an incoming boundary packet. Called in the canonical
-    /// exchange order, which fixes the calendar sequence numbers — and
-    /// therefore same-instant FIFO dispatch — independently of worker
-    /// count.
+    /// Enter a θ-grid epoch: stamp the calendar and restart each region's
+    /// per-epoch boundary send counter. Re-entering the same epoch (a
+    /// `run_until` that stopped mid-epoch) is a no-op so the counters
+    /// continue where they left off.
+    fn begin_epoch(&mut self, epoch: u64) {
+        if self.calendar.epoch() == epoch {
+            return;
+        }
+        self.calendar.set_epoch(epoch);
+        for r in &mut self.regions {
+            r.boundary_seq = 0;
+        }
+    }
+
+    /// Deliver an incoming boundary packet: it enters this shard's arena
+    /// and goes straight into the calendar under its canonical
+    /// *(send epoch, source region, send order)* key — the key alone fixes
+    /// its same-instant dispatch position, so neither the insertion
+    /// sequence (nondeterministic under the threaded exchange) nor the
+    /// shard count can perturb the order.
     fn accept_boundary(&mut self, msg: BoundaryMsg) {
         let handle = self.arena.insert(msg.packet);
-        self.calendar.schedule(
+        self.calendar.schedule_boundary(
             msg.at,
+            msg.region,
+            msg.seq,
             EventKind::Arrive {
                 node: msg.node,
                 packet: handle,
@@ -186,17 +260,26 @@ pub struct World {
 
 impl World {
     fn new(seed: u64) -> Self {
+        let mut shard0 = DomainShard::new(0);
+        // The unpartitioned engine is one region with the classic stream:
+        // seeded straight from the base seed, uid tag zero.
+        shard0
+            .regions
+            .push(RegionStream::new(0, StdRng::seed_from_u64(seed), 0));
         World {
             shared: Shared {
                 nodes: Vec::new(),
                 groups: Vec::new(),
                 seed,
+                regions: DomainMap::single(),
                 dmap: DomainMap::single(),
+                region_loc: vec![(0, 0)],
+                node_region_slot: Vec::new(),
                 chan_loc: Vec::new(),
                 agent_loc: Vec::new(),
                 agent_nodes: Vec::new(),
             },
-            shards: vec![DomainShard::new(0, StdRng::seed_from_u64(seed), 0)],
+            shards: vec![shard0],
             tracer: None,
             workers: 1,
             epoch_loads: None,
@@ -247,25 +330,36 @@ impl World {
         &self.shared.groups[group.index()].members
     }
 
-    /// The domain-0 simulation RNG. A partitioned world runs one
-    /// independent stream per domain; out-of-band draws (topology
-    /// construction, test scaffolding) use domain 0's.
+    /// The region-0 simulation RNG. A partitioned world runs one
+    /// independent stream per region; out-of-band draws (topology
+    /// construction, test scaffolding, scenario dynamics) use region 0's.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.shards[0].rng
+        // Region 0 always lives in shard 0, slot 0: both numberings start
+        // at node 0.
+        &mut self.shards[0].regions[0].rng
     }
 
     /// The merged digest of every packet event processed so far: the
-    /// per-domain digests folded in domain order. For an unpartitioned
-    /// world this is exactly the single domain's digest.
+    /// per-region digests folded in global region order. For a
+    /// single-region world this is exactly that region's digest. The fold
+    /// order — and every lane in it — depends only on the topology, the
+    /// seed and θ, so the result is bit-identical at every shard and
+    /// worker count.
     pub fn trace_digest(&self) -> TraceDigest {
-        if self.shards.len() == 1 {
-            return self.shards[0].digest.clone();
+        if self.shared.region_loc.len() == 1 {
+            return self.shards[0].regions[0].digest.clone();
         }
         let mut merged = TraceDigest::new();
-        for shard in &self.shards {
-            merged.absorb(&shard.digest);
+        for &(s, slot) in &self.shared.region_loc {
+            merged.absorb(&self.shards[s as usize].regions[slot as usize].digest);
         }
         merged
+    }
+
+    /// Number of regions (components of the fine θ-partition; 1 until
+    /// [`Engine::partition`]).
+    pub fn region_count(&self) -> usize {
+        self.shared.region_loc.len()
     }
 
     /// The domain-0 packet arena (diagnostics: live packet population,
@@ -319,23 +413,29 @@ impl<'w> Context<'w> {
     }
 
     /// The simulation RNG (the *only* randomness source agents may use);
-    /// this domain's stream.
+    /// this agent's region stream.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.shard.rng
+        let r = self.shard.agent_meta[self.agent_local].region as usize;
+        &mut self.shard.regions[r].rng
     }
 
     /// Send a packet. It enters the network at this agent's node, after the
     /// agent's configured random processing overhead (if any). Returns the
     /// packet uid.
     pub fn send(&mut self, dest: Dest, size_bytes: u32, segment: Segment) -> u64 {
-        let uid = self.shard.alloc_uid();
         let meta = &self.shard.agent_meta[self.agent_local];
         let node = meta.node;
         let overhead = meta.send_overhead;
+        let region = meta.region as usize;
+        let uid = self.shard.regions[region].alloc_uid();
         let delay = if overhead.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(self.shard.rng.gen_range(0..=overhead.as_nanos()))
+            SimDuration::from_nanos(
+                self.shard.regions[region]
+                    .rng
+                    .gen_range(0..=overhead.as_nanos()),
+            )
         };
         // Order-preserving jitter: never inject before a previously sent
         // packet of the same agent.
@@ -477,6 +577,7 @@ impl<'a> DomainRun<'a> {
     fn offer(&mut self, channel: ChannelId, handle: PacketHandle) {
         let li = self.chan_index(channel);
         let shard = &mut *self.shard;
+        let rslot = shard.chan_region[li] as usize;
         let now = shard.now;
         let (uid, is_data) = {
             let p = shard.arena.get(handle);
@@ -486,12 +587,16 @@ impl<'a> DomainRun<'a> {
         ch.stats.offered += 1;
 
         if let Some(fault) = ch.fault.as_mut() {
-            if fault.should_drop(is_data, &mut shard.rng) {
+            if fault.should_drop(is_data, &mut shard.regions[rslot].rng) {
                 ch.stats.record_drop(crate::queue::DropReason::Fault);
                 let qlen = ch.queue.len();
-                shard
-                    .digest
-                    .record_drop(now, channel, uid, crate::queue::DropReason::Fault, qlen);
+                shard.regions[rslot].digest.record_drop(
+                    now,
+                    channel,
+                    uid,
+                    crate::queue::DropReason::Fault,
+                    qlen,
+                );
                 if self.tracer.is_some() {
                     self.trace(&TraceEvent::Drop {
                         channel,
@@ -511,12 +616,14 @@ impl<'a> DomainRun<'a> {
             ch.stats.accepted += 1;
             self.start_tx(channel, handle);
         } else {
-            match ch.queue.enqueue(handle, now, &mut shard.rng) {
+            match ch.queue.enqueue(handle, now, &mut shard.regions[rslot].rng) {
                 Enqueue::Accepted => {
                     ch.stats.accepted += 1;
                     let qlen = ch.queue.len();
                     ch.stats.record_qlen(now, qlen);
-                    shard.digest.record_enqueue(now, channel, uid, qlen);
+                    shard.regions[rslot]
+                        .digest
+                        .record_enqueue(now, channel, uid, qlen);
                     if self.tracer.is_some() {
                         self.trace(&TraceEvent::Enqueue {
                             channel,
@@ -528,7 +635,9 @@ impl<'a> DomainRun<'a> {
                 Enqueue::Dropped(handle, reason) => {
                     ch.stats.record_drop(reason);
                     let qlen = ch.queue.len();
-                    shard.digest.record_drop(now, channel, uid, reason, qlen);
+                    shard.regions[rslot]
+                        .digest
+                        .record_drop(now, channel, uid, reason, qlen);
                     if self.tracer.is_some() {
                         self.trace(&TraceEvent::Drop {
                             channel,
@@ -547,6 +656,7 @@ impl<'a> DomainRun<'a> {
     fn start_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
         let li = self.chan_index(channel);
         let shard = &mut *self.shard;
+        let rslot = shard.chan_region[li] as usize;
         let now = shard.now;
         let (uid, size_bytes) = {
             let p = shard.arena.get(handle);
@@ -558,7 +668,9 @@ impl<'a> DomainRun<'a> {
         let service = ch.service_time(size_bytes);
         ch.stats.record_tx_begin(now);
         let qlen = ch.queue.len();
-        shard.digest.record_tx_start(now, channel, uid, qlen);
+        shard.regions[rslot]
+            .digest
+            .record_tx_start(now, channel, uid, qlen);
         if self.tracer.is_some() {
             self.trace(&TraceEvent::TxStart {
                 channel,
@@ -576,12 +688,20 @@ impl<'a> DomainRun<'a> {
     }
 
     /// The transmitter on `channel` finished serializing the packet. This
-    /// is the only place a packet can leave its domain: when the arrival
-    /// node lives elsewhere, the packet moves to the outbox instead of the
-    /// local calendar, to be exchanged at the next epoch barrier.
+    /// is the only place a packet can leave its region. An intra-region
+    /// hop schedules the arrival directly (the classic path). A
+    /// cross-region hop takes the canonical boundary path — keyed by its
+    /// send epoch, source region and send order — either scheduled
+    /// straight into this shard's calendar (same execution domain; the
+    /// arena handle is kept, no copy) or moved to the outbox for the
+    /// barrier exchange (different shard). The key is a total order
+    /// independent of the insertion path, so both roads dispatch the
+    /// arrival at exactly the same position and the merge pass never
+    /// changes an event sequence.
     fn complete_tx(&mut self, channel: ChannelId, handle: PacketHandle) {
         let li = self.chan_index(channel);
         let shard = &mut *self.shard;
+        let rslot = shard.chan_region[li] as usize;
         let now = shard.now;
         let size_bytes = shard.arena.get(handle).size_bytes;
         let ch = &mut shard.channels[li];
@@ -590,7 +710,8 @@ impl<'a> DomainRun<'a> {
         ch.stats.bytes_transmitted += size_bytes as u64;
         let to = ch.to;
         let delay = ch.prop_delay;
-        if self.shared.dmap.domain_of(to) == shard.domain {
+        let src_region = shard.regions[rslot].id;
+        if self.shared.regions.domain_of(to) == src_region {
             shard.calendar.schedule(
                 now + delay,
                 EventKind::Arrive {
@@ -599,12 +720,32 @@ impl<'a> DomainRun<'a> {
                 },
             );
         } else {
-            let packet = shard.arena.remove(handle);
-            shard.outbox.push(BoundaryMsg {
-                at: now + delay,
-                node: to,
-                packet,
-            });
+            let seq = {
+                let r = &mut shard.regions[rslot];
+                let s = r.boundary_seq;
+                r.boundary_seq += 1;
+                s
+            };
+            if self.shared.dmap.domain_of(to) == shard.domain {
+                shard.calendar.schedule_boundary(
+                    now + delay,
+                    src_region,
+                    seq,
+                    EventKind::Arrive {
+                        node: to,
+                        packet: handle,
+                    },
+                );
+            } else {
+                let packet = shard.arena.remove(handle);
+                shard.outbox.push(BoundaryMsg {
+                    at: now + delay,
+                    node: to,
+                    packet,
+                    region: src_region,
+                    seq,
+                });
+            }
         }
 
         // Pull the next packet out of the buffer, if any.
@@ -622,7 +763,10 @@ impl<'a> DomainRun<'a> {
             let p = self.shard.arena.get(handle);
             (p.uid, p.dest)
         };
-        self.shard.digest.record_arrive(self.shard.now, node, uid);
+        let rslot = self.shared.node_region_slot[node.index()] as usize;
+        self.shard.regions[rslot]
+            .digest
+            .record_arrive(self.shard.now, node, uid);
         if self.tracer.is_some() {
             self.trace(&TraceEvent::Arrive {
                 node,
@@ -694,7 +838,11 @@ impl<'a> DomainRun<'a> {
 
     fn deliver(&mut self, agent: AgentId, handle: PacketHandle) {
         let uid = self.shard.arena.get(handle).uid;
-        self.shard.digest.record_deliver(self.shard.now, agent, uid);
+        let local = self.agent_index(agent);
+        let rslot = self.shard.agent_meta[local].region as usize;
+        self.shard.regions[rslot]
+            .digest
+            .record_deliver(self.shard.now, agent, uid);
         if self.tracer.is_some() {
             self.trace(&TraceEvent::Deliver {
                 agent,
@@ -702,7 +850,6 @@ impl<'a> DomainRun<'a> {
             });
         }
         let packet = self.shard.arena.remove(handle);
-        let local = self.agent_index(agent);
         let mut ctx = Context {
             shared: self.shared,
             shard: &mut *self.shard,
@@ -765,9 +912,11 @@ impl Engine {
     /// links whose propagation delay is at least `theta` (default: the
     /// smallest positive link delay — the finest partition the delays
     /// admit; see [`DomainMap::partition`]). Returns the domain count.
+    /// Every region becomes its own execution domain; see
+    /// [`Engine::partition_merged`] for the cost-aware coalesced form.
     ///
     /// Existing channels, agents and their metadata are redistributed to
-    /// their domains; per-domain RNG streams are derived from the base
+    /// their domains; per-region RNG streams are derived from the base
     /// seed. The partition — and with it every digest the engine will
     /// produce — is a pure function of the topology, the seed and θ,
     /// never of the worker count.
@@ -777,6 +926,42 @@ impl Engine {
     /// the world before starting agents), or if the engine is already
     /// partitioned.
     pub fn partition(&mut self, theta: Option<SimDuration>) -> usize {
+        self.do_partition(theta, None, None)
+    }
+
+    /// Cost-aware merged partition: compute the fine θ-partition (the
+    /// *regions*, which keep their own RNG/uid/digest identity exactly as
+    /// under [`Engine::partition`]), then coalesce regions into at most
+    /// `target` execution domains along the fastest cut links, balancing
+    /// the per-domain load estimate `costs` (one weight per region;
+    /// defaults to each region's outbound `bandwidth · fan-out` when
+    /// `None`). Returns the execution-domain count.
+    ///
+    /// `target = 1` collapses the run to a single shard with zero
+    /// exchange overhead — intra-region hops take the classic direct
+    /// path, cross-region hops defer to a per-barrier batch flush in the
+    /// same arena. Digests are bit-identical at every `target`, because
+    /// the identity layer (regions) never depends on it.
+    pub fn partition_merged(
+        &mut self,
+        theta: Option<SimDuration>,
+        target: usize,
+        costs: Option<&[u64]>,
+    ) -> usize {
+        assert!(target >= 1, "at least one execution domain is required");
+        self.do_partition(theta, Some(target), costs)
+    }
+
+    fn do_partition(
+        &mut self,
+        theta: Option<SimDuration>,
+        target: Option<usize>,
+        costs: Option<&[u64]>,
+    ) -> usize {
+        assert!(
+            !self.world.shared.regions.is_partitioned(),
+            "the engine is already partitioned"
+        );
         assert_eq!(
             self.world.shards.len(),
             1,
@@ -794,28 +979,75 @@ impl Engine {
             .iter()
             .map(|ch| (ch.from, ch.to, ch.prop_delay))
             .collect();
-        let dmap = DomainMap::partition(self.world.shared.nodes.len(), &links, theta);
-        let domains = dmap.domains();
-        if !dmap.is_partitioned() {
-            self.world.shared.dmap = dmap;
+        let node_count = self.world.shared.nodes.len();
+        let regions = DomainMap::partition(node_count, &links, theta);
+        if !regions.is_partitioned() {
+            self.world.shared.regions = DomainMap::single();
+            self.world.shared.dmap = DomainMap::single();
             return 1;
         }
+        let r_count = regions.domains();
+
+        // The execution partition: regions coalesced toward the target
+        // shard count (or the identity when no target was given).
+        let dmap = match target {
+            None => regions.clone(),
+            Some(t) => {
+                let default_costs;
+                let costs = match costs {
+                    Some(c) => c,
+                    None => {
+                        // Bandwidth·fan-out estimate: each region's event
+                        // load scales with the aggregate outbound link
+                        // rate of its nodes (links driven at capacity).
+                        let mut w = vec![1u64; r_count];
+                        for ch in &self.world.shards[0].channels {
+                            let r = regions.domain_of(ch.from) as usize;
+                            w[r] = w[r].saturating_add(1 + ch.bandwidth_bps / 1_000_000);
+                        }
+                        default_costs = w;
+                        &default_costs
+                    }
+                };
+                regions.merged(&links, t, Some(costs))
+            }
+        };
+        let e_count = dmap.domains();
 
         let seed = self.world.shared.seed;
-        let mut shards: Vec<DomainShard> = (0..domains as u32)
-            .map(|d| {
-                DomainShard::new(
-                    d,
-                    StdRng::seed_from_u64(domain_seed(seed, d)),
-                    (d as u64) << 48,
-                )
-            })
+        let mut shards: Vec<DomainShard> = (0..e_count as u32).map(DomainShard::new).collect();
+        let mut agents: Vec<Vec<Box<dyn Agent>>> = (0..e_count).map(|_| Vec::new()).collect();
+
+        // Region identity streams: region r keeps the same derived seed
+        // and uid tag at every execution grouping. Slots within a shard
+        // are ordered by global region id.
+        let mut exec_of_region = vec![u32::MAX; r_count];
+        for n in 0..node_count {
+            let r = regions.domain_of(NodeId::from(n)) as usize;
+            let e = dmap.domain_of(NodeId::from(n));
+            if exec_of_region[r] == u32::MAX {
+                exec_of_region[r] = e;
+            } else {
+                debug_assert_eq!(exec_of_region[r], e, "region split across shards");
+            }
+        }
+        let mut region_loc = vec![(0u32, 0u32); r_count];
+        for (r, &e) in exec_of_region.iter().enumerate() {
+            let shard = &mut shards[e as usize];
+            region_loc[r] = (e, shard.regions.len() as u32);
+            shard.regions.push(RegionStream::new(
+                r as u32,
+                StdRng::seed_from_u64(domain_seed(seed, r as u32)),
+                (r as u64) << 48,
+            ));
+        }
+        let node_region_slot: Vec<u32> = (0..node_count)
+            .map(|n| region_loc[regions.domain_of(NodeId::from(n)) as usize].1)
             .collect();
-        let mut agents: Vec<Vec<Box<dyn Agent>>> = (0..domains).map(|_| Vec::new()).collect();
 
         let mut old = std::mem::take(&mut self.world.shards);
         let old_shard = old.pop().expect("one shard before partition");
-        // Channels move to the domain of their upstream node, in global id
+        // Channels move to the shard of their upstream node, in global id
         // order, so local indices are reproducible.
         for (ch, loc) in old_shard
             .channels
@@ -823,27 +1055,35 @@ impl Engine {
             .zip(self.world.shared.chan_loc.iter_mut())
         {
             let d = dmap.domain_of(ch.from);
-            *loc = (d, shards[d as usize].channels.len() as u32);
-            shards[d as usize].channels.push(ch);
+            let shard = &mut shards[d as usize];
+            *loc = (d, shard.channels.len() as u32);
+            shard
+                .chan_region
+                .push(region_loc[regions.domain_of(ch.from) as usize].1);
+            shard.channels.push(ch);
         }
         // Agents (and their metadata) move with their home node, in global
         // agent order.
         let old_agents = std::mem::take(&mut self.agents[0]);
-        for ((agent, meta), loc) in old_agents
+        for ((agent, mut meta), loc) in old_agents
             .into_iter()
             .zip(old_shard.agent_meta)
             .zip(self.world.shared.agent_loc.iter_mut())
         {
             let d = dmap.domain_of(meta.node);
+            meta.region = region_loc[regions.domain_of(meta.node) as usize].1;
             *loc = (d, agents[d as usize].len() as u32);
             shards[d as usize].agent_meta.push(meta);
             agents[d as usize].push(agent);
         }
 
+        self.world.shared.regions = regions;
         self.world.shared.dmap = dmap;
+        self.world.shared.region_loc = region_loc;
+        self.world.shared.node_region_slot = node_region_slot;
         self.world.shards = shards;
         self.agents = agents;
-        domains
+        e_count
     }
 
     /// Set the worker-thread count for the partitioned executor. With 1
@@ -877,28 +1117,66 @@ impl Engine {
         self.world.epoch_loads.as_deref()
     }
 
+    /// Number of regions (components of the fine θ-partition).
+    pub fn region_count(&self) -> usize {
+        self.world.region_count()
+    }
+
+    /// Per-region processed-event totals, in global region order. A
+    /// measured run's counts are the natural cost input for
+    /// [`Engine::partition_merged`] on a subsequent run of the same
+    /// topology — they refine the bandwidth·fan-out default.
+    pub fn region_event_counts(&self) -> Vec<u64> {
+        self.world
+            .shared
+            .region_loc
+            .iter()
+            .map(|&(s, slot)| {
+                self.world.shards[s as usize].regions[slot as usize]
+                    .digest
+                    .events()
+            })
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Topology construction
     // ------------------------------------------------------------------
 
     /// Add a node. After [`Engine::partition`] a new node forms its own
-    /// fresh domain (it has no links yet; links attached later are checked
-    /// against the lookahead).
+    /// fresh region (it has no links yet; links attached later are checked
+    /// against the lookahead) — and, when the execution partition is
+    /// split, its own fresh shard; under a merged single-shard partition
+    /// it joins shard 0.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId::from(self.world.shared.nodes.len());
         self.world.shared.nodes.push(Node::new(id, name));
-        if self.world.shared.dmap.is_partitioned() {
-            let d = self.world.shared.dmap.push_isolated_node();
+        if self.world.shared.regions.is_partitioned() {
+            let r = self.world.shared.regions.push_isolated_node();
             let seed = self.world.shared.seed;
-            self.world.shards.push(DomainShard::new(
-                d,
-                StdRng::seed_from_u64(domain_seed(seed, d)),
-                (d as u64) << 48,
-            ));
-            self.agents.push(Vec::new());
-            // Late domains start at the global clock, not at zero.
-            let now = self.world.shards[0].now;
-            self.world.shards[d as usize].now = now;
+            let stream = RegionStream::new(
+                r,
+                StdRng::seed_from_u64(domain_seed(seed, r)),
+                (r as u64) << 48,
+            );
+            let d = if self.world.shared.dmap.is_partitioned() {
+                let d = self.world.shared.dmap.push_isolated_node();
+                let mut shard = DomainShard::new(d);
+                // Late domains start at the global clock, not at zero.
+                shard.now = self.world.shards[0].now;
+                self.world.shards.push(shard);
+                self.agents.push(Vec::new());
+                d
+            } else {
+                0
+            };
+            let shard = &mut self.world.shards[d as usize];
+            let slot = shard.regions.len() as u32;
+            shard.regions.push(stream);
+            self.world.shared.region_loc.push((d, slot));
+            self.world.shared.node_region_slot.push(slot);
+        } else {
+            self.world.shared.node_region_slot.push(0);
         }
         id
     }
@@ -929,19 +1207,25 @@ impl Engine {
         queue_cfg: &QueueConfig,
     ) -> ChannelId {
         assert!(from != to, "self-loop channels are not allowed");
-        let d = self.world.shared.dmap.domain_of(from);
-        if self.world.shared.dmap.is_partitioned() && d != self.world.shared.dmap.domain_of(to) {
+        let regions = &self.world.shared.regions;
+        if regions.is_partitioned() && regions.domain_of(from) != regions.domain_of(to) {
+            // The exchange grid is the *fine* lookahead θ at every shard
+            // count, so every cross-region channel must clear it.
             assert!(
-                prop_delay >= self.world.shared.dmap.lookahead(),
+                prop_delay >= regions.lookahead(),
                 "cross-domain channel faster than the lookahead breaks the epoch contract"
             );
         }
+        let d = self.world.shared.dmap.domain_of(from);
         let id = ChannelId::from(self.world.shared.chan_loc.len());
         let shard = &mut self.world.shards[d as usize];
         self.world
             .shared
             .chan_loc
             .push((d, shard.channels.len() as u32));
+        shard
+            .chan_region
+            .push(self.world.shared.node_region_slot[from.index()]);
         shard.channels.push(Channel::new(
             id,
             from,
@@ -973,6 +1257,7 @@ impl Engine {
         self.agents[d as usize].push(agent);
         self.world.shards[d as usize].agent_meta.push(AgentMeta {
             node,
+            region: self.world.shared.node_region_slot[node.index()],
             send_overhead: SimDuration::ZERO,
             last_injection: SimTime::ZERO,
         });
@@ -1119,7 +1404,9 @@ impl Engine {
     /// boundary packets at each absolute grid barrier. Every domain's
     /// clock equals `deadline` on return.
     pub fn run_until(&mut self, deadline: SimTime) {
-        if self.world.shards.len() == 1 {
+        if !self.world.shared.regions.is_partitioned() {
+            // One region: the classic single event loop, no barriers, no
+            // exchange.
             let world = &mut self.world;
             DomainRun {
                 shared: &world.shared,
@@ -1130,7 +1417,7 @@ impl Engine {
             .run_until(deadline);
             return;
         }
-        if self.world.workers == 1 {
+        if self.world.shards.len() == 1 || self.world.workers == 1 {
             self.run_epochs_inline(deadline);
         } else {
             self.run_epochs_threaded(deadline);
@@ -1143,11 +1430,21 @@ impl Engine {
         self.run_until(deadline);
     }
 
-    /// The inline epoch executor: advance every domain to the next grid
-    /// barrier (or the deadline), exchange, repeat. Single-threaded, so a
-    /// tracer is allowed.
+    /// The inline epoch executor: advance every shard to the next θ-grid
+    /// barrier (or the deadline), then hand each shard's outbox — the
+    /// whole epoch's crossings in one batch — to the destination shards,
+    /// which schedule them directly under their canonical keys.
+    /// Single-threaded, so a tracer is allowed. This is also the
+    /// merged-to-one executor: with a single shard the exchange is empty
+    /// and the loop degenerates to stepping the grid epoch, so the
+    /// sequential path pays no per-message cost at all beyond the keyed
+    /// schedule it already did at send time.
     fn run_epochs_inline(&mut self, deadline: SimTime) {
-        let lookahead = self.world.shared.dmap.lookahead();
+        // The exchange grid is the *fine* lookahead θ regardless of how
+        // regions were coalesced: a merged-L grid would let a receiver
+        // dispatch events between a message's send epoch and its arrival,
+        // perturbing same-instant FIFO order relative to the fine run.
+        let lookahead = self.world.shared.regions.lookahead();
         debug_assert!(!lookahead.is_zero(), "partitioned world without lookahead");
         let mut t = self.world.shards[0].now;
         debug_assert!(
@@ -1155,13 +1452,18 @@ impl Engine {
             "domains out of step at epoch entry"
         );
         let recording = self.world.epoch_loads.is_some();
-        let mut gathered: Vec<BoundaryMsg> = Vec::new();
         while t < deadline {
             let barrier = grid_next(t, lookahead);
             let target = barrier.min(deadline);
+            // The global grid index of the epoch being run: the high bits
+            // of every key assigned this step, identical at every shard
+            // and worker count (and across stepped `run_until` calls that
+            // stop mid-epoch).
+            let epoch = barrier.as_nanos() / lookahead.as_nanos();
             let mut loads = recording.then(|| Vec::with_capacity(self.world.shards.len()));
             for (shard, agents) in self.world.shards.iter_mut().zip(self.agents.iter_mut()) {
-                let before = recording.then(|| shard.digest.events());
+                shard.begin_epoch(epoch);
+                let before = recording.then(|| shard.events());
                 DomainRun {
                     shared: &self.world.shared,
                     shard,
@@ -1170,25 +1472,34 @@ impl Engine {
                 }
                 .run_until(target);
                 if let (Some(loads), Some(before)) = (loads.as_mut(), before) {
-                    loads.push(shard.digest.events() - before);
+                    loads.push(shard.events() - before);
                 }
             }
             if let (Some(all), Some(row)) = (self.world.epoch_loads.as_mut(), loads) {
                 all.push(row);
             }
-            if target == barrier {
-                // Exchange at the grid barrier: gather outboxes in domain
-                // order (send order within each), then stable-sort by
-                // arrival time — the canonical (at, src domain, send
-                // order) total order the determinism contract pins.
-                gathered.clear();
-                for shard in self.world.shards.iter_mut() {
-                    gathered.append(&mut shard.outbox);
-                }
-                gathered.sort_by_key(|m| m.at);
-                for m in &gathered {
-                    let dst = self.world.shared.dmap.domain_of(m.node) as usize;
-                    self.world.shards[dst].accept_boundary(*m);
+            if target == barrier && self.world.shards.len() > 1 {
+                // Exchange at the grid barrier: hand each shard's outbox —
+                // the whole epoch's crossings in one batch — to the
+                // destination shards. Each message is scheduled under its
+                // canonical (send epoch, source region, send order) key
+                // (the calendars still carry this epoch's index), so no
+                // sort is needed anywhere: the keys are a total order
+                // independent of routing sequence.
+                let mut d = 0;
+                while d < self.world.shards.len() {
+                    if !self.world.shards[d].outbox.is_empty() {
+                        let outbox = std::mem::take(&mut self.world.shards[d].outbox);
+                        for m in &outbox {
+                            let dst = self.world.shared.dmap.domain_of(m.node) as usize;
+                            self.world.shards[dst].accept_boundary(*m);
+                        }
+                        // Hand the allocation back for the next epoch.
+                        let mut outbox = outbox;
+                        outbox.clear();
+                        self.world.shards[d].outbox = outbox;
+                    }
+                    d += 1;
                 }
             }
             t = target;
@@ -1197,10 +1508,15 @@ impl Engine {
 
     /// The threaded epoch executor: domains are distributed round-robin
     /// over scoped worker threads; two barriers per epoch separate the
-    /// run phase from the exchange phase. Publishes each domain's outbox
-    /// into a per-domain mutex slot; every worker then drains the slots
-    /// for its own domains in the same canonical order the inline
-    /// executor uses, so the digests are bit-identical.
+    /// run phase from the exchange phase. The whole epoch's crossings are
+    /// batched through one shared inbox — each worker appends its
+    /// domains' outboxes under a single lock, then (after the barrier)
+    /// filter-copies the messages addressed to its own domains under one
+    /// more lock and schedules them directly under their canonical keys —
+    /// so the exchange cost is two lock acquisitions per worker per epoch
+    /// instead of a mutex slot per domain. The inbox's append order is
+    /// racy, but the keys are a total order independent of insertion
+    /// sequence, so digests are bit-identical to the inline executor's.
     fn run_epochs_threaded(&mut self, deadline: SimTime) {
         assert!(
             self.world.tracer.is_none(),
@@ -1208,7 +1524,7 @@ impl Engine {
         );
         let d_count = self.world.shards.len();
         let workers = self.world.workers.min(d_count);
-        let lookahead = self.world.shared.dmap.lookahead();
+        let lookahead = self.world.shared.regions.lookahead();
         debug_assert!(!lookahead.is_zero(), "partitioned world without lookahead");
         let start = self.world.shards[0].now;
         debug_assert!(
@@ -1216,9 +1532,12 @@ impl Engine {
             "domains out of step at epoch entry"
         );
         let shared = &self.world.shared;
-        let slots: Vec<Mutex<Vec<BoundaryMsg>>> =
-            (0..d_count).map(|_| Mutex::new(Vec::new())).collect();
-        let slots = &slots;
+        // One shared inbox for the whole epoch's crossings, tagged with
+        // the epoch index: the first appender of a new epoch clears the
+        // previous batch (every reader consumed it before the prior
+        // epoch's closing barrier).
+        let inbox: Mutex<(u64, Vec<BoundaryMsg>)> = Mutex::new((0, Vec::new()));
+        let inbox = &inbox;
         let barrier = Barrier::new(workers);
         let barrier = &barrier;
 
@@ -1238,16 +1557,17 @@ impl Engine {
             for mut bucket in buckets {
                 scope.spawn(move || {
                     let mut t = start;
-                    let mut incoming: Vec<BoundaryMsg> = Vec::new();
+                    let mut epoch = 0u64;
                     while t < deadline {
                         let grid = grid_next(t, lookahead);
                         let target = grid.min(deadline);
                         let exchanging = target == grid;
-                        // Phase A: run own domains to the target; publish
-                        // outboxes. The slot is cleared here — its previous
-                        // contents were consumed by every reader before the
-                        // last epoch's second barrier.
-                        for (d, shard, agents) in bucket.iter_mut() {
+                        epoch += 1;
+                        let grid_epoch = grid.as_nanos() / lookahead.as_nanos();
+                        // Phase A: run own domains to the target, then
+                        // publish all their outboxes under one lock.
+                        for (_, shard, agents) in bucket.iter_mut() {
+                            shard.begin_epoch(grid_epoch);
                             DomainRun {
                                 shared,
                                 shard,
@@ -1255,29 +1575,32 @@ impl Engine {
                                 tracer: None,
                             }
                             .run_until(target);
-                            if exchanging {
-                                let mut slot = slots[*d].lock().unwrap();
-                                slot.clear();
-                                std::mem::swap(&mut *slot, &mut shard.outbox);
+                        }
+                        if exchanging {
+                            let mut slot = inbox.lock().unwrap();
+                            if slot.0 != epoch {
+                                slot.0 = epoch;
+                                slot.1.clear();
+                            }
+                            for (_, shard, _) in bucket.iter_mut() {
+                                slot.1.append(&mut shard.outbox);
                             }
                         }
                         barrier.wait();
-                        // Phase B: drain every domain's slot for messages
-                        // addressed to own domains, in the same canonical
-                        // order as the inline executor.
+                        // Phase B: copy the messages addressed to own
+                        // domains out of the shared batch, scheduling each
+                        // directly under its canonical key (the calendars
+                        // still carry this epoch's index). The batch's
+                        // append order is racy across workers, but the key
+                        // fixes every arrival's dispatch position, so the
+                        // copy order is immaterial.
                         if exchanging {
+                            let slot = inbox.lock().unwrap();
                             for (d, shard, _) in bucket.iter_mut() {
-                                incoming.clear();
-                                for slot in slots.iter() {
-                                    for m in slot.lock().unwrap().iter() {
-                                        if shared.dmap.domain_of(m.node) as usize == *d {
-                                            incoming.push(*m);
-                                        }
+                                for m in slot.1.iter() {
+                                    if shared.dmap.domain_of(m.node) as usize == *d {
+                                        shard.accept_boundary(*m);
                                     }
-                                }
-                                incoming.sort_by_key(|m| m.at);
-                                for m in &incoming {
-                                    shard.accept_boundary(*m);
                                 }
                             }
                         }
@@ -1726,6 +2049,155 @@ mod tests {
         e.run_until(SimTime::from_millis(13));
         e.run_until(SimTime::from_secs(2));
         assert_eq!(baseline, e.trace_digest(), "stepping changed the digest");
+        // Deadlines landing exactly on grid barriers are the epoch loop's
+        // edge case: the final epoch must run (and exchange) exactly once.
+        let (mut e, _, _) = partitioned_chain(11, 1);
+        e.run_until(SimTime::from_millis(10));
+        e.run_until(SimTime::from_millis(20));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            baseline,
+            e.trace_digest(),
+            "on-barrier stepping changed the digest"
+        );
+    }
+
+    /// The star topology from `partitioned_multicast_spans_domains`, with
+    /// bidirectional unicast echo traffic layered on top, partitioned by
+    /// the given closure. Returns the digest after 1 s.
+    fn star_digest(partition: impl FnOnce(&mut Engine) -> usize, workers: usize) -> TraceDigest {
+        let mut e = Engine::new(17);
+        let root = e.add_node("root");
+        let hub = e.add_node("hub");
+        let l0 = e.add_node("l0");
+        let l1 = e.add_node("l1");
+        for &(x, y) in &[(root, hub), (hub, l0), (hub, l1)] {
+            e.add_link(
+                x,
+                y,
+                8_000_000,
+                SimDuration::from_millis(10),
+                &QueueConfig::DropTail { limit: 6 },
+            );
+        }
+        let domains = partition(&mut e);
+        assert!(domains >= 1);
+        e.set_workers(workers);
+        let group = e.new_group();
+        let s0 = e.add_agent(l0, Box::new(Sink::default()));
+        let s1 = e.add_agent(l1, Box::new(Sink::default()));
+        e.join_group(group, s0);
+        e.join_group(group, s1);
+        let sink_root = e.add_agent(root, Box::new(Sink::default()));
+        let mcast = e.add_agent(
+            root,
+            Box::new(Blaster {
+                dest: Dest::Group(group),
+                count: 9,
+                size: 1000,
+            }),
+        );
+        let echo = e.add_agent(
+            l1,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink_root),
+                count: 12,
+                size: 700,
+            }),
+        );
+        e.compute_routes();
+        e.build_group_tree(group, root);
+        e.set_send_overhead(mcast, SimDuration::from_millis(1));
+        e.set_send_overhead(echo, SimDuration::from_millis(1));
+        e.start_agent_at(mcast, SimTime::ZERO);
+        e.start_agent_at(echo, SimTime::from_millis(2));
+        e.run_until(SimTime::from_secs(1));
+        assert_eq!(e.world().live_packets(), 0, "packets leaked across arenas");
+        e.trace_digest()
+    }
+
+    #[test]
+    fn merged_partition_preserves_the_fine_digest_at_every_target() {
+        // The fine partition (4 regions) is the identity baseline; the
+        // merge pass must reproduce its digest bit-for-bit at every
+        // execution-domain count, including the fully collapsed single
+        // shard, and on worker threads.
+        let fine = star_digest(|e| e.partition(None), 1);
+        assert!(fine.events() > 0);
+        for target in 1..=4 {
+            let merged = star_digest(|e| e.partition_merged(None, target, None), 1);
+            assert_eq!(fine, merged, "merge to {target} changed the digest");
+        }
+        let merged_threaded = star_digest(|e| e.partition_merged(None, 2, None), 2);
+        assert_eq!(fine, merged_threaded, "threaded merged run drifted");
+        // Measured per-region costs must not change results either — only
+        // the grouping may move.
+        let costs = vec![5, 40, 3, 3];
+        let refined = star_digest(|e| e.partition_merged(None, 2, Some(&costs)), 1);
+        assert_eq!(fine, refined, "cost-refined merge changed the digest");
+    }
+
+    #[test]
+    fn merged_to_one_keeps_exchange_counters_at_zero() {
+        let mut e = Engine::new(17);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::paper_droptail(),
+        );
+        assert_eq!(e.partition_merged(None, 1, None), 1);
+        assert_eq!(e.domain_count(), 1);
+        assert_eq!(e.region_count(), 2, "regions stay fine under the merge");
+        let sink = e.add_agent(b, Box::new(Sink::default()));
+        let blaster = e.add_agent(
+            a,
+            Box::new(Blaster {
+                dest: Dest::Agent(sink),
+                count: 5,
+                size: 1000,
+            }),
+        );
+        e.compute_routes();
+        e.start_agent_at(blaster, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(1));
+        let s: &Sink = e.agent_as(sink).unwrap();
+        assert_eq!(s.received, 5);
+        // A single execution domain never touches the outbox: every
+        // crossing stays in its arena and is scheduled directly under its
+        // canonical boundary key.
+        assert_eq!(e.world().shards[0].outbox.capacity(), 0);
+        assert_eq!(e.world().live_packets(), 0);
+    }
+
+    #[test]
+    fn region_event_counts_cover_every_region_and_sum_to_the_digest() {
+        let (mut e, _, _) = partitioned_chain(5, 1);
+        e.run_until(SimTime::from_millis(100));
+        let counts = e.region_event_counts();
+        assert_eq!(counts.len(), e.region_count());
+        assert_eq!(counts.iter().sum::<u64>(), e.trace_digest().events());
+        assert!(counts.iter().all(|&c| c > 0), "a silent region: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already partitioned")]
+    fn merged_partition_cannot_be_applied_twice() {
+        let mut e = Engine::new(1);
+        let a = e.add_node("a");
+        let b = e.add_node("b");
+        e.add_link(
+            a,
+            b,
+            8_000_000,
+            SimDuration::from_millis(10),
+            &QueueConfig::paper_droptail(),
+        );
+        e.partition_merged(None, 1, None);
+        e.partition(None);
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! The event calendar: a hierarchical timer wheel with a FIFO-preserving
 //! overflow heap.
 //!
-//! The calendar dispatches events in strict `(time, seq)` order — `seq` is
-//! a monotone schedule counter, so same-instant events fire in insertion
-//! (FIFO) order. The previous implementation was a binary heap, paying
-//! `O(log n)` compares per operation with poor locality; the wheel does
-//! `O(1)` bucket pushes and amortizes ordering work into per-slot sorts of
-//! a few events each.
+//! The calendar dispatches events in strict `(time, key)` order. For
+//! locally scheduled events the key is `(epoch, 0, seq)` — `seq` is a
+//! monotone schedule counter, so same-instant local events fire in
+//! insertion (FIFO) order, exactly the classic behaviour. Cross-region
+//! boundary arrivals are scheduled with an explicit key
+//! `(send epoch, 1, source region, send order)` instead: that places them,
+//! at their instant, after every event scheduled up to the send epoch's
+//! closing barrier and before everything scheduled later — precisely the
+//! position a barrier-batched *(arrival time, source region, send order)*
+//! flush would have given them, but without buffering or sorting anything
+//! at the barrier. Because the key is a total order independent of
+//! insertion sequence, dispatch order is identical at every shard and
+//! worker count (see `DESIGN.md` §9).
+//!
+//! The previous implementation was a binary heap, paying `O(log n)`
+//! compares per operation with poor locality; the wheel does `O(1)` bucket
+//! pushes and amortizes ordering work into per-slot sorts of a few events
+//! each.
 //!
 //! # Layout
 //!
@@ -31,13 +43,14 @@
 //! the `ready` queue; everything else is in the wheel or the overflow.
 //! Refilling `ready` repeatedly takes the earliest occupied slot across
 //! levels (occupancy is one bitmap word per level): a level-0 slot is
-//! sorted by `(time, seq)` and drained into `ready`; a higher-level slot is
+//! sorted by `(time, key)` and drained into `ready`; a higher-level slot is
 //! cascaded down a level; the overflow migrates when its head precedes
 //! every occupied slot. Events scheduled below `cur` (an agent scheduling
-//! at `now` while its slot is being dispatched) are merge-inserted into
-//! `ready` at their `(time, seq)` position, which keeps the global dispatch
-//! order identical to the binary heap's — the digest-equality tests pin
-//! exactly that.
+//! at `now` while its slot is being dispatched, or a boundary arrival
+//! landing inside an already-drained slot) are merge-inserted into `ready`
+//! at their `(time, key)` position, which keeps the global dispatch order
+//! identical to the binary heap's — the digest-equality tests pin exactly
+//! that.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -79,21 +92,74 @@ pub enum EventKind {
     },
 }
 
+/// Bit layout of the packed `u64` tie-break key. The epoch occupies the
+/// high 28 bits, the phase bit sits at 35, and the low 35 bits are
+/// phase-specific — a per-epoch schedule counter for locals, a
+/// *(region, send order)* pair for boundary arrivals. Cross-phase
+/// comparisons resolve on the shared `(epoch, phase)` prefix, so the low
+/// layouts never meet. Keeping the key in one word keeps [`Event`] at its
+/// pre-partitioning 32 bytes — the wheel's slot sorts and copies are on
+/// the engine's hottest path.
+const KEY_EPOCH_SHIFT: u32 = 36;
+/// Phase bit: 0 = locally scheduled, 1 = boundary arrival of that epoch.
+const KEY_PHASE_BIT: u64 = 1 << 35;
+/// Bits for the boundary key's per-epoch, per-region send order.
+const KEY_SEQ_SHIFT: u32 = 21;
+
+/// Same-instant tie-break key for a locally scheduled event: epoch, phase
+/// bit 0, then the calendar's schedule counter *within that epoch*.
+/// Within one epoch this is pure insertion (FIFO) order; the counter may
+/// reset across epochs because the epoch bits already separate them.
+pub fn local_key(epoch: u64, seq: u64) -> u64 {
+    debug_assert!(
+        epoch < 1 << (64 - KEY_EPOCH_SHIFT),
+        "epoch overflows the key"
+    );
+    assert!(
+        seq < KEY_PHASE_BIT,
+        "calendar key overflow: 2^35 events scheduled within one θ-grid epoch \
+         (or one unpartitioned run)"
+    );
+    (epoch << KEY_EPOCH_SHIFT) | seq
+}
+
+/// Same-instant tie-break key for a cross-region boundary arrival: the
+/// *send* epoch, phase bit 1 (after every local event of that epoch,
+/// before everything later), then the canonical *(source region, send
+/// order within the epoch)* pair. A pure function of the message —
+/// independent of which shard inserts it, or when — so dispatch order is
+/// identical at every shard and worker count.
+pub fn boundary_key(epoch: u64, region: u32, seq: u64) -> u64 {
+    debug_assert!(
+        epoch < 1 << (64 - KEY_EPOCH_SHIFT),
+        "epoch overflows the key"
+    );
+    assert!(
+        (region as u64) < KEY_PHASE_BIT >> KEY_SEQ_SHIFT,
+        "calendar key overflow: region id {region} needs more than 14 bits"
+    );
+    assert!(
+        seq < 1 << KEY_SEQ_SHIFT,
+        "calendar key overflow: 2^21 boundary sends from one region within one θ-grid epoch"
+    );
+    (epoch << KEY_EPOCH_SHIFT) | KEY_PHASE_BIT | ((region as u64) << KEY_SEQ_SHIFT) | seq
+}
+
 /// A scheduled event.
 #[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// When the event fires.
     pub at: SimTime,
-    /// Monotone sequence number breaking ties deterministically: events
-    /// scheduled first fire first within the same instant.
-    pub seq: u64,
+    /// Total-order tie-break within the same instant: [`local_key`] for
+    /// ordinary schedules, [`boundary_key`] for cross-region arrivals.
+    pub key: u64,
     /// The action.
     pub kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl Eq for Event {}
@@ -106,9 +172,9 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) pops
         // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
 
@@ -133,14 +199,21 @@ pub struct Calendar {
     slots: Vec<Vec<Event>>,
     /// One occupancy bit per slot, per level.
     occupied: [u64; LEVELS],
-    /// Events beyond the wheel horizon, min-ordered by `(time, seq)`.
+    /// Events beyond the wheel horizon, min-ordered by `(time, key)`.
     overflow: BinaryHeap<Event>,
     /// Events already extracted and sorted, all at times `< cur`.
     ready: VecDeque<Event>,
     /// The drain cursor, in ns; always a multiple of the level-0 slot
     /// width. Every pending event below it is in `ready`.
     cur: u64,
+    /// Schedule counter within the current epoch (low bits of local
+    /// keys); resets when the epoch advances — the epoch bits already
+    /// separate the instants' tie groups across epochs.
     next_seq: u64,
+    /// The θ-grid epoch currently being executed (high bits of every
+    /// locally scheduled event's key). Zero for an unpartitioned run; the
+    /// epoch executor advances it at each grid barrier.
+    epoch: u64,
     len: usize,
 }
 
@@ -153,6 +226,7 @@ impl Default for Calendar {
             ready: VecDeque::new(),
             cur: 0,
             next_seq: 0,
+            epoch: 0,
             len: 0,
         }
     }
@@ -164,18 +238,68 @@ impl Calendar {
         Self::default()
     }
 
-    /// Schedule `kind` to fire at `at`.
+    /// Set the θ-grid epoch stamped onto subsequently scheduled events'
+    /// keys, resetting the per-epoch schedule counter when it actually
+    /// advances (a `run_until` stopping mid-epoch re-enters the same
+    /// epoch; its counter must continue, not restart). An unpartitioned
+    /// run never calls this and gets the classic pure `(time, seq)`
+    /// order.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "epoch ran backwards");
+        assert!(
+            epoch < 1 << 28,
+            "calendar key overflow: more than 2^28 θ-grid epochs \
+             (simulated duration / lookahead is too large)"
+        );
+        if epoch != self.epoch {
+            self.epoch = epoch;
+            self.next_seq = 0;
+        }
+    }
+
+    /// The θ-grid epoch currently stamped onto scheduled events' keys.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Schedule `kind` to fire at `at`, tie-broken by insertion order
+    /// within the current epoch.
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(Event {
+            at,
+            key: local_key(self.epoch, seq),
+            kind,
+        });
+    }
+
+    /// Schedule a cross-region boundary arrival, tie-broken by the
+    /// canonical *(send epoch, source region, send order)* key — `region`
+    /// and `seq` identify the sender's stream; the send epoch is the
+    /// calendar's current epoch (the sender transmits and the exchange
+    /// delivers within the same grid step). The key is independent of the
+    /// insertion path, so direct insertion here lands the arrival exactly
+    /// where a barrier-batched sort would have.
+    pub fn schedule_boundary(&mut self, at: SimTime, region: u32, seq: u64, kind: EventKind) {
+        self.insert(Event {
+            at,
+            key: boundary_key(self.epoch, region, seq),
+            kind,
+        });
+    }
+
+    fn insert(&mut self, e: Event) {
         self.len += 1;
-        let e = Event { at, seq, kind };
-        if at.as_nanos() < self.cur {
+        if e.at.as_nanos() < self.cur {
             // The slot covering `at` has already been drained: merge into
-            // `ready`. This event has the largest seq so far, so its
-            // position is right after every event at the same or an
-            // earlier time — exactly where the heap would have popped it.
-            let pos = self.ready.partition_point(|x| x.at <= at);
+            // `ready` at the event's `(time, key)` position — exactly
+            // where the heap would have popped it. (A boundary arrival's
+            // key can precede same-instant events already drained, so the
+            // full key participates, not just the time.)
+            let pos = self
+                .ready
+                .partition_point(|x| (x.at, x.key) <= (e.at, e.key));
             self.ready.insert(pos, e);
         } else {
             self.place(e);
@@ -282,7 +406,7 @@ impl Calendar {
                         break;
                     }
                 }
-                bucket.sort_unstable_by_key(|e| (e.at, e.seq));
+                bucket.sort_unstable_by_key(|e| (e.at, e.key));
                 self.ready.extend(bucket.drain(..));
             } else {
                 // Cascade one slot down a level. Each event lands at level
@@ -351,7 +475,11 @@ impl HeapCalendar {
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.heap.push(Event {
+            at,
+            key: local_key(0, seq),
+            kind,
+        });
     }
 
     /// Remove and return the next event in (time, insertion) order.
@@ -459,7 +587,7 @@ mod tests {
             match (a, b) {
                 (None, None) => break,
                 (Some(a), Some(b)) => {
-                    assert_eq!((a.at, a.seq), (b.at, b.seq));
+                    assert_eq!((a.at, a.key), (b.at, b.key));
                 }
                 _ => panic!("wheel and heap disagree on event count"),
             }
@@ -477,7 +605,7 @@ mod tests {
         let mut seen = Vec::new();
         let mut extra = 100u64;
         while let Some(e) = cal.pop() {
-            seen.push((e.at, e.seq));
+            seen.push((e.at, e.key));
             if extra < 105 {
                 // At `now` — lands below the cursor, merged into ready.
                 cal.schedule(e.at, timer(0, extra));
@@ -491,8 +619,52 @@ mod tests {
         }
         let mut sorted = seen.clone();
         sorted.sort_unstable();
-        assert_eq!(seen, sorted, "dispatch order must be (time, seq)");
+        assert_eq!(seen, sorted, "dispatch order must be (time, key)");
         assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn boundary_keys_order_by_epoch_phase_region_and_send_order() {
+        // Locals of epoch k < boundary arrivals sent in epoch k (ordered
+        // by (region, send order) regardless of insertion sequence) <
+        // locals of epoch k+1 — all at the same instant.
+        let t = SimTime::from_nanos(5_000);
+        let mut cal = Calendar::new();
+        cal.set_epoch(1);
+        cal.schedule(t, timer(0, 10)); // epoch-1 local
+        cal.schedule(t, timer(0, 11)); // epoch-1 local
+                                       // Exchange at epoch 1's barrier: arrivals inserted out of
+                                       // canonical order (higher region first).
+        cal.schedule_boundary(t, 7, 0, timer(0, 22));
+        cal.schedule_boundary(t, 3, 1, timer(0, 21));
+        cal.schedule_boundary(t, 3, 0, timer(0, 20));
+        cal.set_epoch(2);
+        cal.schedule(t, timer(0, 30)); // epoch-2 local
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
+            .map(|e| token_of(&e))
+            .collect();
+        assert_eq!(order, vec![10, 11, 20, 21, 22, 30]);
+    }
+
+    #[test]
+    fn boundary_arrival_below_the_cursor_merges_at_its_key_position() {
+        // Draining a slot can advance the cursor past an arrival's
+        // instant; the merge into `ready` must honour the full key, not
+        // just the time — a second arrival from a lower region lands
+        // *before* the first even though it is inserted later.
+        let mut cal = Calendar::new();
+        cal.set_epoch(1);
+        cal.schedule(SimTime::from_nanos(10_000), timer(0, 1));
+        cal.schedule(SimTime::from_nanos(10_050), timer(0, 2));
+        // Both share a level-0 slot: popping the first drains the second
+        // into `ready` and commits the cursor past 10_050.
+        assert_eq!(token_of(&cal.pop().unwrap()), 1);
+        cal.schedule_boundary(SimTime::from_nanos(10_050), 5, 0, timer(0, 4));
+        cal.schedule_boundary(SimTime::from_nanos(10_050), 2, 0, timer(0, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop())
+            .map(|e| token_of(&e))
+            .collect();
+        assert_eq!(order, vec![2, 3, 4]);
     }
 
     #[test]

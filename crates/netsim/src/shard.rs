@@ -47,6 +47,22 @@ pub struct BoundaryMsg {
     /// The packet itself, by value: it left the sending domain's arena and
     /// enters the destination domain's arena on delivery.
     pub packet: Packet,
+    /// The (global) region the packet was sent from. Together with `seq`
+    /// this carries the canonical *(arrival time, source region, send
+    /// order)* exchange key, so a whole epoch's crossings can be handed
+    /// over as one batch and sorted once.
+    pub region: u32,
+    /// Send order within the source region's cross-region traffic.
+    pub seq: u64,
+}
+
+impl BoundaryMsg {
+    /// The canonical exchange-order key: *(arrival time, source region,
+    /// send order)*. A total order, so an unstable sort suffices.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.region, self.seq)
+    }
 }
 
 /// A partition of the topology's nodes into conservative-lookahead
@@ -113,14 +129,6 @@ impl DomainMap {
         // Union-find over nodes; links too fast to cut merge their
         // endpoints.
         let mut parent: Vec<u32> = (0..node_count as u32).collect();
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                let up = parent[parent[x as usize] as usize];
-                parent[x as usize] = up;
-                x = up;
-            }
-            x
-        }
         for &(from, to, delay) in links {
             if delay < theta {
                 let a = find(&mut parent, from.index() as u32);
@@ -157,6 +165,151 @@ impl DomainMap {
             .expect("multiple domains imply at least one cut link");
         debug_assert!(lookahead >= theta, "cut link faster than the threshold");
 
+        DomainMap {
+            domain_of,
+            domains,
+            lookahead,
+        }
+    }
+
+    /// Coalesce this partition's domains into at most `target` groups,
+    /// merging along the fastest inter-domain links first so the surviving
+    /// cut links — and with them the merged lookahead — are as slow as the
+    /// topology allows. `costs` (one weight per domain, typically an
+    /// event-load estimate) keeps the groups balanced: a merge is skipped
+    /// while the combined weight would exceed 125% of the ideal
+    /// `total/target` share; if the cap alone cannot reach the target the
+    /// remaining merges are chosen balance-greedily — each round unions
+    /// the connected pair with the lightest combined weight (ties to the
+    /// faster link), so the forced merges spread load instead of piling
+    /// onto the heaviest group. Returns the merged map (nodes → groups);
+    /// with one group the result is [`DomainMap::single`].
+    ///
+    /// The merge is deterministic: candidate links are taken in ascending
+    /// `(delay, domain pair)` order, forced merges break ties on
+    /// `(weight, delay, domain pair)`, and groups are numbered by first
+    /// appearance in node order, so the result is a pure function of the
+    /// partition, the links, `target` and `costs` — never of worker
+    /// counts or timing.
+    pub fn merged(
+        &self,
+        links: &[(NodeId, NodeId, SimDuration)],
+        target: usize,
+        costs: Option<&[u64]>,
+    ) -> DomainMap {
+        assert!(target >= 1, "at least one group is required");
+        let r_count = self.domains();
+        if !self.is_partitioned() || target >= r_count {
+            return self.clone();
+        }
+        if let Some(c) = costs {
+            assert_eq!(c.len(), r_count, "need exactly one cost per domain");
+        }
+
+        // Candidate cut links between distinct domains, fastest first;
+        // deduplicated so a full-duplex link is one candidate.
+        let mut candidates: Vec<(SimDuration, u32, u32)> = links
+            .iter()
+            .filter_map(|&(from, to, d)| {
+                let a = self.domain_of(from);
+                let b = self.domain_of(to);
+                (a != b).then_some((d, a.min(b), a.max(b)))
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut parent: Vec<u32> = (0..r_count as u32).collect();
+        let mut weight: Vec<u64> = match costs {
+            Some(c) => c.to_vec(),
+            None => vec![1; r_count],
+        };
+        let total: u64 = weight.iter().sum();
+        let ideal = total.div_ceil(target as u64).max(1);
+        let cap = ideal + ideal / 4;
+        let mut groups = r_count;
+        let union = |parent: &mut Vec<u32>, weight: &mut Vec<u64>, ra: u32, rb: u32| {
+            // Smaller root wins, keeping the numbering order-stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+            weight[lo as usize] = weight[lo as usize].saturating_add(weight[hi as usize]);
+        };
+
+        // Pass 1: balanced merges along the fastest cuts.
+        for &(_, a, b) in &candidates {
+            if groups == target {
+                break;
+            }
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra == rb {
+                continue;
+            }
+            if weight[ra as usize].saturating_add(weight[rb as usize]) > cap {
+                continue;
+            }
+            union(&mut parent, &mut weight, ra, rb);
+            groups -= 1;
+        }
+        // Pass 2: the balance cap may strand groups above the target.
+        // Pack the stranded groups into `target` bins, heaviest first,
+        // each into the currently lightest bin (LPT scheduling). An
+        // execution group does not need to be link-connected — the epoch
+        // grid is the *fine* lookahead θ at every shard count, so the
+        // surviving cut set never widens an epoch — and following links
+        // here would be actively harmful: in a star topology every
+        // stranded leaf connects only through the hub, so link-following
+        // forced merges pile all remaining load onto the one heavy
+        // component. This also folds link-disconnected components, which
+        // have no candidates at all.
+        if groups > target {
+            let mut units: Vec<(u64, u32)> = (0..r_count as u32)
+                .filter(|&r| find(&mut parent, r) == r)
+                .map(|r| (weight[r as usize], r))
+                .collect();
+            // Heaviest first; ties by the lower root for determinism.
+            units.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut bins: Vec<(u64, Option<u32>)> = vec![(0, None); target];
+            for (w, r) in units {
+                let i = (0..target)
+                    .min_by_key(|&i| (bins[i].0, i))
+                    .expect("target >= 1");
+                match bins[i].1 {
+                    None => bins[i] = (w, Some(r)),
+                    Some(root) => {
+                        union(&mut parent, &mut weight, root, r);
+                        bins[i].0 += w;
+                        bins[i].1 = Some(root.min(r));
+                        groups -= 1;
+                    }
+                }
+            }
+            debug_assert!(groups <= target, "LPT packing missed the target");
+        }
+
+        // Dense group ids in node order, exactly like `partition`.
+        let node_count = self.domain_of.len();
+        let mut group_of_root = vec![u32::MAX; r_count];
+        let mut domain_of = vec![u32::MAX; node_count];
+        let mut domains = 0u32;
+        for (node, slot) in domain_of.iter_mut().enumerate() {
+            let root = find(&mut parent, self.domain_of[node]);
+            if group_of_root[root as usize] == u32::MAX {
+                group_of_root[root as usize] = domains;
+                domains += 1;
+            }
+            *slot = group_of_root[root as usize];
+        }
+        if domains <= 1 {
+            return DomainMap::single();
+        }
+
+        let lookahead = links
+            .iter()
+            .filter(|&&(from, to, _)| domain_of[from.index()] != domain_of[to.index()])
+            .map(|&(_, _, d)| d)
+            .min()
+            .expect("multiple groups imply at least one cut link");
         DomainMap {
             domain_of,
             domains,
@@ -201,6 +354,16 @@ impl DomainMap {
         self.domains += 1;
         d
     }
+}
+
+/// Path-halving find for the union-find passes above.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let up = parent[parent[x as usize] as usize];
+        parent[x as usize] = up;
+        x = up;
+    }
+    x
 }
 
 /// The next epoch barrier after `now`: the smallest multiple of
@@ -311,6 +474,173 @@ mod tests {
         assert_eq!(
             grid_next(SimTime::from_nanos(4_999_999), l),
             SimTime::from_millis(5)
+        );
+    }
+
+    /// A chain 0 -5ms- 1 -5ms- 2 -100ms- 3 -5ms- 4 (full duplex), finely
+    /// partitioned into five single-node domains.
+    fn chain_links() -> Vec<(NodeId, NodeId, SimDuration)> {
+        let delays = [ms(5), ms(5), ms(100), ms(5)];
+        let mut links = Vec::new();
+        for (i, &d) in delays.iter().enumerate() {
+            let i = i as u32;
+            links.push((NodeId(i), NodeId(i + 1), d));
+            links.push((NodeId(i + 1), NodeId(i), d));
+        }
+        links
+    }
+
+    #[test]
+    fn merged_collapses_to_one_group_at_target_one() {
+        let links = chain_links();
+        let fine = DomainMap::partition(5, &links, None);
+        assert_eq!(fine.domains(), 5);
+        let m = fine.merged(&links, 1, None);
+        assert_eq!(m.domains(), 1);
+        assert!(!m.is_partitioned());
+    }
+
+    #[test]
+    fn merged_cuts_the_slowest_links() {
+        // Merging 5 domains to 2 must spend its merges on the 5 ms links
+        // and keep the 100 ms link as the cut, maximizing the merged
+        // lookahead: {0,1,2} | {3,4}.
+        let links = chain_links();
+        let fine = DomainMap::partition(5, &links, None);
+        let m = fine.merged(&links, 2, None);
+        assert_eq!(m.domains(), 2);
+        assert_eq!(m.lookahead(), ms(100));
+        assert_eq!(m.domain_of(NodeId(0)), m.domain_of(NodeId(2)));
+        assert_eq!(m.domain_of(NodeId(3)), m.domain_of(NodeId(4)));
+        assert_ne!(m.domain_of(NodeId(2)), m.domain_of(NodeId(3)));
+        // Groups are numbered by first appearance in node order.
+        assert_eq!(m.domain_of(NodeId(0)), 0);
+        assert_eq!(m.domain_of(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn merged_respects_the_balance_cap() {
+        // Domain 0 carries almost all the load; with the cap active the
+        // cheap domains must coalesce among themselves instead of piling
+        // onto domain 0. Chain of four 5 ms links: merging to 2 with
+        // costs [97,1,1,1,1] must not attach everything to domain 0.
+        let delays = [ms(5), ms(5), ms(5), ms(5)];
+        let mut links = Vec::new();
+        for (i, &d) in delays.iter().enumerate() {
+            let i = i as u32;
+            links.push((NodeId(i), NodeId(i + 1), d));
+            links.push((NodeId(i + 1), NodeId(i), d));
+        }
+        let fine = DomainMap::partition(5, &links, None);
+        let m = fine.merged(&links, 2, Some(&[97, 1, 1, 1, 1]));
+        assert_eq!(m.domains(), 2);
+        // Ideal share is 51, cap 63: domain 0 (97) can absorb nothing, so
+        // it stays alone and 1..4 fuse.
+        assert_eq!(m.domain_of(NodeId(0)), 0);
+        for n in 1..5 {
+            assert_eq!(m.domain_of(NodeId(n)), 1);
+        }
+    }
+
+    #[test]
+    fn merged_is_identity_at_or_above_the_domain_count() {
+        let links = chain_links();
+        let fine = DomainMap::partition(5, &links, None);
+        assert_eq!(fine.merged(&links, 5, None), fine);
+        assert_eq!(fine.merged(&links, 8, None), fine);
+    }
+
+    #[test]
+    fn merged_folds_disconnected_components() {
+        // Two disjoint pairs (no inter-component link): merging to 1 must
+        // still succeed via the root-folding fallback.
+        let links = vec![
+            (NodeId(0), NodeId(1), ms(10)),
+            (NodeId(2), NodeId(3), ms(10)),
+        ];
+        let fine = DomainMap::partition(4, &links, None);
+        assert_eq!(fine.domains(), 4);
+        let m = fine.merged(&links, 1, None);
+        assert_eq!(m.domains(), 1);
+    }
+
+    #[test]
+    fn final_barrier_landing_exactly_on_the_deadline_runs_once() {
+        // The epoch loop's arithmetic when the run end is an exact grid
+        // multiple: every barrier — including the one *at* the deadline —
+        // is visited exactly once, and the loop terminates with the clock
+        // on the deadline (events at the deadline instant are dispatched
+        // in that final epoch, never dropped or replayed).
+        let l = ms(5);
+        let deadline = SimTime::from_millis(15);
+        let mut t = SimTime::ZERO;
+        let mut barriers = Vec::new();
+        while t < deadline {
+            let b = grid_next(t, l);
+            let target = b.min(deadline);
+            assert!(target > t, "epoch made no progress");
+            if target == b {
+                barriers.push(b);
+            }
+            t = target;
+        }
+        assert_eq!(
+            barriers,
+            vec![
+                SimTime::from_millis(5),
+                SimTime::from_millis(10),
+                SimTime::from_millis(15)
+            ],
+            "the final barrier must coincide with the deadline and fire once"
+        );
+        assert_eq!(t, deadline);
+    }
+
+    #[test]
+    fn grid_next_from_an_exact_barrier_strictly_advances() {
+        // Resuming a run whose deadline landed exactly on a barrier must
+        // compute the *next* barrier, not re-run the one just completed.
+        let l = ms(5);
+        assert_eq!(
+            grid_next(SimTime::from_millis(15), l),
+            SimTime::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn boundary_msg_key_is_the_canonical_total_order() {
+        use crate::packet::{Dest, Packet};
+        use crate::wire::Segment;
+        let msg = |at: SimTime, region: u32, seq: u64| BoundaryMsg {
+            at,
+            node: NodeId(0),
+            packet: Packet {
+                uid: 0,
+                src: crate::id::AgentId(0),
+                dest: Dest::Agent(crate::id::AgentId(0)),
+                size_bytes: 0,
+                segment: Segment::Raw,
+                sent_at: SimTime::ZERO,
+            },
+            region,
+            seq,
+        };
+        let mut v = [
+            msg(SimTime::from_millis(2), 0, 0),
+            msg(SimTime::from_millis(1), 1, 0),
+            msg(SimTime::from_millis(1), 0, 1),
+            msg(SimTime::from_millis(1), 0, 0),
+        ];
+        v.sort_unstable_by_key(|m| m.key());
+        let keys: Vec<_> = v.iter().map(|m| (m.at, m.region, m.seq)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (SimTime::from_millis(1), 0, 0),
+                (SimTime::from_millis(1), 0, 1),
+                (SimTime::from_millis(1), 1, 0),
+                (SimTime::from_millis(2), 0, 0),
+            ]
         );
     }
 

@@ -206,7 +206,7 @@ proptest! {
             if i % pop_every == 0 {
                 let (a, b) = (wheel.pop(), heap.pop());
                 match (a, b) {
-                    (Some(a), Some(b)) => prop_assert_eq!((a.at, a.seq), (b.at, b.seq)),
+                    (Some(a), Some(b)) => prop_assert_eq!((a.at, a.key), (b.at, b.key)),
                     (None, None) => {}
                     _ => prop_assert!(false, "wheel and heap disagree on emptiness"),
                 }
@@ -215,7 +215,7 @@ proptest! {
         loop {
             match (wheel.pop(), heap.pop()) {
                 (None, None) => break,
-                (Some(a), Some(b)) => prop_assert_eq!((a.at, a.seq), (b.at, b.seq)),
+                (Some(a), Some(b)) => prop_assert_eq!((a.at, a.key), (b.at, b.key)),
                 _ => prop_assert!(false, "wheel and heap disagree on event count"),
             }
         }

@@ -28,7 +28,7 @@
 //! digest is computed independently, so enabling export can never change
 //! a golden digest.
 
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use netsim::id::{AgentId, GroupId};
@@ -48,6 +48,10 @@ pub const LINKTYPE_ETHERNET: u32 = 1;
 /// plus the small RLA payload; the simulated bulk payload bytes are
 /// *not* materialized — they exist only in `orig_len`).
 pub const DEFAULT_SNAPLEN: u32 = 128;
+/// Default spill-to-disk chunk size for the spooled tracer mode, in
+/// records (~100 B of buffered `Packet` each, so the in-memory bound is
+/// a few MB regardless of run length).
+pub const DEFAULT_SPOOL_RECORDS: usize = 65_536;
 /// Bytes of synthetic payload carried by the UDP framing (kind tag,
 /// flags, and the 64-bit sequence or cumulative-ack number).
 pub const RLA_PAYLOAD_LEN: usize = 12;
@@ -114,20 +118,15 @@ impl<W: Write> PcapWriter<W> {
 
     /// Serialize one packet as a record stamped `now`.
     pub fn record(&mut self, now: SimTime, packet: &Packet) -> io::Result<()> {
-        let frame = build_frame(packet);
-        let caplen = (frame.len() as u32).min(self.snaplen);
-        // On the wire the packet occupies its full simulated size; the
-        // frame we materialize holds only headers + the tiny synthetic
-        // payload, so orig_len ≥ caplen always.
-        let orig_len = (ETH_HEADER_LEN as u32 + packet.size_bytes).max(frame.len() as u32);
-        let nanos = now.as_nanos();
-        self.out
-            .write_all(&((nanos / 1_000_000_000) as u32).to_le_bytes())?;
-        self.out
-            .write_all(&((nanos % 1_000_000_000) as u32).to_le_bytes())?;
-        self.out.write_all(&caplen.to_le_bytes())?;
-        self.out.write_all(&orig_len.to_le_bytes())?;
-        self.out.write_all(&frame[..caplen as usize])?;
+        let bytes = record_bytes(self.snaplen, now, packet);
+        self.write_record_bytes(&bytes)
+    }
+
+    /// Append one pre-built record (see [`record_bytes`]) verbatim. The
+    /// spooled tracer builds records when spilling chunks and streams
+    /// them back through here at merge time.
+    pub fn write_record_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.out.write_all(bytes)?;
         self.records += 1;
         Ok(())
     }
@@ -137,6 +136,27 @@ impl<W: Write> PcapWriter<W> {
         self.out.flush()?;
         Ok(self.out)
     }
+}
+
+/// Build the on-disk bytes of one pcap record (16-byte record header +
+/// truncated frame) without writing it. [`PcapWriter::record`] and the
+/// tracer's spool chunks share this, so the spooled and unspooled paths
+/// are byte-identical by construction.
+pub fn record_bytes(snaplen: u32, now: SimTime, packet: &Packet) -> Vec<u8> {
+    let frame = build_frame(packet);
+    let caplen = (frame.len() as u32).min(snaplen.max(64));
+    // On the wire the packet occupies its full simulated size; the
+    // frame we materialize holds only headers + the tiny synthetic
+    // payload, so orig_len ≥ caplen always.
+    let orig_len = (ETH_HEADER_LEN as u32 + packet.size_bytes).max(frame.len() as u32);
+    let nanos = now.as_nanos();
+    let mut b = Vec::with_capacity(16 + caplen as usize);
+    b.extend_from_slice(&((nanos / 1_000_000_000) as u32).to_le_bytes());
+    b.extend_from_slice(&((nanos % 1_000_000_000) as u32).to_le_bytes());
+    b.extend_from_slice(&caplen.to_le_bytes());
+    b.extend_from_slice(&orig_len.to_le_bytes());
+    b.extend_from_slice(&frame[..caplen as usize]);
+    b
 }
 
 /// Deterministic IPv4 address for a unicast endpoint: `10.0.h.l` from the
@@ -410,25 +430,56 @@ fn build_frame(packet: &Packet) -> Vec<u8> {
 /// the file (created eagerly, so an unwritable path fails fast) is only
 /// written at `finish`, whose `Result` carries any I/O error.
 ///
-/// Memory note: one buffered record is one `Packet` (~100 B), so a
-/// multi-minute dense run holds its whole capture in memory. `RLA_PCAP`
-/// is an opt-in debugging knob aimed at short runs; cap the duration.
+/// Memory note: one buffered record is one `Packet` (~100 B). In the
+/// default mode a run holds its whole capture in memory, so `RLA_PCAP`
+/// alone is aimed at short runs. The spooled mode
+/// ([`create_spooled`]/`RLA_PCAP_SPOOL`) bounds the buffer at the chunk
+/// size by spilling sorted chunks to `<path>.spool.<i>` side files and
+/// k-way merging them at `finish`, so paper-length (3000 s) exports
+/// cannot exhaust memory. Every buffered record is tagged with a global
+/// arrival sequence number and both modes order by `(time, seq)`, so the
+/// merged file is byte-identical to the unspooled one.
 ///
 /// [`finish`]: PcapTracer::finish
+/// [`create_spooled`]: PcapTracer::create_spooled
 #[derive(Debug)]
 pub struct PcapTracer {
     writer: Option<PcapWriter<BufWriter<std::fs::File>>>,
     path: PathBuf,
-    pending: Vec<(SimTime, Packet)>,
+    pending: Vec<(SimTime, u64, Packet)>,
+    /// Global arrival counter; total records traced so far.
+    next_seq: u64,
+    /// Spill-to-disk chunk size in records; `None` buffers everything.
+    spool_records: Option<usize>,
+    /// Paths of the spilled chunk files, in spill order.
+    chunks: Vec<PathBuf>,
 }
 
 impl PcapTracer {
-    /// Create the capture file at `path`.
+    /// Create the capture file at `path`, buffering the whole capture in
+    /// memory until [`finish`](Self::finish).
     pub fn create(path: &Path, snaplen: u32) -> io::Result<Self> {
+        Self::with_spool(path, snaplen, None)
+    }
+
+    /// Create the capture file at `path` in spooled mode: whenever
+    /// `chunk_records` records are buffered they are sorted and spilled
+    /// to a `<path>.spool.<i>` side file, and `finish` merges the chunks
+    /// (deleting them) into a capture byte-identical to the unspooled
+    /// mode's.
+    pub fn create_spooled(path: &Path, snaplen: u32, chunk_records: usize) -> io::Result<Self> {
+        assert!(chunk_records > 0, "a spool chunk needs at least one record");
+        Self::with_spool(path, snaplen, Some(chunk_records))
+    }
+
+    fn with_spool(path: &Path, snaplen: u32, spool_records: Option<usize>) -> io::Result<Self> {
         Ok(PcapTracer {
             writer: Some(PcapWriter::create(path, snaplen)?),
             path: path.to_path_buf(),
             pending: Vec::new(),
+            next_seq: 0,
+            spool_records,
+            chunks: Vec::new(),
         })
     }
 
@@ -437,25 +488,138 @@ impl PcapTracer {
         &self.path
     }
 
-    /// Records buffered so far.
+    /// Records traced so far (buffered in memory or spilled to chunks).
     pub fn records(&self) -> u64 {
-        self.pending.len() as u64
+        self.next_seq
     }
 
-    /// Sort the buffered records by timestamp, write and flush the
-    /// capture file; returns the record count.
+    /// Sort the buffered chunk by `(time, seq)` and spill it to the next
+    /// side file as length-prefixed pre-built pcap records.
+    fn spill_chunk(&mut self) -> io::Result<()> {
+        let snaplen = match &self.writer {
+            Some(w) => w.snaplen(),
+            None => return Ok(()),
+        };
+        self.pending.sort_unstable_by_key(|(t, seq, _)| (*t, *seq));
+        let path = PathBuf::from(format!(
+            "{}.spool.{}",
+            self.path.display(),
+            self.chunks.len()
+        ));
+        let mut out = BufWriter::new(std::fs::File::create(&path)?);
+        for (t, seq, p) in self.pending.drain(..) {
+            let bytes = record_bytes(snaplen, t, &p);
+            out.write_all(&t.as_nanos().to_le_bytes())?;
+            out.write_all(&seq.to_le_bytes())?;
+            out.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            out.write_all(&bytes)?;
+        }
+        out.flush()?;
+        self.chunks.push(path);
+        Ok(())
+    }
+
+    /// Write and flush the capture file in `(time, seq)` order — sorting
+    /// the in-memory buffer, or k-way merging the spilled chunks (which
+    /// are deleted afterwards) — and return the record count.
     pub fn finish(&mut self) -> io::Result<u64> {
-        let n = self.pending.len() as u64;
-        if let Some(mut w) = self.writer.take() {
-            // Stable: records at the same instant keep their arrival
-            // (domain, send) order, matching the determinism contract.
-            self.pending.sort_by_key(|(t, _)| *t);
-            for (t, p) in self.pending.drain(..) {
+        let n = self.next_seq;
+        let Some(mut w) = self.writer.take() else {
+            return Ok(n);
+        };
+        if self.chunks.is_empty() {
+            // `seq` is the push order, so this sort is the old stable
+            // sort-by-time: same-instant records keep their arrival
+            // (domain, send) order per the determinism contract.
+            self.pending.sort_unstable_by_key(|(t, seq, _)| (*t, *seq));
+            for (t, _, p) in self.pending.drain(..) {
                 w.record(t, &p)?;
             }
-            w.finish()?;
+        } else {
+            // Put the writer back so spill_chunk sees the snaplen, then
+            // flush the tail records as a final chunk.
+            self.writer = Some(w);
+            if !self.pending.is_empty() {
+                self.spill_chunk()?;
+            }
+            w = self.writer.take().expect("writer restored above");
+            let mut cursors = Vec::with_capacity(self.chunks.len());
+            for path in &self.chunks {
+                let mut c = ChunkCursor {
+                    reader: BufReader::new(std::fs::File::open(path)?),
+                    head: None,
+                };
+                c.advance()?;
+                cursors.push(c);
+            }
+            // Chunks are internally sorted, so the global (time, seq)
+            // order falls out of repeatedly taking the smallest head.
+            // Chunk counts are small (records / chunk size), so a linear
+            // min scan beats a heap in both code and constant factor.
+            loop {
+                let next = cursors
+                    .iter_mut()
+                    .filter(|c| c.head.is_some())
+                    .min_by_key(|c| {
+                        let (t, seq, _) = c.head.as_ref().expect("filtered on Some");
+                        (*t, *seq)
+                    });
+                let Some(c) = next else { break };
+                let (_, _, bytes) = c.head.take().expect("selected head is Some");
+                w.write_record_bytes(&bytes)?;
+                c.advance()?;
+            }
+            for path in self.chunks.drain(..) {
+                std::fs::remove_file(path)?;
+            }
         }
+        w.finish()?;
         Ok(n)
+    }
+}
+
+/// One spilled chunk being merged: a reader plus its current head record
+/// `(time nanos, seq, record bytes)`.
+struct ChunkCursor {
+    reader: BufReader<std::fs::File>,
+    head: Option<(u64, u64, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for ChunkCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCursor")
+            .field("head", &self.head.as_ref().map(|(t, s, _)| (*t, *s)))
+            .finish()
+    }
+}
+
+impl ChunkCursor {
+    /// Read the next `(time, seq, len, bytes)` entry; `head` becomes
+    /// `None` at a clean end of chunk.
+    fn advance(&mut self) -> io::Result<()> {
+        let mut hdr = [0u8; 20];
+        let mut filled = 0;
+        while filled < hdr.len() {
+            let n = self.reader.read(&mut hdr[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    self.head = None;
+                    return Ok(());
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated pcap spool chunk",
+                ));
+            }
+            filled += n;
+        }
+        let t = u64::from_le_bytes(hdr[0..8].try_into().expect("8-byte slice"));
+        let seq = u64::from_le_bytes(hdr[8..16].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(hdr[16..20].try_into().expect("4-byte slice")) as usize;
+        let mut bytes = vec![0u8; len];
+        self.reader.read_exact(&mut bytes)?;
+        self.head = Some((t, seq, bytes));
+        Ok(())
     }
 }
 
@@ -463,7 +627,23 @@ impl Tracer for PcapTracer {
     fn trace(&mut self, now: SimTime, event: &TraceEvent<'_>) {
         if let TraceEvent::TxStart { packet, .. } = event {
             if self.writer.is_some() {
-                self.pending.push((now, **packet));
+                self.pending.push((now, self.next_seq, **packet));
+                self.next_seq += 1;
+                if let Some(chunk) = self.spool_records {
+                    if self.pending.len() >= chunk {
+                        // A full chunk: spill now so the buffer never
+                        // exceeds the configured bound. Tracing has no
+                        // Result channel and silently dropping records
+                        // would corrupt the capture, so an I/O failure
+                        // panics with the path named.
+                        self.spill_chunk().unwrap_or_else(|e| {
+                            panic!(
+                                "RLA_PCAP_SPOOL: cannot spill a chunk beside {}: {e}",
+                                self.path.display()
+                            )
+                        });
+                    }
+                }
             }
         }
     }
@@ -472,6 +652,10 @@ impl Tracer for PcapTracer {
 impl Drop for PcapTracer {
     fn drop(&mut self) {
         let _ = self.finish();
+        // Best-effort cleanup when finish itself failed mid-merge.
+        for path in self.chunks.drain(..) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -915,6 +1099,72 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         let recs = PcapReader::new(&bytes).unwrap().records().unwrap();
         assert_eq!(recs.len(), 1, "only the TxStart became a record");
+    }
+
+    #[test]
+    fn spooled_capture_matches_the_unspooled_bytes_and_round_trips() {
+        use netsim::id::ChannelId;
+        let dir = std::env::temp_dir().join("rla_pcap_spool_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Out-of-order timestamps with same-instant ties, so the test
+        // exercises both the sort and the (time, seq) tie-break across
+        // chunk boundaries.
+        let stamps: Vec<u64> = (0..40)
+            .map(|i| [9u64, 2, 9, 5, 7, 2, 8, 1][i % 8] * 1_000_000 + (i as u64 / 8))
+            .collect();
+        let run = |tracer: &mut PcapTracer| {
+            for (i, nanos) in stamps.iter().enumerate() {
+                tracer.trace(
+                    SimTime::from_nanos(*nanos),
+                    &TraceEvent::TxStart {
+                        channel: ChannelId(0),
+                        packet: &tcp_data(i as u64),
+                        qlen: 0,
+                    },
+                );
+            }
+            tracer.finish().unwrap()
+        };
+
+        let plain_path = dir.join("plain.pcap");
+        let mut plain = PcapTracer::create(&plain_path, DEFAULT_SNAPLEN).unwrap();
+        assert_eq!(run(&mut plain), 40);
+
+        // A 7-record chunk size forces several spills plus a tail chunk.
+        let spooled_path = dir.join("spooled.pcap");
+        let mut spooled = PcapTracer::create_spooled(&spooled_path, DEFAULT_SNAPLEN, 7).unwrap();
+        assert_eq!(run(&mut spooled), 40);
+
+        let plain_bytes = std::fs::read(&plain_path).unwrap();
+        let spooled_bytes = std::fs::read(&spooled_path).unwrap();
+        assert_eq!(
+            plain_bytes, spooled_bytes,
+            "the merged spooled capture must be byte-identical"
+        );
+
+        // Roundtrip: every record parses, timestamps are nondecreasing,
+        // and same-instant runs keep arrival (seq) order.
+        let recs = PcapReader::new(&spooled_bytes).unwrap().records().unwrap();
+        assert_eq!(recs.len(), 40);
+        for w in recs.windows(2) {
+            assert!(w[0].ts_nanos <= w[1].ts_nanos, "chronological order");
+            if w[0].ts_nanos == w[1].ts_nanos {
+                let (a, b) = (w[0].net.as_ref().unwrap(), w[1].net.as_ref().unwrap());
+                assert!(a.seq < b.seq, "same-instant records keep arrival order");
+            }
+        }
+
+        // The side files are merged and deleted.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".spool."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "spool chunks left behind: {leftovers:?}"
+        );
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Property tests for the domain-partitioned engine's determinism.
 //!
-//! The contract `RLA_SHARDS` stands on: the worker count is a pure
-//! wall-clock knob. The domain partition, the per-domain RNG streams and
-//! the trace digest are functions of (topology, seed, θ) alone, so a
-//! scenario's digest must be bit-identical at every shard count — for
-//! static paper runs and for dynamic runs whose event stream mutates the
-//! agent population mid-flight (churn) or injects Poisson background
-//! flows (bgload). A single nanosecond of drift anywhere in the epoch
-//! executor's exchange ordering fails these properties.
+//! The contract `RLA_SHARDS` stands on: the shard count is a pure
+//! wall-clock knob. The fine θ-partition — per-region RNG streams, uid
+//! tags and digest lanes — is a function of (topology, seed, θ) alone;
+//! `RLA_SHARDS` only picks how the cost-aware merge pass groups those
+//! regions into execution domains and how many workers walk them. A
+//! scenario's digest must therefore be bit-identical at every shard
+//! count — for static paper runs and for dynamic runs whose event
+//! stream mutates the agent population mid-flight (churn) or injects
+//! Poisson background flows (bgload). A single nanosecond of drift
+//! anywhere in the merge pass or the batched boundary exchange fails
+//! these properties.
 
 use bounded_fairness::experiments::events::ScenarioEvent;
 use bounded_fairness::experiments::{CongestionCase, GatewayKind, ScenarioSpec, TreeScenario};
@@ -23,9 +26,11 @@ fn run_with_shards(spec: &ScenarioSpec, shards: usize) -> (u64, u64) {
     (r.trace_digest, r.trace_events)
 }
 
-/// Digest at every pinned shard count; the property asserts these agree.
+/// Digest at every pinned shard count — including 1, where the merge
+/// pass collapses the fine partition to a single domain, and 8, where it
+/// leaves most regions uncoalesced; the property asserts these agree.
 fn across_shards(spec: &ScenarioSpec) -> Vec<(u64, u64)> {
-    [1, 2, 4]
+    [1, 2, 4, 8]
         .iter()
         .map(|&s| run_with_shards(spec, s))
         .collect()
@@ -47,6 +52,7 @@ proptest! {
         let runs = across_shards(&spec);
         prop_assert_eq!(runs[0], runs[1]);
         prop_assert_eq!(runs[0], runs[2]);
+        prop_assert_eq!(runs[0], runs[3]);
     }
 
     #[test]
@@ -66,6 +72,7 @@ proptest! {
         let runs = across_shards(&spec);
         prop_assert_eq!(runs[0], runs[1]);
         prop_assert_eq!(runs[0], runs[2]);
+        prop_assert_eq!(runs[0], runs[3]);
     }
 
     #[test]
@@ -80,5 +87,6 @@ proptest! {
         let runs = across_shards(&spec);
         prop_assert_eq!(runs[0], runs[1]);
         prop_assert_eq!(runs[0], runs[2]);
+        prop_assert_eq!(runs[0], runs[3]);
     }
 }
